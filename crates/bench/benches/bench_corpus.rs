@@ -1,0 +1,32 @@
+//! Corpus generation and analysis throughput (Tables 1-5 inputs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ddx_dataset::{analysis, generate, CorpusConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("generate_corpus_scale_0.005", |b| {
+        b.iter(|| {
+            generate(&CorpusConfig {
+                scale: 0.005,
+                seed: 7,
+            })
+        })
+    });
+    let corpus = generate(&CorpusConfig {
+        scale: 0.01,
+        seed: 7,
+    });
+    c.bench_function("analysis_prevalence", |b| {
+        b.iter(|| analysis::prevalence(black_box(&corpus)))
+    });
+    c.bench_function("analysis_transitions", |b| {
+        b.iter(|| analysis::transitions(black_box(&corpus)))
+    });
+    c.bench_function("analysis_resolution_times", |b| {
+        b.iter(|| analysis::resolution_times(black_box(&corpus)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: DFixer's root-cause-ordered planning vs the naive per-error
+//! baseline — cost per attempt and (printed once) fix success.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ddx_dnsviz::ErrorCode;
+use ddx_fixer::{run_fixer, run_naive, FixerOptions};
+use ddx_replicator::{replicate, ReplicationRequest, ZoneMeta};
+
+fn request() -> ReplicationRequest {
+    ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::DsReferencesRevokedKey]),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Report outcome once so the ablation is visible in bench logs.
+    {
+        let req = request();
+        let mut rep = replicate(&req, 1_000_000, 4).unwrap();
+        let cfg = rep.probe.clone();
+        let dfx = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+        let mut rep = replicate(&req, 1_000_000, 4).unwrap();
+        let cfg = rep.probe.clone();
+        let nv = run_naive(&mut rep.sandbox, &cfg, &FixerOptions::default());
+        println!(
+            "revoked-KSK scenario: DFixer fixed={} ({} iters), naive fixed={} ({} iters)",
+            dfx.fixed,
+            dfx.iterations.len(),
+            nv.fixed,
+            nv.iterations.len()
+        );
+    }
+    c.bench_function("dfixer_revoked_ksk", |b| {
+        b.iter(|| {
+            let mut rep = replicate(&request(), 1_000_000, 4).unwrap();
+            let cfg = rep.probe.clone();
+            run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default())
+        })
+    });
+    c.bench_function("naive_revoked_ksk", |b| {
+        b.iter(|| {
+            let mut rep = replicate(&request(), 1_000_000, 4).unwrap();
+            let cfg = rep.probe.clone();
+            run_naive(&mut rep.sandbox, &cfg, &FixerOptions::default())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

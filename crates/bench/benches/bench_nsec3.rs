@@ -1,0 +1,69 @@
+//! Ablation: NSEC3 hashing cost as a function of the iteration count — the
+//! quantitative argument behind RFC 9276 (and the paper's NZIC finding) —
+//! plus NSEC vs NSEC3 chain construction cost over a sandbox zone.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddx_dns::name;
+use ddx_dnssec::{build_nsec3_chain, build_nsec_chain, nsec3_hash, Nsec3Config};
+use ddx_server::{build_sandbox, ZoneSpec};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsec3_hash_iterations");
+    let n = name("www.inv-chd.par.a.com");
+    for iterations in [0u16, 10, 50, 150] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iters| b.iter(|| nsec3_hash(black_box(&n), b"salt", iters)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com"))], 1_000_000, 3);
+    let base = sb
+        .testbed
+        .server(&sb.zones[0].servers[0])
+        .unwrap()
+        .zone(&name("a.com"))
+        .unwrap()
+        .clone();
+    let plain = {
+        let mut z = base.clone();
+        z.strip_dnssec();
+        z
+    };
+    c.bench_function("build_nsec_chain", |b| {
+        b.iter(|| {
+            let mut z = plain.clone();
+            build_nsec_chain(&mut z);
+            z
+        })
+    });
+    let mut group = c.benchmark_group("build_nsec3_chain");
+    for iterations in [0u16, 150] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter(|| {
+                    let mut z = plain.clone();
+                    build_nsec3_chain(
+                        &mut z,
+                        &Nsec3Config {
+                            iterations: iters,
+                            ..Default::default()
+                        },
+                    );
+                    z
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_chains);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The Table 6 pipeline, per snapshot: replicate → grok (GE) → DFixer →
+//! grok (AE) for the S1 (NZIC-only) and a representative S2 scenario.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ddx_dnsviz::{grok, probe, ErrorCode};
+use ddx_fixer::{run_fixer, FixerOptions};
+use ddx_replicator::{replicate, Nsec3Meta, ReplicationRequest, ZoneMeta};
+
+fn meta_nsec3() -> ZoneMeta {
+    ZoneMeta {
+        nsec3: Some(Nsec3Meta {
+            iterations: 10,
+            salt_len: 4,
+            opt_out: false,
+        }),
+        ..ZoneMeta::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let s1 = ReplicationRequest {
+        meta: meta_nsec3(),
+        intended: BTreeSet::from([ErrorCode::Nsec3IterationsNonzero]),
+    };
+    let s2 = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([
+            ErrorCode::RrsigExpired,
+            ErrorCode::DsMissingKeyForAlgorithm,
+        ]),
+    };
+    c.bench_function("replicate_only_s1", |b| {
+        b.iter(|| replicate(&s1, 1_000_000, 9).unwrap())
+    });
+    c.bench_function("replicate_grok_s1", |b| {
+        b.iter(|| {
+            let rep = replicate(&s1, 1_000_000, 9).unwrap();
+            grok(&probe(&rep.sandbox.testbed, &rep.probe))
+        })
+    });
+    c.bench_function("full_cycle_s1_nzic", |b| {
+        b.iter(|| {
+            let mut rep = replicate(&s1, 1_000_000, 9).unwrap();
+            let cfg = rep.probe.clone();
+            let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+            assert!(run.fixed);
+            run
+        })
+    });
+    c.bench_function("full_cycle_s2_multi_error", |b| {
+        b.iter(|| {
+            let mut rep = replicate(&s2, 1_000_000, 9).unwrap();
+            let cfg = rep.probe.clone();
+            let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+            assert!(run.fixed);
+            run
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

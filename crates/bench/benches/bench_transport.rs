@@ -1,0 +1,45 @@
+//! Transport ablation: the in-process network vs real loopback UDP with
+//! full wire encoding, for a single probe walk of the sandbox hierarchy.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ddx_dnsviz::probe;
+use ddx_replicator::{replicate, ReplicationRequest, ZoneMeta};
+use ddx_server::{Network, UdpNetwork, UdpServerHandle};
+
+fn bench(c: &mut Criterion) {
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, 1_000_000, 2).unwrap();
+
+    c.bench_function("probe_in_process", |b| {
+        b.iter(|| probe(&rep.sandbox.testbed, &rep.probe))
+    });
+
+    // Lift onto UDP once; reuse sockets across iterations.
+    let mut handles: Vec<UdpServerHandle> = Vec::new();
+    let mut net = UdpNetwork::new();
+    for zone in &rep.sandbox.zones {
+        for sid in &zone.servers {
+            let server = rep.sandbox.testbed.server(sid).unwrap().clone();
+            let handle = UdpServerHandle::spawn(server).unwrap();
+            net.add_route(&handle);
+            handles.push(handle);
+        }
+        for host in &zone.ns_hosts {
+            if let Some(sid) = rep.sandbox.testbed.resolve_ns(host) {
+                net.register_ns(host.clone(), sid);
+            }
+        }
+    }
+    c.bench_function("probe_over_udp", |b| {
+        b.iter(|| probe(&net, &rep.probe))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

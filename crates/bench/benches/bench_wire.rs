@@ -1,0 +1,52 @@
+//! Wire-codec throughput: encoding/decoding a realistic signed DNSKEY
+//! response (the largest message class the probe handles).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ddx_dns::{name, wire, Message, RData, Record, RrType};
+use ddx_dnssec::{sign_rrset, Algorithm, KeyPair, KeyRole, SignOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dnskey_response() -> Message {
+    let mut rng = StdRng::seed_from_u64(1);
+    let zone = name("inv-chd.par.a.com");
+    let q = Message::query(1, zone.clone(), RrType::Dnskey);
+    let mut resp = q.response();
+    let mut records = Vec::new();
+    for role in [KeyRole::Ksk, KeyRole::Zsk] {
+        let k = KeyPair::generate(&mut rng, zone.clone(), Algorithm::RsaSha256, 2048, role, 0);
+        records.push(Record::new(zone.clone(), 3600, RData::Dnskey(k.dnskey.clone())));
+        if role == KeyRole::Ksk {
+            let set = ddx_dns::RRset::from_records(&records).unwrap();
+            let sig = sign_rrset(
+                &set,
+                &k,
+                SignOptions {
+                    inception: 0,
+                    expiration: 10_000_000,
+                },
+            );
+            resp.answers.push(Record::new(zone.clone(), 3600, RData::Rrsig(sig)));
+        }
+    }
+    resp.answers.extend(records);
+    resp
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = dnskey_response();
+    let bytes = wire::encode(&msg);
+    c.bench_function("wire_encode_dnskey_response", |b| {
+        b.iter(|| wire::encode(black_box(&msg)))
+    });
+    c.bench_function("wire_decode_dnskey_response", |b| {
+        b.iter(|| wire::decode(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("wire_round_trip", |b| {
+        b.iter(|| wire::decode(&wire::encode(black_box(&msg))).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! `dfixer` — the DFixer command-line tool.
+//!
+//! Replicates a misconfiguration scenario in the local sandbox, diagnoses
+//! it (probe + grok), and prints the root-cause remediation plan with
+//! concrete commands — optionally auto-applying it and re-verifying, like
+//! the paper's auto-apply mode (§4.3 step 4).
+//!
+//! ```text
+//! dfixer --errors RrsigExpired,DsDigestInvalid [--nsec3] [--flavor bind|nsd|knot|pdns]
+//!        [--auto] [--cds] [--json] [--seed N]
+//! dfixer --list-errors
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use ddx::prelude::*;
+
+struct Args {
+    errors: Vec<String>,
+    nsec3: bool,
+    flavor: ServerFlavor,
+    auto: bool,
+    cds: bool,
+    json: bool,
+    seed: u64,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        errors: Vec::new(),
+        nsec3: false,
+        flavor: ServerFlavor::Bind,
+        auto: false,
+        cds: false,
+        json: false,
+        seed: 42,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--errors" => {
+                let v = it.next().ok_or("--errors needs a value")?;
+                args.errors = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--nsec3" => args.nsec3 = true,
+            "--flavor" => {
+                let v = it.next().ok_or("--flavor needs a value")?;
+                args.flavor = match v.to_ascii_lowercase().as_str() {
+                    "bind" => ServerFlavor::Bind,
+                    "nsd" => ServerFlavor::Nsd,
+                    "knot" => ServerFlavor::Knot,
+                    "pdns" | "powerdns" => ServerFlavor::PowerDns,
+                    other => return Err(format!("unknown flavor {other}")),
+                };
+            }
+            "--auto" => args.auto = true,
+            "--cds" => args.cds = true,
+            "--json" => args.json = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--list-errors" => args.list = true,
+            "-h" | "--help" => {
+                println!(
+                    "dfixer --errors <Code,...> [--nsec3] [--flavor bind|nsd|knot|pdns] [--auto] [--cds] [--json] [--seed N]\n       dfixer --list-errors"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn lookup_code(name: &str) -> Option<ErrorCode> {
+    ErrorCode::ALL
+        .iter()
+        .copied()
+        .find(|c| c.ident().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for c in ErrorCode::ALL {
+            println!(
+                "{:<32} {:<36} {} {}",
+                c.ident(),
+                c.subcategory().label(),
+                if c.is_critical() { "critical" } else { "tolerated" },
+                if c.replicable() { "" } else { "(unreplicable)" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut intended = BTreeSet::new();
+    for name in &args.errors {
+        match lookup_code(name) {
+            Some(c) => {
+                intended.insert(c);
+            }
+            None => {
+                eprintln!("error: unknown error code {name} (try --list-errors)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut meta = ZoneMeta::default();
+    if args.nsec3 {
+        meta.nsec3 = Some(Nsec3Meta {
+            iterations: 0,
+            salt_len: 0,
+            opt_out: false,
+        });
+    }
+    let request = ReplicationRequest {
+        meta,
+        intended: intended.clone(),
+    };
+    let mut rep = match replicate(&request, 1_000_000, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: replication failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (code, reason) in &rep.skipped {
+        eprintln!("warning: could not inject {code}: {reason}");
+    }
+
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("== diagnosis ==");
+        print!("{}", report.render_text());
+    }
+
+    let (_, resolution, commands) = suggest(&rep.sandbox, &rep.probe, args.flavor);
+    if !args.json {
+        println!("\n== plan (root cause: {:?}) ==", resolution.addressed);
+        for (i, instr) in resolution.plan.iter().enumerate() {
+            println!("  ({}) {}", i + 1, instr.describe());
+        }
+        println!("\n== commands ({:?}) ==", args.flavor);
+        for c in &commands {
+            println!("  {c}");
+        }
+    }
+
+    if args.auto {
+        let cfg = rep.probe.clone();
+        let opts = FixerOptions {
+            flavor: args.flavor,
+            use_cds: args.cds,
+            seed: args.seed,
+            ..Default::default()
+        };
+        let run = run_fixer(&mut rep.sandbox, &cfg, &opts);
+        println!("\n== auto-apply ==");
+        for it in &run.iterations {
+            println!(
+                "iteration {}: status={} errors={} addressed={:?}",
+                it.iteration,
+                it.status_before,
+                it.errors_before.len(),
+                it.addressed
+            );
+        }
+        println!(
+            "result: fixed={} final status={} residual={:?}",
+            run.fixed, run.final_status, run.final_errors
+        );
+        if !run.fixed {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

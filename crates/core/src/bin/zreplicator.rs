@@ -1,0 +1,194 @@
+//! `zreplicator` — the ZReplicator command-line tool.
+//!
+//! Builds the local sandbox hierarchy, injects the requested
+//! misconfigurations, verifies them with probe/grok, and (optionally) dumps
+//! every server's zone as a master file so the scenario can be inspected or
+//! loaded elsewhere.
+//!
+//! ```text
+//! zreplicator --errors NsecProofMissing [--nsec3] [--seed N]
+//!             [--dump-dir DIR] [--json]
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use ddx::prelude::*;
+use ddx_dns::zone_to_master;
+
+struct Args {
+    errors: Vec<String>,
+    nsec3: bool,
+    seed: u64,
+    dump_dir: Option<String>,
+    json: bool,
+    snapshot_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        errors: Vec::new(),
+        nsec3: false,
+        seed: 42,
+        dump_dir: None,
+        json: false,
+        snapshot_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--errors" => {
+                let v = it.next().ok_or("--errors needs a value")?;
+                args.errors = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--nsec3" => args.nsec3 = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--dump-dir" => args.dump_dir = it.next(),
+            "--snapshot-file" => args.snapshot_file = it.next(),
+            "--json" => args.json = true,
+            "-h" | "--help" => {
+                println!(
+                    "zreplicator --errors <Code,...> [--nsec3] [--seed N] [--dump-dir DIR] [--json]\n            zreplicator --snapshot-file FILE.json [--seed N] [--dump-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Either a serialized corpus snapshot (the Fig 7 "Select JSON
+    // snapshot" path) or error codes from the command line.
+    let (meta, intended) = if let Some(file) = &args.snapshot_file {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snapshot: Snapshot = match serde_json::from_str(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file} is not a snapshot JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (snapshot.meta.clone(), snapshot.errors.clone())
+    } else {
+        let mut intended = BTreeSet::new();
+        for name in &args.errors {
+            match ErrorCode::ALL
+                .iter()
+                .copied()
+                .find(|c| c.ident().eq_ignore_ascii_case(name))
+            {
+                Some(c) => {
+                    intended.insert(c);
+                }
+                None => {
+                    eprintln!("error: unknown error code {name}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut meta = ZoneMeta::default();
+        if args.nsec3 {
+            meta.nsec3 = Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: false,
+            });
+        }
+        (meta, intended)
+    };
+    let request = ReplicationRequest {
+        meta,
+        intended: intended.clone(),
+    };
+    let rep = match replicate(&request, 1_000_000, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: replication failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (code, reason) in &rep.skipped {
+        eprintln!("warning: skipped {code}: {reason}");
+    }
+    for sub in &rep.substitutions {
+        eprintln!(
+            "note: algorithm {} substituted with {}",
+            sub.observed, sub.generated
+        );
+    }
+
+    // Verify the replication (IE ⊆ GE).
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    let generated = report.codes();
+    let replicated = !intended.is_empty() && intended.is_subset(&generated);
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("== replication ==");
+        println!("intended : {intended:?}");
+        println!("generated: {generated:?}");
+        println!(
+            "IE ⊆ GE  : {}",
+            if intended.is_empty() {
+                "n/a (clean zone requested)".to_string()
+            } else {
+                replicated.to_string()
+            }
+        );
+        println!("status   : {}", report.status);
+    }
+
+    if let Some(dir) = &args.dump_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for zone_info in &rep.sandbox.zones {
+            for sid in &zone_info.servers {
+                let Some(zone) = rep
+                    .sandbox
+                    .testbed
+                    .server(sid)
+                    .and_then(|s| s.zone(&zone_info.apex))
+                else {
+                    continue;
+                };
+                let file = format!(
+                    "{dir}/{}",
+                    format!("{}-{}.zone", zone_info.apex, sid)
+                        .replace(['/', '#'], "_")
+                );
+                if let Err(e) = std::fs::write(&file, zone_to_master(zone)) {
+                    eprintln!("error: cannot write {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {file}");
+            }
+        }
+    }
+
+    if !intended.is_empty() && !replicated {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

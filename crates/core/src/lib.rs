@@ -1,0 +1,97 @@
+//! # ddx — DNSSEC debugging, replication, and automated repair
+//!
+//! The facade crate of the workspace reproducing *"Decoding DNSSEC Errors
+//! at Scale"* (IMC '25): re-exports every subsystem and provides the
+//! end-to-end evaluation pipeline (paper Fig 7) that drives Tables 6 & 7.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ddx::prelude::*;
+//! use std::collections::BTreeSet;
+//!
+//! // Replicate a zone whose only KSK is revoked and referenced by a DS.
+//! let request = ReplicationRequest {
+//!     meta: ZoneMeta::default(),
+//!     intended: BTreeSet::from([ErrorCode::DsReferencesRevokedKey]),
+//! };
+//! let mut rep = replicate(&request, 1_000_000, 42).unwrap();
+//!
+//! // Diagnose it the way DNSViz would…
+//! let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+//! assert_eq!(report.status, SnapshotStatus::Sb);
+//!
+//! // …and let DFixer repair it.
+//! let cfg = rep.probe.clone();
+//! let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+//! assert!(run.fixed);
+//! ```
+
+pub mod pipeline;
+
+pub use pipeline::{evaluate_corpus, evaluate_corpus_parallel, evaluate_snapshot, EvalConfig, EvalSummary, SnapshotEval, Table6Row};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::pipeline::{evaluate_corpus, evaluate_corpus_parallel, evaluate_snapshot, EvalConfig, EvalSummary};
+    pub use ddx_dataset::{generate, Corpus, CorpusConfig, Level, Snapshot};
+    pub use ddx_dns::{name, Name, RData, RRset, Record, RrType, Zone};
+    pub use ddx_dnssec::{Algorithm, DigestType, KeyPair, KeyRing, KeyRole, Nsec3Config};
+    pub use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus, Subcategory};
+    pub use ddx_fixer::{
+        run_fixer, run_naive, suggest, FixRun, FixerOptions, Instruction, InstructionKind,
+        ServerFlavor,
+    };
+    pub use ddx_replicator::{replicate, Nsec3Meta, Replication, ReplicationRequest, ZoneMeta};
+    pub use ddx_server::{build_sandbox, Sandbox, Server, ServerId, Testbed, ZoneSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dataset::{generate, CorpusConfig};
+
+    #[test]
+    fn pipeline_small_sample() {
+        let corpus = generate(&CorpusConfig {
+            scale: 0.002,
+            seed: 5,
+        });
+        let cfg = EvalConfig {
+            max_snapshots: 40,
+            ..Default::default()
+        };
+        let summary = evaluate_corpus(&corpus, &cfg);
+        let total = summary.total();
+        assert!(total.snapshots > 0);
+        assert!(total.snapshots <= 40);
+        // The bulk replicates and everything replicated gets fixed.
+        assert!(total.rr() > 0.7, "rr {}", total.rr());
+        assert!(total.fr() > 0.99, "fr {}", total.fr());
+        // S1 replicates essentially always.
+        if summary.s1.snapshots > 10 {
+            assert!(summary.s1.rr() > 0.9, "s1 rr {}", summary.s1.rr());
+        }
+        assert!(summary.max_iterations <= 4);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let corpus = generate(&CorpusConfig {
+            scale: 0.002,
+            seed: 9,
+        });
+        let cfg = EvalConfig {
+            max_snapshots: 30,
+            ..Default::default()
+        };
+        let seq = pipeline::evaluate_corpus(&corpus, &cfg);
+        let par = pipeline::evaluate_corpus_parallel(&corpus, &cfg, 4);
+        assert_eq!(seq.s1.snapshots, par.s1.snapshots);
+        assert_eq!(seq.s1.replicated, par.s1.replicated);
+        assert_eq!(seq.s2.replicated, par.s2.replicated);
+        assert_eq!(seq.s2.fixed, par.s2.fixed);
+        assert_eq!(seq.instruction_histogram, par.instruction_histogram);
+        assert_eq!(seq.max_iterations, par.max_iterations);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ddx-dns — DNS data model and wire codec
+//!
+//! The foundation substrate for the DNSSEC-debugging workspace: domain names
+//! with canonical ordering, typed RDATA for every record the diagnostics
+//! reason about, RRsets with canonical signing forms, mutable zones, DNS
+//! messages, and a complete RFC 1035 wire codec with name compression and
+//! EDNS(0).
+//!
+//! Nothing in this crate knows about cryptography or servers; those layers
+//! live in `ddx-dnssec` and `ddx-server`.
+
+pub mod base32;
+pub mod master;
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod rrset;
+pub mod types;
+pub mod wire;
+pub mod zone;
+
+pub use master::{parse_master, parse_record_line, record_to_line, zone_to_master, ParseError};
+pub use message::{Edns, Flags, Message, Question};
+pub use name::{name, Label, Name, NameError};
+pub use rdata::{
+    Ds, Dnskey, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa, DNSKEY_FLAG_REVOKE, DNSKEY_FLAG_SEP,
+    DNSKEY_FLAG_ZONE, NSEC3_FLAG_OPT_OUT,
+};
+pub use rrset::{RRset, Record};
+pub use types::{Rcode, RrClass, RrType, TypeBitmap};
+pub use zone::Zone;

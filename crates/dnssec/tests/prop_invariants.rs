@@ -1,0 +1,197 @@
+//! Property-based invariants over the signer and denial chains:
+//! 1. every signable RRset of a signed zone verifies under a published key;
+//! 2. the NSEC chain proves NXDOMAIN for *any* non-existent name;
+//! 3. the NSEC3 chain does the same, at any iteration count;
+//! 4. re-signing is idempotent on validity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+use ddx_dns::{name, Name, RData, Record, RrType, Soa, Zone};
+use ddx_dnssec::{
+    sign_zone, verify_nsec3_denial, verify_nsec_denial, verify_rrset, Algorithm, DenialKind,
+    KeyPair, KeyRing, KeyRole, Nsec3Config, SignerConfig,
+};
+
+const NOW: u32 = 1_000_000;
+
+fn build_zone(labels: &[String]) -> Zone {
+    let apex = name("prop.example");
+    let mut z = Zone::new(apex.clone());
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        RData::Soa(Soa {
+            mname: apex.child("ns1").unwrap(),
+            rname: apex.child("hostmaster").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: 300,
+        }),
+    ));
+    z.add(Record::new(apex.clone(), 3600, RData::Ns(apex.child("ns1").unwrap())));
+    z.add(Record::new(
+        apex.child("ns1").unwrap(),
+        3600,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    ));
+    for (i, label) in labels.iter().enumerate() {
+        let owner = apex.child(label).unwrap();
+        z.add(Record::new(
+            owner,
+            300,
+            RData::A(Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250) as u8)),
+        ));
+    }
+    z
+}
+
+fn ring() -> KeyRing {
+    let mut r = KeyRing::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    for role in [KeyRole::Ksk, KeyRole::Zsk] {
+        r.add(KeyPair::generate(
+            &mut rng,
+            name("prop.example"),
+            Algorithm::EcdsaP256Sha256,
+            256,
+            role,
+            NOW,
+        ));
+    }
+    r
+}
+
+fn dnskeys(zone: &Zone) -> Vec<ddx_dns::Dnskey> {
+    zone.get(zone.apex(), RrType::Dnskey)
+        .map(|s| {
+            s.rdatas
+                .iter()
+                .filter_map(|rd| match rd {
+                    RData::Dnskey(k) => Some(k.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn signable(zone: &Zone, set: &ddx_dns::RRset) -> bool {
+    if set.rtype == RrType::Rrsig || zone.is_below_cut(&set.name) {
+        return false;
+    }
+    let at_cut = set.name != *zone.apex() && zone.get(&set.name, RrType::Ns).is_some();
+    !at_cut || matches!(set.rtype, RrType::Ds | RrType::Nsec | RrType::Nsec3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn signed_zone_fully_verifies(labels in proptest::collection::btree_set("[a-y]{1,10}", 0..20)) {
+        let labels: Vec<String> = labels.into_iter().collect();
+        let mut zone = build_zone(&labels);
+        let ring = ring();
+        sign_zone(&mut zone, &ring, &SignerConfig::nsec_at(NOW), NOW).unwrap();
+        let keys = dnskeys(&zone);
+        for set in zone.rrsets().filter(|s| s.rtype != RrType::Rrsig) {
+            let sigs = ddx_dnssec::sigs_covering(&zone, &set.name, set.rtype);
+            if !signable(&zone, set) {
+                continue;
+            }
+            prop_assert!(!sigs.is_empty(), "{} {} unsigned", set.name, set.rtype);
+            let ok = sigs.iter().any(|sig| {
+                keys.iter().any(|k| {
+                    verify_rrset(set, sig, k, zone.apex(), NOW).is_ok()
+                })
+            });
+            prop_assert!(ok, "{} {} does not verify", set.name, set.rtype);
+        }
+    }
+
+    #[test]
+    fn nsec_chain_denies_any_absent_name(
+        labels in proptest::collection::btree_set("[a-y]{1,10}", 1..15),
+        probe in "[a-z0-9]{1,14}",
+    ) {
+        let labels: Vec<String> = labels.into_iter().collect();
+        let mut zone = build_zone(&labels);
+        sign_zone(&mut zone, &ring(), &SignerConfig::nsec_at(NOW), NOW).unwrap();
+        let target = zone.apex().child(&probe).unwrap();
+        prop_assume!(!zone.has_name(&target));
+        let views: Vec<(Name, ddx_dns::Nsec)> = zone
+            .rrsets()
+            .filter(|s| s.rtype == RrType::Nsec)
+            .flat_map(|s| s.rdatas.iter().filter_map(move |rd| match rd {
+                RData::Nsec(n) => Some((s.name.clone(), n.clone())),
+                _ => None,
+            }))
+            .collect();
+        let refs: Vec<(&Name, &ddx_dns::Nsec)> = views.iter().map(|(o, n)| (o, n)).collect();
+        prop_assert!(verify_nsec_denial(
+            &target,
+            RrType::A,
+            DenialKind::NxDomain,
+            &refs,
+            zone.apex(),
+        ).is_ok(), "{target} not denied");
+    }
+
+    #[test]
+    fn nsec3_chain_denies_any_absent_name(
+        labels in proptest::collection::btree_set("[a-y]{1,10}", 1..15),
+        probe in "[a-z0-9]{1,14}",
+        iterations in 0u16..20,
+        salt_len in 0usize..8,
+    ) {
+        let labels: Vec<String> = labels.into_iter().collect();
+        let mut zone = build_zone(&labels);
+        let cfg = Nsec3Config {
+            iterations,
+            salt: vec![0x5A; salt_len],
+            ..Default::default()
+        };
+        sign_zone(&mut zone, &ring(), &SignerConfig::nsec3_at(NOW, cfg), NOW).unwrap();
+        let target = zone.apex().child(&probe).unwrap();
+        prop_assume!(!zone.has_name(&target));
+        let views: Vec<(Name, ddx_dns::Nsec3)> = zone
+            .rrsets()
+            .filter(|s| s.rtype == RrType::Nsec3)
+            .flat_map(|s| s.rdatas.iter().filter_map(move |rd| match rd {
+                RData::Nsec3(n) => Some((s.name.clone(), n.clone())),
+                _ => None,
+            }))
+            .collect();
+        let refs: Vec<(&Name, &ddx_dns::Nsec3)> = views.iter().map(|(o, n)| (o, n)).collect();
+        prop_assert!(verify_nsec3_denial(
+            &target,
+            RrType::A,
+            DenialKind::NxDomain,
+            &refs,
+            zone.apex(),
+        ).is_ok(), "{target} not denied (iterations={iterations})");
+    }
+
+    #[test]
+    fn resigning_preserves_validity(labels in proptest::collection::btree_set("[a-y]{1,10}", 0..10)) {
+        let labels: Vec<String> = labels.into_iter().collect();
+        let mut zone = build_zone(&labels);
+        let ring = ring();
+        sign_zone(&mut zone, &ring, &SignerConfig::nsec_at(NOW), NOW).unwrap();
+        let serial1 = zone.soa().unwrap().serial;
+        sign_zone(&mut zone, &ring, &SignerConfig::nsec_at(NOW + 100), NOW + 100).unwrap();
+        prop_assert_eq!(zone.soa().unwrap().serial, serial1 + 1);
+        let keys = dnskeys(&zone);
+        let soa_set = zone.get(zone.apex(), RrType::Soa).unwrap();
+        let sigs = ddx_dnssec::sigs_covering(&zone, zone.apex(), RrType::Soa);
+        let resigned_ok = sigs.iter().any(|sig| {
+            keys.iter()
+                .any(|k| verify_rrset(soa_set, sig, k, zone.apex(), NOW + 100).is_ok())
+        });
+        prop_assert!(resigned_ok);
+    }
+}

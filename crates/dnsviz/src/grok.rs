@@ -1,0 +1,1652 @@
+//! The `dnsviz grok` analogue: interprets a [`ProbeResult`], attempts to
+//! build the chain of trust from the local anchor down to the query domain,
+//! and annotates every violation with one of the 47 [`ErrorCode`]s. Finally
+//! classifies the snapshot into `sv/svm/sb/is/lm/ic` (paper §3.2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use ddx_dns::{
+    Dnskey, Ds, Message, Name, Nsec, Nsec3, RData, RRset, Record, RrType,
+};
+use ddx_dnssec::{
+    check_ds, nsec3_hash, verify_nsec3_denial, verify_nsec_denial, verify_rrset, DenialFailure,
+    DenialKind, DsMatch, VerifyError,
+};
+
+use crate::codes::{ErrorCode, WarningCode};
+use crate::probe::{ProbeResult, ServerProbe, ZoneProbe, NODATA_PROBE_TYPE, NX_PROBE_LABEL, NX_PROBE_LABEL_HI};
+use crate::status::SnapshotStatus;
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorInstance {
+    pub code: ErrorCode,
+    /// The zone the error is attributed to.
+    pub zone: Name,
+    /// Whether, in this context, the error breaks all authentication paths
+    /// (drives `sb` vs `svm`). Starts from [`ErrorCode::is_critical`] but is
+    /// downgraded when a fully valid path for the affected RRset exists.
+    pub critical: bool,
+    /// Free-form specifics (key tags, names, algorithms).
+    pub detail: String,
+}
+
+/// Per-zone findings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneReport {
+    pub zone: Name,
+    /// Whether the zone presents as signed (DNSKEY/DS/RRSIG material seen).
+    pub signed: bool,
+    /// Whether the parent served a DS RRset for this zone.
+    pub has_ds: bool,
+    /// True for the local trust anchor (no parent in the walk).
+    pub is_anchor: bool,
+    pub errors: Vec<ErrorInstance>,
+    /// Advisory findings; never counted toward the snapshot status
+    /// (paper §3.1 excludes SHOULD-level warnings).
+    #[serde(default)]
+    pub warnings: Vec<WarningCode>,
+}
+
+/// The full grok output for one snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrokReport {
+    pub query_domain: Name,
+    pub time: u32,
+    pub status: SnapshotStatus,
+    pub zones: Vec<ZoneReport>,
+}
+
+impl GrokReport {
+    /// All error instances, chain order.
+    pub fn errors(&self) -> impl Iterator<Item = &ErrorInstance> {
+        self.zones.iter().flat_map(|z| z.errors.iter())
+    }
+
+    /// Distinct codes across the whole chain.
+    pub fn codes(&self) -> BTreeSet<ErrorCode> {
+        self.errors().map(|e| e.code).collect()
+    }
+
+    /// Distinct codes attributed to the query (leaf) zone and its
+    /// delegation — what the paper's pipeline extracts for replication.
+    pub fn target_zone_codes(&self) -> BTreeSet<ErrorCode> {
+        self.zones
+            .last()
+            .map(|z| z.errors.iter().map(|e| e.code).collect())
+            .unwrap_or_default()
+    }
+
+    /// True when no DNSSEC error was found anywhere.
+    pub fn clean(&self) -> bool {
+        self.zones.iter().all(|z| z.errors.is_empty())
+    }
+
+    /// Serialized report, like the JSON files the paper's pipeline parses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a serialized report.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+// ------------------------------------------------------------------ helpers
+
+/// Extracts `(rrset, covering sigs)` pairs from a message section.
+fn sets_with_sigs(records: &[Record]) -> Vec<(RRset, Vec<ddx_dns::Rrsig>)> {
+    let sets = Message::rrsets_in(records);
+    sets.iter()
+        .filter(|s| s.rtype != RrType::Rrsig)
+        .map(|s| {
+            let sigs = records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Rrsig(sig)
+                        if r.name == s.name && sig.type_covered == s.rtype =>
+                    {
+                        Some(sig.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            (s.clone(), sigs)
+        })
+        .collect()
+}
+
+fn nsec_views(records: &[Record]) -> Vec<(Name, Nsec)> {
+    records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Nsec(n) => Some((r.name.clone(), n.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn nsec3_views(records: &[Record]) -> Vec<(Name, Nsec3)> {
+    records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Nsec3(n) => Some((r.name.clone(), n.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The working state while analyzing one zone.
+struct ZoneAnalysis<'a> {
+    zp: &'a ZoneProbe,
+    now: u32,
+    errors: Vec<ErrorInstance>,
+    /// Union of DNSKEYs over servers.
+    dnskeys: Vec<Dnskey>,
+    /// DS records the parent served (empty at the anchor).
+    ds_set: Vec<Ds>,
+    signed: bool,
+    /// Algorithms covered by at least one *valid* RRSIG somewhere.
+    algorithms_seen_valid: BTreeSet<u8>,
+    /// Algorithms appearing in any RRSIG.
+    algorithms_in_sigs: BTreeSet<u8>,
+}
+
+impl<'a> ZoneAnalysis<'a> {
+    fn push(&mut self, code: ErrorCode, critical_override: Option<bool>, detail: String) {
+        let critical = critical_override.unwrap_or_else(|| code.is_critical());
+        self.errors.push(ErrorInstance {
+            code,
+            zone: self.zp.zone.clone(),
+            critical,
+            detail,
+        });
+    }
+
+    fn has(&self, code: ErrorCode) -> bool {
+        self.errors.iter().any(|e| e.code == code)
+    }
+}
+
+/// Runs the full analysis.
+pub fn grok(probe: &ProbeResult) -> GrokReport {
+    let now = probe.time;
+    let mut zone_reports = Vec::new();
+    let mut any_lame = false;
+    let mut any_orphaned = false;
+
+    for zp in &probe.zones {
+        if zp.is_lame() {
+            any_lame = true;
+        }
+        if zp.orphaned && !zp.is_lame() {
+            any_orphaned = true;
+        }
+        let mut za = ZoneAnalysis {
+            zp,
+            now,
+            errors: Vec::new(),
+            dnskeys: collect_dnskeys(zp),
+            ds_set: collect_ds(zp),
+            signed: false,
+            algorithms_seen_valid: BTreeSet::new(),
+            algorithms_in_sigs: BTreeSet::new(),
+        };
+        za.signed = !za.dnskeys.is_empty()
+            || !za.ds_set.is_empty()
+            || zp.servers.iter().any(server_has_sigs);
+
+        if za.signed && !zp.is_lame() {
+            check_key_consistency(&mut za);
+            check_keys(&mut za);
+            check_delegation(&mut za);
+            check_signatures(&mut za);
+            check_denial(&mut za);
+            check_algorithm_completeness(&mut za);
+        }
+
+        let warnings = if za.signed && !zp.is_lame() {
+            collect_warnings(&za)
+        } else {
+            Vec::new()
+        };
+        zone_reports.push(ZoneReport {
+            zone: zp.zone.clone(),
+            signed: za.signed,
+            has_ds: !za.ds_set.is_empty(),
+            is_anchor: zp.parent.is_none(),
+            errors: za.errors,
+            warnings,
+        });
+    }
+
+    let status = classify(&zone_reports, any_lame, any_orphaned);
+    GrokReport {
+        query_domain: probe.query_domain.clone(),
+        time: now,
+        status,
+        zones: zone_reports,
+    }
+}
+
+/// Status resolution, walking the chain top-down the way a validator does:
+/// a broken (bogus) zone above makes the answer SERVFAIL before any
+/// insecurity below could be proven, while a DS-less delegation switches the
+/// rest of the chain to plain DNS (insecure) and masks errors below it.
+fn classify(zones: &[ZoneReport], any_lame: bool, any_orphaned: bool) -> SnapshotStatus {
+    if any_orphaned {
+        return SnapshotStatus::Ic;
+    }
+    if any_lame {
+        return SnapshotStatus::Lm;
+    }
+    let mut any_error = false;
+    let mut any_critical = false;
+    for z in zones {
+        if !z.is_anchor && !z.has_ds {
+            // Insecure delegation: validation stops here. Errors found
+            // above this break decide between sb/svm; errors below cannot
+            // cause SERVFAIL.
+            return if any_critical {
+                SnapshotStatus::Sb
+            } else {
+                SnapshotStatus::Is
+            };
+        }
+        for e in &z.errors {
+            any_error = true;
+            any_critical |= e.critical;
+        }
+    }
+    let query_signed = zones.last().map(|z| z.signed).unwrap_or(false);
+    if !query_signed {
+        return SnapshotStatus::Is;
+    }
+    if any_critical {
+        SnapshotStatus::Sb
+    } else if any_error {
+        SnapshotStatus::Svm
+    } else {
+        SnapshotStatus::Sv
+    }
+}
+
+/// Advisory findings (never status-affecting).
+fn collect_warnings(za: &ZoneAnalysis) -> Vec<WarningCode> {
+    let mut out = Vec::new();
+    // NSEC3 salt (RFC 9276 SHOULD).
+    let salted = za.zp.servers.iter().any(|sp| {
+        [&sp.nxdomain, &sp.nodata]
+            .into_iter()
+            .flatten()
+            .flat_map(|m| m.authorities.iter())
+            .any(|r| matches!(&r.rdata, RData::Nsec3(n) if !n.salt.is_empty()))
+    });
+    if salted {
+        out.push(WarningCode::Nsec3SaltPresent);
+    }
+    // Single-key zones.
+    if za.dnskeys.len() == 1 {
+        out.push(WarningCode::SingleKeyZone);
+    }
+    // SHA-1 DS digests.
+    if za.ds_set.iter().any(|d| d.digest_type == 1) {
+        out.push(WarningCode::Sha1DsDigest);
+    }
+    // Very short signature windows: look at the apex SOA signature.
+    let short = za.zp.servers.iter().any(|sp| {
+        sp.soa
+            .as_ref()
+            .map(|m| {
+                m.answers.iter().any(|r| {
+                    matches!(&r.rdata, RData::Rrsig(s)
+                        if s.expiration.saturating_sub(s.inception) < 2 * 86_400)
+                })
+            })
+            .unwrap_or(false)
+    });
+    if short {
+        out.push(WarningCode::ShortSignatureLifetime);
+    }
+    out
+}
+
+fn collect_dnskeys(zp: &ZoneProbe) -> Vec<Dnskey> {
+    let mut keys: Vec<Dnskey> = Vec::new();
+    for sp in &zp.servers {
+        for k in sp.dnskeys() {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys
+}
+
+fn collect_ds(zp: &ZoneProbe) -> Vec<Ds> {
+    let mut out: Vec<Ds> = Vec::new();
+    for (_, resp) in &zp.ds_responses {
+        if let Some(msg) = resp {
+            for rec in &msg.answers {
+                if let RData::Ds(ds) = &rec.rdata {
+                    if rec.name == zp.zone && !out.contains(ds) {
+                        out.push(ds.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn server_has_sigs(sp: &ServerProbe) -> bool {
+    let msgs = [&sp.soa, &sp.ns, &sp.dnskey, &sp.nxdomain, &sp.nodata];
+    msgs.iter().any(|m| {
+        m.as_ref()
+            .map(|m| {
+                m.answers
+                    .iter()
+                    .chain(&m.authorities)
+                    .any(|r| r.rtype() == RrType::Rrsig)
+            })
+            .unwrap_or(false)
+    })
+}
+
+// ------------------------------------------------------ individual checks
+
+/// Key-set consistency across authoritative servers (paper's
+/// "Inconsistent DNSKEY b/w Servers", marker ③).
+fn check_key_consistency(za: &mut ZoneAnalysis) {
+    let sets: Vec<(String, BTreeSet<Vec<u8>>)> = za
+        .zp
+        .servers
+        .iter()
+        .filter(|s| s.responsive && s.dnskey.is_some())
+        .map(|s| {
+            (
+                s.server.0.clone(),
+                s.dnskeys()
+                    .iter()
+                    .map(|k| RData::Dnskey(k.clone()).to_wire())
+                    .collect(),
+            )
+        })
+        .collect();
+    if sets.len() < 2 {
+        return;
+    }
+    let first = &sets[0].1;
+    for (server, set) in &sets[1..] {
+        if set == first {
+            continue;
+        }
+        if set.is_subset(first) || first.is_subset(set) {
+            za.push(
+                ErrorCode::DnskeyMissingFromServers,
+                None,
+                format!("DNSKEY set differs by presence on server {server}"),
+            );
+        } else {
+            za.push(
+                ErrorCode::DnskeyInconsistentRrset,
+                None,
+                format!("disjoint DNSKEY material on server {server}"),
+            );
+        }
+    }
+}
+
+/// Per-key checks: revocation and key-length sanity.
+fn check_keys(za: &mut ZoneAnalysis) {
+    let keys = za.dnskeys.clone();
+    let usable_sep_exists = keys
+        .iter()
+        .any(|k| k.is_sep() && !k.is_revoked() && k.is_zone_key());
+    for key in &keys {
+        let tag = key.key_tag();
+        if key.is_revoked() && key.is_sep() && !usable_sep_exists {
+            za.push(
+                ErrorCode::DnskeyRevokedNoOtherSep,
+                None,
+                format!("revoked SEP key_tag={tag} is the only secure entry point"),
+            );
+        }
+        if let Some(alg) = ddx_dnssec::Algorithm::from_code(key.algorithm) {
+            let bits = key.key_bits() as u16;
+            if alg.is_rsa() && bits < 512 {
+                za.push(
+                    ErrorCode::KeyLengthTooShort,
+                    None,
+                    format!("key_tag={tag} has {bits}-bit RSA key"),
+                );
+            } else if !alg.key_bits_valid(bits) {
+                za.push(
+                    ErrorCode::KeyLengthInvalidForAlgorithm,
+                    None,
+                    format!("key_tag={tag} has {bits}-bit key for {alg}"),
+                );
+            }
+        }
+    }
+}
+
+/// DS ↔ DNSKEY linkage (paper's "Delegation" category).
+fn check_delegation(za: &mut ZoneAnalysis) {
+    if za.zp.parent.is_none() {
+        return; // local trust anchor
+    }
+    let ds_set = za.ds_set.clone();
+    if ds_set.is_empty() {
+        return; // unsigned delegation → insecure, handled by classify()
+    }
+    if za.dnskeys.is_empty() {
+        za.push(
+            ErrorCode::DnskeyMissingForDs,
+            None,
+            "parent serves DS but the zone returned no DNSKEY RRset".into(),
+        );
+        return;
+    }
+    let key_algorithms: BTreeSet<u8> = za.dnskeys.iter().map(|k| k.algorithm).collect();
+    let mut any_good_link = false;
+    for ds in &ds_set {
+        let tag_matches: Vec<Dnskey> = za
+            .dnskeys
+            .iter()
+            .filter(|k| k.key_tag() == ds.key_tag)
+            .cloned()
+            .collect();
+        if tag_matches.is_empty() {
+            if key_algorithms.contains(&ds.algorithm) {
+                // Stale DS pointing at a removed key of a live algorithm.
+                za.push(
+                    ErrorCode::DsDigestInvalid,
+                    None,
+                    format!("DS key_tag={} matches no DNSKEY", ds.key_tag),
+                );
+            } else {
+                za.push(
+                    ErrorCode::DsMissingKeyForAlgorithm,
+                    None,
+                    format!(
+                        "DS references algorithm {} with no DNSKEY (key_tag={})",
+                        ds.algorithm, ds.key_tag
+                    ),
+                );
+            }
+            continue;
+        }
+        for key in &tag_matches {
+            match check_ds(&za.zp.zone.clone(), ds, key) {
+                DsMatch::Match => {
+                    if key.is_revoked() {
+                        za.push(
+                            ErrorCode::DsReferencesRevokedKey,
+                            None,
+                            format!("DS key_tag={} references a revoked DNSKEY", ds.key_tag),
+                        );
+                    } else if !key.is_zone_key() {
+                        za.push(
+                            ErrorCode::DsDigestInvalid,
+                            None,
+                            format!("DS key_tag={} references a non-zone key", ds.key_tag),
+                        );
+                    } else {
+                        if !key.is_sep() {
+                            za.push(
+                                ErrorCode::NoSepForDsAlgorithm,
+                                None,
+                                format!(
+                                    "DS key_tag={} links a key without the SEP flag",
+                                    ds.key_tag
+                                ),
+                            );
+                        }
+                        any_good_link = true;
+                    }
+                }
+                DsMatch::DigestMismatch => za.push(
+                    ErrorCode::DsDigestInvalid,
+                    None,
+                    format!("DS digest mismatch for key_tag={}", ds.key_tag),
+                ),
+                DsMatch::AlgorithmMismatch => za.push(
+                    ErrorCode::DsAlgorithmMismatch,
+                    None,
+                    format!(
+                        "DS algorithm {} disagrees with DNSKEY algorithm for key_tag={}",
+                        ds.algorithm, ds.key_tag
+                    ),
+                ),
+                DsMatch::UnsupportedDigest => za.push(
+                    ErrorCode::DsUnknownDigestType,
+                    None,
+                    format!("DS digest type {} unsupported", ds.digest_type),
+                ),
+                DsMatch::TagMismatch => unreachable!("filtered by tag"),
+            }
+        }
+    }
+    if !any_good_link {
+        za.push(
+            ErrorCode::NoSecureEntryPoint,
+            None,
+            "no DS record authenticates any usable DNSKEY".into(),
+        );
+    }
+}
+
+fn map_verify_error(err: &VerifyError) -> ErrorCode {
+    match err {
+        VerifyError::Expired { .. } => ErrorCode::RrsigExpired,
+        VerifyError::NotYetValid { .. } => ErrorCode::RrsigNotYetValid,
+        VerifyError::BadSignature => ErrorCode::RrsigInvalid,
+        VerifyError::SignerMismatch { .. } => ErrorCode::RrsigSignerMismatch,
+        VerifyError::BadLabelCount { .. } => ErrorCode::RrsigLabelsExceedOwner,
+        VerifyError::BadSignatureLength { .. } => ErrorCode::RrsigBadLength,
+        VerifyError::Revoked => ErrorCode::RevokedKeyInUse,
+        VerifyError::NotZoneKey => ErrorCode::RrsigInvalidRdata,
+        VerifyError::KeyTagMismatch { .. } | VerifyError::AlgorithmMismatch { .. } => {
+            ErrorCode::RrsigInvalidRdata
+        }
+    }
+}
+
+/// Signature validation over every RRset each server returned.
+fn check_signatures(za: &mut ZoneAnalysis) {
+    let zone = za.zp.zone.clone();
+    // (name, type) → servers that served it signed / unsigned.
+    let mut signed_on: BTreeMap<(String, u16), Vec<bool>> = BTreeMap::new();
+    // Deduplicate identical findings across servers.
+    let mut seen: BTreeSet<(ErrorCode, String)> = BTreeSet::new();
+
+    let server_probes: Vec<ServerProbe> = za
+        .zp
+        .servers
+        .iter()
+        .filter(|s| s.responsive)
+        .cloned()
+        .collect();
+    for sp in &server_probes {
+        let keys = sp.dnskeys();
+        let keys = if keys.is_empty() { za.dnskeys.clone() } else { keys };
+        let mut messages: Vec<&Message> = Vec::new();
+        for m in [
+            &sp.soa,
+            &sp.ns,
+            &sp.dnskey,
+            &sp.nxdomain,
+            &sp.nxdomain_hi,
+            &sp.nodata,
+            &sp.nsec3param,
+        ].into_iter().flatten() {
+            messages.push(m);
+        }
+        for (_, m) in &sp.answers {
+            if let Some(m) = m {
+                messages.push(m);
+            }
+        }
+        let mut checked: BTreeSet<(String, u16)> = BTreeSet::new();
+        for msg in messages {
+            for section in [&msg.answers, &msg.authorities] {
+                for (set, sigs) in sets_with_sigs(section) {
+                    // Only this zone's data, and only signable sets.
+                    if !set.name.is_subdomain_of(&zone) || set.rtype == RrType::Rrsig {
+                        continue;
+                    }
+                    // A delegation NS set (authority section referral) is
+                    // legitimately unsigned; skip NS sets not at the apex.
+                    if set.rtype == RrType::Ns && set.name != zone {
+                        continue;
+                    }
+                    let key = (set.name.key(), set.rtype.code());
+                    if !checked.insert(key.clone()) {
+                        continue;
+                    }
+                    signed_on.entry(key).or_default().push(!sigs.is_empty());
+                    analyze_rrset(za, &set, &sigs, &keys, &mut seen);
+                }
+            }
+        }
+    }
+
+    // Cross-server missing-signature detection.
+    for ((name_key, type_code), flags) in &signed_on {
+        let missing = flags.iter().filter(|f| !**f).count();
+        if missing == 0 {
+            continue;
+        }
+        let rtype = RrType::from_code(*type_code);
+        let everywhere = missing == flags.len();
+        let code = if !everywhere {
+            ErrorCode::RrsigMissingFromServers
+        } else if rtype == RrType::Dnskey {
+            ErrorCode::RrsigMissingForDnskey
+        } else {
+            ErrorCode::RrsigMissing
+        };
+        if seen.insert((code, format!("{name_key}/{rtype}"))) {
+            za.push(
+                code,
+                Some(code.is_critical() && everywhere),
+                format!("{name_key} {rtype} lacks covering RRSIG"),
+            );
+        }
+    }
+}
+
+/// Validates one RRset's signatures against the zone's keys.
+fn analyze_rrset(
+    za: &mut ZoneAnalysis,
+    set: &RRset,
+    sigs: &[ddx_dns::Rrsig],
+    keys: &[Dnskey],
+    seen: &mut BTreeSet<(ErrorCode, String)>,
+) {
+    let zone = za.zp.zone.clone();
+    let now = za.now;
+    let _ = now;
+    if sigs.is_empty() {
+        return; // handled by the cross-server pass
+    }
+    let mut any_valid = false;
+    let mut failures: Vec<(ErrorCode, String)> = Vec::new();
+    for sig in sigs {
+        za.algorithms_in_sigs.insert(sig.algorithm);
+        let key = keys.iter().find(|k| k.key_tag() == sig.key_tag);
+        let Some(key) = key else {
+            let key_algos: BTreeSet<u8> = keys.iter().map(|k| k.algorithm).collect();
+            let code = if key_algos.contains(&sig.algorithm) {
+                ErrorCode::RrsigUnknownKeyTag
+            } else {
+                ErrorCode::RrsigAlgorithmWithoutDnskey
+            };
+            failures.push((
+                code,
+                format!(
+                    "{} {} RRSIG key_tag={} alg={} matches no DNSKEY",
+                    set.name, set.rtype, sig.key_tag, sig.algorithm
+                ),
+            ));
+            continue;
+        };
+        // The Original TTL comparison is independent of the cryptographic
+        // outcome (a served TTL above the signed original is wrong either
+        // way); a lower served TTL is fine (decremented caches).
+        if set.ttl > sig.original_ttl {
+            failures.push((
+                ErrorCode::OriginalTtlExceeded,
+                format!(
+                    "{} {} TTL {} exceeds RRSIG original TTL {}",
+                    set.name, set.rtype, set.ttl, sig.original_ttl
+                ),
+            ));
+        }
+        match verify_rrset(set, sig, key, &zone, now) {
+            Ok(()) => {
+                any_valid = true;
+                za.algorithms_seen_valid.insert(sig.algorithm);
+                if now.saturating_add(set.ttl) > sig.expiration {
+                    failures.push((
+                        ErrorCode::TtlBeyondSignatureExpiry,
+                        format!(
+                            "{} {} TTL {} outlives signature expiration",
+                            set.name, set.rtype, set.ttl
+                        ),
+                    ));
+                }
+            }
+            Err(err) => {
+                let code = map_verify_error(&err);
+                failures.push((code, format!("{} {}: {err}", set.name, set.rtype)));
+            }
+        }
+    }
+    for (code, detail) in failures {
+        if seen.insert((code, detail.clone())) {
+            // If some other signature fully validated this RRset, the
+            // failure does not break the authentication path.
+            let critical = code.is_critical() && !any_valid;
+            za.push(code, Some(critical), detail);
+        }
+    }
+}
+
+/// Negative-response (denial-of-existence) validation.
+fn check_denial(za: &mut ZoneAnalysis) {
+    let zone = za.zp.zone.clone();
+    let nx_name = zone.child(NX_PROBE_LABEL).expect("probe label");
+    let nx_name_hi = zone.child(NX_PROBE_LABEL_HI).expect("probe label");
+    let mut seen: BTreeSet<(ErrorCode, String)> = BTreeSet::new();
+    // Closest enclosers proven by each server, for consistency checking.
+    let mut ancestors: BTreeSet<String> = BTreeSet::new();
+
+    let servers: Vec<ServerProbe> = za
+        .zp
+        .servers
+        .iter()
+        .filter(|s| s.responsive)
+        .cloned()
+        .collect();
+    let uses_nsec3 = servers.iter().any(|sp| {
+        sp.nsec3param
+            .as_ref()
+            .map(|m| m.answers.iter().any(|r| r.rtype() == RrType::Nsec3Param))
+            .unwrap_or(false)
+            || sp
+                .nxdomain
+                .as_ref()
+                .map(|m| m.authorities.iter().any(|r| r.rtype() == RrType::Nsec3))
+                .unwrap_or(false)
+            || sp
+                .nodata
+                .as_ref()
+                .map(|m| m.authorities.iter().any(|r| r.rtype() == RrType::Nsec3))
+                .unwrap_or(false)
+    });
+
+    for sp in &servers {
+        // --- NXDOMAIN probes (low- and high-sorting labels) ---
+        for (nx, msg) in [(&nx_name, &sp.nxdomain), (&nx_name_hi, &sp.nxdomain_hi)] {
+            let Some(msg) = msg else { continue };
+            if msg.answers.is_empty() {
+                check_one_denial(
+                    za,
+                    &zone,
+                    nx,
+                    RrType::A,
+                    DenialKind::NxDomain,
+                    &msg.authorities,
+                    uses_nsec3,
+                    &mut seen,
+                );
+                if let Some(ce) = proven_closest_encloser(nx, &msg.authorities) {
+                    ancestors.insert(ce);
+                }
+            }
+        }
+        // --- NODATA probe ---
+        if let Some(msg) = &sp.nodata {
+            if msg.answers.is_empty() && msg.rcode == ddx_dns::Rcode::NoError {
+                check_one_denial(
+                    za,
+                    &zone,
+                    &zone.clone(),
+                    NODATA_PROBE_TYPE,
+                    DenialKind::NoData,
+                    &msg.authorities,
+                    uses_nsec3,
+                    &mut seen,
+                );
+            }
+        }
+        // --- chain-level NSEC/NSEC3 structural findings ---
+        let mut all_denial_records: Vec<Record> = Vec::new();
+        for m in [&sp.nxdomain, &sp.nxdomain_hi, &sp.nodata].into_iter().flatten() {
+            all_denial_records.extend(m.authorities.iter().cloned());
+        }
+        for (owner, nsec) in nsec_views(&all_denial_records) {
+            if owner.canonical_cmp(&nsec.next_name) == std::cmp::Ordering::Greater
+                && nsec.next_name != zone
+            {
+                let detail = format!("last NSEC at {owner} points to {}", nsec.next_name);
+                if seen.insert((ErrorCode::LastNsecNotApex, detail.clone())) {
+                    za.push(ErrorCode::LastNsecNotApex, None, detail);
+                }
+            }
+        }
+        let n3s = nsec3_views(&all_denial_records);
+        if !n3s.is_empty() {
+            if n3s.iter().any(|(_, n)| n.iterations > 0) {
+                let iters = n3s.iter().map(|(_, n)| n.iterations).max().unwrap_or(0);
+                let detail = format!("NSEC3 iterations={iters}");
+                if seen.insert((ErrorCode::Nsec3IterationsNonzero, detail.clone())) {
+                    za.push(ErrorCode::Nsec3IterationsNonzero, None, detail);
+                }
+            }
+            let flags: BTreeSet<u8> = n3s.iter().map(|(_, n)| n.flags & 0x01).collect();
+            if flags.len() > 1 {
+                let detail = "opt-out flag inconsistent across chain".to_string();
+                if seen.insert((ErrorCode::Nsec3OptOutViolation, detail.clone())) {
+                    za.push(ErrorCode::Nsec3OptOutViolation, None, detail);
+                }
+            }
+            // NSEC3PARAM agreement.
+            if let Some(pmsg) = &sp.nsec3param {
+                for rec in &pmsg.answers {
+                    if let RData::Nsec3Param(p) = &rec.rdata {
+                        let mismatch = n3s.iter().any(|(_, n)| {
+                            n.iterations != p.iterations || n.salt != p.salt
+                        });
+                        if mismatch {
+                            let detail = format!(
+                                "NSEC3PARAM iterations={} salt_len={} disagrees with chain",
+                                p.iterations,
+                                p.salt.len()
+                            );
+                            if seen.insert((ErrorCode::Nsec3ParamMismatch, detail.clone())) {
+                                za.push(ErrorCode::Nsec3ParamMismatch, None, detail);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if ancestors.len() > 1 {
+        za.push(
+            ErrorCode::Nsec3InconsistentAncestor,
+            None,
+            format!("servers prove different closest enclosers: {ancestors:?}"),
+        );
+    }
+}
+
+/// The closest encloser a response's NSEC3 records actually match for
+/// `qname`, as a map key (None for NSEC zones / no match).
+fn proven_closest_encloser(qname: &Name, records: &[Record]) -> Option<String> {
+    let n3s = nsec3_views(records);
+    if n3s.is_empty() {
+        return None;
+    }
+    let (salt, iterations) = {
+        let n = &n3s[0].1;
+        (n.salt.clone(), n.iterations)
+    };
+    let mut candidate = Some(qname.clone());
+    while let Some(c) = candidate {
+        let h = nsec3_hash(&c, &salt, iterations);
+        let matches = n3s.iter().any(|(owner, _)| {
+            owner
+                .labels()
+                .first()
+                .and_then(|l| std::str::from_utf8(l.as_bytes()).ok())
+                .and_then(ddx_dns::base32::decode)
+                .map(|oh| oh == h)
+                .unwrap_or(false)
+        });
+        if matches {
+            return Some(c.key());
+        }
+        candidate = c.parent();
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_one_denial(
+    za: &mut ZoneAnalysis,
+    zone: &Name,
+    qname: &Name,
+    qtype: RrType,
+    kind: DenialKind,
+    authorities: &[Record],
+    uses_nsec3: bool,
+    seen: &mut BTreeSet<(ErrorCode, String)>,
+) {
+    let nsecs = nsec_views(authorities);
+    let n3s = nsec3_views(authorities);
+    let mut emit = |za: &mut ZoneAnalysis, code: ErrorCode, detail: String| {
+        if seen.insert((code, detail.clone())) {
+            za.push(code, None, detail);
+        }
+    };
+    if nsecs.is_empty() && n3s.is_empty() {
+        let code = if uses_nsec3 {
+            ErrorCode::Nsec3ProofMissing
+        } else {
+            ErrorCode::NsecProofMissing
+        };
+        emit(za, code, format!("no denial records for {qname} {qtype} ({kind:?})"));
+        return;
+    }
+    if !n3s.is_empty() {
+        let refs: Vec<(&Name, &Nsec3)> = n3s.iter().map(|(o, n)| (o, n)).collect();
+        if let Err(fail) = verify_nsec3_denial(qname, qtype, kind, &refs, zone) {
+            let (code, detail) = match fail {
+                DenialFailure::MissingProof => {
+                    (ErrorCode::Nsec3ProofMissing, "no NSEC3 proof".into())
+                }
+                DenialFailure::BadCoverage => (
+                    ErrorCode::Nsec3CoverageBroken,
+                    format!("no NSEC3 RR covers {qname}"),
+                ),
+                DenialFailure::BitmapAssertsType(t) => (
+                    ErrorCode::Nsec3BitmapAssertsType,
+                    format!("NSEC3 bitmap asserts {t} at {qname}"),
+                ),
+                DenialFailure::MissingClosestEncloser => (
+                    ErrorCode::Nsec3NoClosestEncloser,
+                    format!("no closest-encloser match for {qname}"),
+                ),
+                DenialFailure::MissingWildcardProof => (
+                    ErrorCode::Nsec3MissingWildcardProof,
+                    format!("wildcard absence unproven for {qname}"),
+                ),
+                DenialFailure::InvalidOwnerName(n) => (
+                    ErrorCode::Nsec3OwnerNotBase32,
+                    format!("invalid NSEC3 owner {n}"),
+                ),
+                DenialFailure::InvalidHashLength(l) => (
+                    ErrorCode::Nsec3HashInvalidLength,
+                    format!("NSEC3 hash length {l}"),
+                ),
+                DenialFailure::UnsupportedAlgorithm(a) => (
+                    ErrorCode::Nsec3UnsupportedAlgorithm,
+                    format!("NSEC3 hash algorithm {a}"),
+                ),
+            };
+            emit(za, code, detail);
+        }
+    }
+    if !nsecs.is_empty() {
+        let refs: Vec<(&Name, &Nsec)> = nsecs.iter().map(|(o, n)| (o, n)).collect();
+        if let Err(fail) = verify_nsec_denial(qname, qtype, kind, &refs, zone) {
+            let (code, detail) = match fail {
+                DenialFailure::MissingProof => {
+                    (ErrorCode::NsecProofMissing, "no NSEC proof".into())
+                }
+                DenialFailure::BadCoverage => (
+                    ErrorCode::NsecCoverageBroken,
+                    format!("no NSEC RR covers {qname}"),
+                ),
+                DenialFailure::BitmapAssertsType(t) => (
+                    ErrorCode::NsecBitmapAssertsType,
+                    format!("NSEC bitmap asserts {t} at {qname}"),
+                ),
+                DenialFailure::MissingWildcardProof => (
+                    ErrorCode::NsecMissingWildcardProof,
+                    format!("wildcard absence unproven for {qname}"),
+                ),
+                other => (
+                    ErrorCode::NsecCoverageBroken,
+                    format!("unexpected NSEC failure {other:?} for {qname}"),
+                ),
+            };
+            emit(za, code, detail);
+        }
+    }
+}
+
+/// RFC 6840 §5.11 algorithm-completeness checks.
+fn check_algorithm_completeness(za: &mut ZoneAnalysis) {
+    if za.algorithms_in_sigs.is_empty() && za.dnskeys.is_empty() {
+        return;
+    }
+    let key_algorithms: BTreeSet<u8> = za.dnskeys.iter().map(|k| k.algorithm).collect();
+    let sig_algorithms = za.algorithms_in_sigs.clone();
+    let ds_algorithms: BTreeSet<u8> = za.ds_set.iter().map(|d| d.algorithm).collect();
+
+    for alg in &key_algorithms {
+        if !sig_algorithms.contains(alg) {
+            za.push(
+                ErrorCode::DnskeyAlgorithmWithoutRrsig,
+                None,
+                format!("DNSKEY algorithm {alg} signs no RRset"),
+            );
+        }
+    }
+    for alg in &ds_algorithms {
+        if key_algorithms.contains(alg) && !sig_algorithms.contains(alg) {
+            za.push(
+                ErrorCode::DsAlgorithmWithoutRrsig,
+                None,
+                format!("DS algorithm {alg} has no covering RRSIG"),
+            );
+        }
+    }
+    // RRSIG algorithms with no DNSKEY at all (when not already reported at
+    // the signature level — e.g. all sigs of that algorithm were skipped).
+    for alg in &sig_algorithms {
+        if !key_algorithms.contains(alg) && !za.has(ErrorCode::RrsigAlgorithmWithoutDnskey) {
+            za.push(
+                ErrorCode::RrsigAlgorithmWithoutDnskey,
+                None,
+                format!("RRSIG algorithm {alg} has no DNSKEY"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{probe, ProbeConfig};
+    use ddx_dns::name;
+    use ddx_dnssec::{
+        make_ds, resign_rrset, sigs_covering, DigestType, KeyRole, Nsec3Config, SignOptions,
+    };
+    use ddx_server::{build_sandbox, Sandbox, ServerBehavior, ZoneSpec};
+
+    const NOW: u32 = 1_000_000;
+
+    fn standard_sandbox(nsec3: Option<Nsec3Config>) -> Sandbox {
+        let mut leaf = ZoneSpec::conventional(name("chd.par.a.com"));
+        leaf.nsec3 = nsec3;
+        build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+                leaf,
+            ],
+            NOW,
+            11,
+        )
+    }
+
+    fn cfg_for(sb: &Sandbox) -> ProbeConfig {
+        ProbeConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            query_domain: sb.leaf().apex.child("www").unwrap(),
+            target_types: vec![RrType::A],
+            time: NOW,
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+        }
+    }
+
+    fn run(sb: &Sandbox) -> GrokReport {
+        grok(&probe(&sb.testbed, &cfg_for(sb)))
+    }
+
+    #[test]
+    fn healthy_nsec_hierarchy_is_sv() {
+        let sb = standard_sandbox(None);
+        let report = run(&sb);
+        assert!(report.clean(), "unexpected errors: {:#?}", report.codes());
+        assert_eq!(report.status, SnapshotStatus::Sv);
+        assert_eq!(report.zones.len(), 3);
+        assert!(report.zones.iter().all(|z| z.signed));
+    }
+
+    #[test]
+    fn healthy_nsec3_hierarchy_is_sv() {
+        let sb = standard_sandbox(Some(Nsec3Config::default()));
+        let report = run(&sb);
+        assert!(report.clean(), "unexpected errors: {:#?}", report.codes());
+        assert_eq!(report.status, SnapshotStatus::Sv);
+    }
+
+    #[test]
+    fn nzic_yields_svm() {
+        let sb = standard_sandbox(Some(Nsec3Config {
+            iterations: 10,
+            ..Default::default()
+        }));
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Svm);
+        assert!(report.codes().contains(&ErrorCode::Nsec3IterationsNonzero));
+        assert!(report
+            .target_zone_codes()
+            .contains(&ErrorCode::Nsec3IterationsNonzero));
+    }
+
+    #[test]
+    fn expired_signature_is_sb() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let zsk = sb.zone(&apex).unwrap().ring.active(KeyRole::Zsk, NOW)[0].clone();
+        let www = apex.child("www").unwrap();
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            resign_rrset(
+                zone,
+                &www,
+                RrType::A,
+                &zsk,
+                SignOptions {
+                    inception: 0,
+                    expiration: NOW - 100,
+                },
+            );
+        });
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sb);
+        assert!(report.codes().contains(&ErrorCode::RrsigExpired));
+    }
+
+    #[test]
+    fn removed_ds_is_insecure() {
+        let mut sb = standard_sandbox(None);
+        sb.set_ds(&name("chd.par.a.com"), vec![], NOW);
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Is);
+    }
+
+    #[test]
+    fn corrupted_ds_digest_is_sb() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let ksk = sb.zone(&apex).unwrap().ring.active(KeyRole::Ksk, NOW)[0].clone();
+        let mut ds = make_ds(&apex, &ksk.dnskey, DigestType::Sha256);
+        ds.digest[0] ^= 0xFF;
+        sb.set_ds(&apex, vec![ds], NOW);
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sb);
+        let codes = report.codes();
+        assert!(codes.contains(&ErrorCode::DsDigestInvalid));
+        assert!(codes.contains(&ErrorCode::NoSecureEntryPoint));
+    }
+
+    #[test]
+    fn ds_for_absent_algorithm() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let ksk = sb.zone(&apex).unwrap().ring.active(KeyRole::Ksk, NOW)[0].clone();
+        let good = make_ds(&apex, &ksk.dnskey, DigestType::Sha256);
+        // Extraneous DS referencing RSASHA512 (no such key in the zone).
+        let bogus = ddx_dns::Ds {
+            key_tag: 4242,
+            algorithm: 10,
+            digest_type: 2,
+            digest: vec![0xAB; 32],
+        };
+        sb.set_ds(&apex, vec![good, bogus], NOW);
+        let report = run(&sb);
+        let codes = report.codes();
+        assert!(codes.contains(&ErrorCode::DsMissingKeyForAlgorithm));
+        // A good link still exists, so no NoSecureEntryPoint...
+        assert!(!codes.contains(&ErrorCode::NoSecureEntryPoint));
+        assert_eq!(report.status, SnapshotStatus::Sb);
+    }
+
+    #[test]
+    fn dnskey_missing_for_ds() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            zone.strip_type(RrType::Dnskey);
+        });
+        let report = run(&sb);
+        assert!(report.codes().contains(&ErrorCode::DnskeyMissingForDs));
+        assert_eq!(report.status, SnapshotStatus::Sb);
+    }
+
+    #[test]
+    fn inconsistent_dnskey_between_servers() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let zsk = sb.zone(&apex).unwrap().ring.active(KeyRole::Zsk, NOW)[0].clone();
+        // Remove the ZSK DNSKEY record from server #0 only.
+        let id = sb.zone(&apex).unwrap().servers[0].clone();
+        sb.testbed
+            .server_mut(&id)
+            .unwrap()
+            .zone_mut(&apex)
+            .unwrap()
+            .remove_rdata(&apex, &RData::Dnskey(zsk.dnskey.clone()));
+        let report = run(&sb);
+        assert!(report
+            .codes()
+            .contains(&ErrorCode::DnskeyMissingFromServers));
+    }
+
+    #[test]
+    fn missing_rrsig_is_sb() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let www = apex.child("www").unwrap();
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            ddx_dnssec::remove_sigs_covering(zone, &www, RrType::A);
+        });
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sb);
+        assert!(report.codes().contains(&ErrorCode::RrsigMissing));
+    }
+
+    #[test]
+    fn rrsig_missing_from_one_server_only() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let www = apex.child("www").unwrap();
+        let id = sb.zone(&apex).unwrap().servers[0].clone();
+        let zone = sb
+            .testbed
+            .server_mut(&id)
+            .unwrap()
+            .zone_mut(&apex)
+            .unwrap();
+        ddx_dnssec::remove_sigs_covering(zone, &www, RrType::A);
+        let report = run(&sb);
+        assert!(report
+            .codes()
+            .contains(&ErrorCode::RrsigMissingFromServers));
+        // The other server still serves a valid path.
+        assert_ne!(report.status, SnapshotStatus::Sv);
+    }
+
+    #[test]
+    fn stripped_nsec_chain_breaks_denial() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            zone.strip_type(RrType::Nsec);
+        });
+        let report = run(&sb);
+        assert!(report.codes().contains(&ErrorCode::NsecProofMissing));
+        assert_eq!(report.status, SnapshotStatus::Sb);
+    }
+
+    #[test]
+    fn revoked_sole_ksk() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        {
+            let z = sb.zone_mut(&apex).unwrap();
+            let tag = z.ring.active(KeyRole::Ksk, NOW)[0].key_tag();
+            z.ring.by_tag_mut(tag).unwrap().revoke();
+        }
+        sb.resign_zone(&apex, NOW).unwrap();
+        let report = run(&sb);
+        let codes = report.codes();
+        assert!(
+            codes.contains(&ErrorCode::DnskeyRevokedNoOtherSep),
+            "got {codes:?}"
+        );
+        // The old DS now points at a key whose tag changed → broken entry.
+        assert_eq!(report.status, SnapshotStatus::Sb);
+    }
+
+    #[test]
+    fn lame_leaf_is_lm() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        for id in sb.zone(&apex).unwrap().servers.clone() {
+            sb.testbed.server_mut(&id).unwrap().behavior = ServerBehavior::Unresponsive;
+        }
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Lm);
+    }
+
+    #[test]
+    fn missing_delegation_is_ic() {
+        let mut sb = standard_sandbox(None);
+        let leaf = name("chd.par.a.com");
+        let parent = name("par.a.com");
+        sb.testbed.mutate_zone_everywhere(&parent, |zone| {
+            zone.remove(&leaf, RrType::Ns);
+            zone.remove(&leaf, RrType::Ds);
+        });
+        sb.resign_zone(&parent, NOW).unwrap();
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Ic);
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let sb = standard_sandbox(None);
+        let report = run(&sb);
+        let json = report.to_json();
+        let back = GrokReport::from_json(&json).unwrap();
+        assert_eq!(back.status, report.status);
+        assert_eq!(back.zones.len(), report.zones.len());
+    }
+
+    #[test]
+    fn incomplete_algorithm_setup_detected() {
+        let mut sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        // Publish an extra RSASHA256 DNSKEY that signs nothing.
+        let extra = ddx_dnssec::KeyPair::generate(
+            &mut rand::rngs::StdRng::seed_from_u64(99),
+            apex.clone(),
+            ddx_dnssec::Algorithm::RsaSha256,
+            2048,
+            KeyRole::Zsk,
+            NOW,
+        );
+        use rand::SeedableRng;
+        let dnskey = extra.dnskey.clone();
+        let zsk = sb.zone(&apex).unwrap().ring.active(KeyRole::Zsk, NOW)[0].clone();
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            zone.add(ddx_dns::Record::new(
+                apex.clone(),
+                ddx_dnssec::DNSKEY_TTL,
+                RData::Dnskey(dnskey.clone()),
+            ));
+            // Re-sign the DNSKEY RRset so it stays valid.
+            resign_rrset(
+                zone,
+                &apex,
+                RrType::Dnskey,
+                &zsk,
+                SignOptions {
+                    inception: NOW - 3600,
+                    expiration: NOW + 86_400,
+                },
+            );
+        });
+        let report = run(&sb);
+        assert!(report
+            .codes()
+            .contains(&ErrorCode::DnskeyAlgorithmWithoutRrsig));
+        // Should be tolerated (svm), not bogus.
+        assert_eq!(report.status, SnapshotStatus::Svm);
+    }
+
+    #[test]
+    fn sigs_survive_probe_encoding() {
+        // Sanity: the signatures the sandbox produces verify through the
+        // whole probe path (no canonicalization drift).
+        let sb = standard_sandbox(None);
+        let apex = name("chd.par.a.com");
+        let server_zone = sb
+            .testbed
+            .server(&sb.zone(&apex).unwrap().servers[0])
+            .unwrap()
+            .zone(&apex)
+            .unwrap();
+        assert!(!sigs_covering(server_zone, &apex, RrType::Soa).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod warning_tests {
+    use super::*;
+    use crate::codes::WarningCode;
+    use crate::probe::{probe, ProbeConfig};
+    use ddx_dns::name;
+    use ddx_dnssec::Nsec3Config;
+    use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+    const NOW: u32 = 1_000_000;
+
+    fn run(sb: &Sandbox) -> GrokReport {
+        let cfg = ProbeConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            query_domain: sb.leaf().apex.child("www").unwrap(),
+            target_types: vec![RrType::A],
+            time: NOW,
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+        };
+        grok(&probe(&sb.testbed, &cfg))
+    }
+
+    #[test]
+    fn salted_nsec3_yields_warning_not_error() {
+        let mut leaf = ZoneSpec::conventional(name("par.a.com"));
+        leaf.nsec3 = Some(Nsec3Config {
+            iterations: 0,
+            salt: vec![0x8d, 0x45],
+            ..Default::default()
+        });
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), leaf], NOW, 81);
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+        let leaf_report = report.zones.last().unwrap();
+        assert!(leaf_report.warnings.contains(&WarningCode::Nsec3SaltPresent));
+    }
+
+    #[test]
+    fn sha1_ds_yields_warning() {
+        let mut leaf = ZoneSpec::conventional(name("par.a.com"));
+        leaf.ds_digests = vec![ddx_dnssec::DigestType::Sha1];
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), leaf], NOW, 82);
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+        assert!(report
+            .zones
+            .last()
+            .unwrap()
+            .warnings
+            .contains(&WarningCode::Sha1DsDigest));
+    }
+
+    #[test]
+    fn single_key_zone_warned() {
+        let mut leaf = ZoneSpec::conventional(name("par.a.com"));
+        leaf.keys = vec![(ddx_dnssec::KeyRole::Ksk, ddx_dnssec::Algorithm::EcdsaP256Sha256, 256)];
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), leaf], NOW, 83);
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+        assert!(report
+            .zones
+            .last()
+            .unwrap()
+            .warnings
+            .contains(&WarningCode::SingleKeyZone));
+    }
+
+    #[test]
+    fn clean_conventional_zone_has_no_warnings() {
+        let sb = build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+            ],
+            NOW,
+            84,
+        );
+        let report = run(&sb);
+        for z in &report.zones {
+            assert!(z.warnings.is_empty(), "{:?}", z.warnings);
+        }
+    }
+}
+
+#[cfg(test)]
+mod attribution_tests {
+    use super::*;
+    use crate::probe::{probe, ProbeConfig};
+    use ddx_dns::name;
+    use ddx_dnssec::{resign_rrset, KeyRole, SignOptions};
+    use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+    const NOW: u32 = 1_000_000;
+
+    fn three_level() -> Sandbox {
+        build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+                ZoneSpec::conventional(name("chd.par.a.com")),
+            ],
+            NOW,
+            91,
+        )
+    }
+
+    fn run(sb: &Sandbox) -> GrokReport {
+        let cfg = ProbeConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            query_domain: name("www.chd.par.a.com"),
+            target_types: vec![RrType::A],
+            time: NOW,
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+        };
+        grok(&probe(&sb.testbed, &cfg))
+    }
+
+    #[test]
+    fn parent_zone_errors_attributed_to_parent() {
+        let mut sb = three_level();
+        // Break the PARENT's apex SOA signature.
+        let parent = name("par.a.com");
+        let zsk = sb.zone(&parent).unwrap().ring.active(KeyRole::Zsk, NOW)[0].clone();
+        sb.testbed.mutate_zone_everywhere(&parent, |zone| {
+            resign_rrset(
+                zone,
+                &parent,
+                RrType::Soa,
+                &zsk,
+                SignOptions {
+                    inception: 0,
+                    expiration: NOW - 5,
+                },
+            );
+        });
+        let report = run(&sb);
+        assert_eq!(report.status, SnapshotStatus::Sb);
+        // The expired-signature error belongs to par.a.com, not to the leaf.
+        let offender = report
+            .errors()
+            .find(|e| e.code == ErrorCode::RrsigExpired)
+            .expect("error found");
+        assert_eq!(offender.zone, parent);
+        // And the leaf-zone extraction (what ZReplicator would be fed) is
+        // clean — the paper's replication is leaf-scoped (§5.5.1).
+        assert!(
+            !report
+                .target_zone_codes()
+                .contains(&ErrorCode::RrsigExpired),
+            "{:?}",
+            report.target_zone_codes()
+        );
+    }
+
+    #[test]
+    fn anchor_zone_is_marked() {
+        let sb = three_level();
+        let report = run(&sb);
+        assert!(report.zones[0].is_anchor);
+        assert!(!report.zones[1].is_anchor);
+        assert!(!report.zones[2].is_anchor);
+        assert!(report.zones[1].has_ds);
+        assert!(report.zones[2].has_ds);
+    }
+}
+
+impl GrokReport {
+    /// Renders the report as the indented, per-zone text DNSViz-style
+    /// output operators read (`dnsviz print` analogue).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} @{}: status {}",
+            self.query_domain, self.time, self.status
+        );
+        for z in &self.zones {
+            let role = if z.is_anchor {
+                "trust anchor"
+            } else if z.signed && z.has_ds {
+                "signed, delegated"
+            } else if z.signed {
+                "signed, NO DS"
+            } else {
+                "unsigned"
+            };
+            let _ = writeln!(out, "  zone {} [{role}]", z.zone);
+            for e in &z.errors {
+                let _ = writeln!(
+                    out,
+                    "    E{} {}: {}",
+                    if e.critical { "!" } else { " " },
+                    e.code,
+                    e.detail
+                );
+            }
+            for w in &z.warnings {
+                let _ = writeln!(out, "    W  {}: {}", w, w.message());
+            }
+            if z.errors.is_empty() && z.warnings.is_empty() {
+                let _ = writeln!(out, "    ok");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::probe::{probe, ProbeConfig};
+    use ddx_dns::name;
+    use ddx_server::{build_sandbox, ZoneSpec};
+
+    #[test]
+    fn render_text_mentions_every_zone_and_error() {
+        let sb = build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+            ],
+            1_000_000,
+            95,
+        );
+        let cfg = ProbeConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            query_domain: name("www.par.a.com"),
+            target_types: vec![RrType::A],
+            time: 1_000_000,
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+        };
+        let report = grok(&probe(&sb.testbed, &cfg));
+        let text = report.render_text();
+        assert!(text.contains("a.com. [trust anchor]"));
+        assert!(text.contains("par.a.com. [signed, delegated]"));
+        assert!(text.contains("status sv"));
+        assert!(text.contains("ok"));
+    }
+}
+
+#[cfg(test)]
+mod json_schema_tests {
+    use super::*;
+    use crate::probe::{probe, ProbeConfig};
+    use ddx_dns::name;
+    use ddx_server::{build_sandbox, ZoneSpec};
+
+    /// The JSON shape downstream consumers depend on (CLI --json, the
+    /// snapshot pipeline): spot-check stable field names.
+    #[test]
+    fn report_json_field_names_are_stable() {
+        let sb = build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+            ],
+            1_000_000,
+            97,
+        );
+        let cfg = ProbeConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            query_domain: name("www.par.a.com"),
+            target_types: vec![RrType::A],
+            time: 1_000_000,
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+        };
+        let report = grok(&probe(&sb.testbed, &cfg));
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert!(v.get("query_domain").is_some());
+        assert!(v.get("time").is_some());
+        assert_eq!(v["status"], "Sv");
+        let zones = v["zones"].as_array().unwrap();
+        assert_eq!(zones.len(), 2);
+        for z in zones {
+            for field in ["zone", "signed", "has_ds", "is_anchor", "errors", "warnings"] {
+                assert!(z.get(field).is_some(), "missing field {field}");
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The `dnsviz probe` analogue: starting from a local trust anchor, walk
+//! the delegation chain toward the query domain, interrogating **every**
+//! authoritative server of every zone cut for its DNSSEC material, negative
+//! responses, and (at the query zone) the target RRsets.
+
+use ddx_dns::{Message, Name, RData, RrType};
+use ddx_server::{Network, ServerId};
+
+/// The label probed to elicit an NXDOMAIN (DNSViz queries random
+/// non-existent sub-labels; ours is fixed and reserved — nothing in the
+/// testbed ever creates it).
+pub const NX_PROBE_LABEL: &str = "dnsviz-nx-probe";
+
+/// A second, high-sorting non-existent label, so the *wrap-around* denial
+/// record (last NSEC → apex) is also exercised.
+pub const NX_PROBE_LABEL_HI: &str = "zzz-dnsviz-nx-probe";
+
+/// Private-use RR type queried to elicit a NODATA at an existing name.
+pub const NODATA_PROBE_TYPE: RrType = RrType::Unknown(65280);
+
+/// What to probe.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Apex of the locally-trusted anchor zone (the sandbox "root").
+    pub anchor_zone: Name,
+    /// Servers authoritative for the anchor.
+    pub anchor_servers: Vec<ServerId>,
+    /// The domain under diagnosis (paper: Query Domain).
+    pub query_domain: Name,
+    /// RR types queried at the query domain.
+    pub target_types: Vec<RrType>,
+    /// Probe timestamp (simulation clock).
+    pub time: u32,
+    /// Known zone → servers hints (from the operator or a previous run).
+    /// When the delegation walk cannot reach a hinted zone that should sit
+    /// on the path, the prober contacts its servers directly — this is how
+    /// an *incomplete delegation* (`ic`) becomes observable.
+    pub hints: Vec<(Name, Vec<ServerId>)>,
+}
+
+/// Everything one authoritative server said about one zone.
+#[derive(Debug, Clone)]
+pub struct ServerProbe {
+    pub server: ServerId,
+    /// False when every query timed out.
+    pub responsive: bool,
+    pub soa: Option<Message>,
+    pub ns: Option<Message>,
+    pub dnskey: Option<Message>,
+    /// Response to the non-existent-label query.
+    pub nxdomain: Option<Message>,
+    /// Response to the high-sorting non-existent-label query.
+    pub nxdomain_hi: Option<Message>,
+    /// Response to the NODATA probe at the apex.
+    pub nodata: Option<Message>,
+    /// NSEC3PARAM query at the apex (reveals the zone's declared NSEC3
+    /// parameters, if any).
+    pub nsec3param: Option<Message>,
+    /// Target answers; populated only at the query zone.
+    pub answers: Vec<(RrType, Option<Message>)>,
+}
+
+impl ServerProbe {
+    /// The DNSKEY records this server returned, if any.
+    pub fn dnskeys(&self) -> Vec<ddx_dns::Dnskey> {
+        self.dnskey
+            .as_ref()
+            .map(|m| {
+                m.answers
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Dnskey(k) => Some(k.clone()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Everything learned about one zone cut.
+#[derive(Debug, Clone)]
+pub struct ZoneProbe {
+    pub zone: Name,
+    pub parent: Option<Name>,
+    /// NS names from the parent-side referral (empty at the anchor).
+    pub delegation_ns: Vec<Name>,
+    /// NS hostnames that did not resolve to any server.
+    pub unresolved_ns: Vec<Name>,
+    /// DS responses gathered from each parent-zone server.
+    pub ds_responses: Vec<(ServerId, Option<Message>)>,
+    pub servers: Vec<ServerProbe>,
+    /// True when the walk could not find this zone through the parent (no
+    /// delegation NS) and it was only reachable via a hint — the paper's
+    /// `ic` (incomplete) condition.
+    pub orphaned: bool,
+}
+
+impl ZoneProbe {
+    /// True if every known server failed to respond or the zone has no
+    /// resolvable servers at all — the paper's `lm` (lame) condition.
+    pub fn is_lame(&self) -> bool {
+        self.servers.is_empty() || self.servers.iter().all(|s| !s.responsive)
+    }
+}
+
+/// The complete probe output for one query domain.
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    pub query_domain: Name,
+    pub time: u32,
+    /// Zone cuts, anchor first, query zone last.
+    pub zones: Vec<ZoneProbe>,
+}
+
+impl ProbeResult {
+    /// The zone containing the query domain (deepest probed cut).
+    pub fn query_zone(&self) -> Option<&ZoneProbe> {
+        self.zones.last()
+    }
+}
+
+fn ask(net: &dyn Network, server: &ServerId, id: u16, qname: &Name, qtype: RrType) -> Option<Message> {
+    net.query(server, &Message::query(id, qname.clone(), qtype))
+}
+
+/// Probes one server for one zone's material.
+fn probe_server(
+    net: &dyn Network,
+    server: &ServerId,
+    zone: &Name,
+    targets: Option<(&Name, &[RrType])>,
+) -> ServerProbe {
+    let soa = ask(net, server, 1, zone, RrType::Soa);
+    let ns = ask(net, server, 2, zone, RrType::Ns);
+    let dnskey = ask(net, server, 3, zone, RrType::Dnskey);
+    let nx_name = zone.child(NX_PROBE_LABEL).expect("probe label fits");
+    let nxdomain = ask(net, server, 4, &nx_name, RrType::A);
+    let nx_hi = zone.child(NX_PROBE_LABEL_HI).expect("probe label fits");
+    let nxdomain_hi = ask(net, server, 9, &nx_hi, RrType::A);
+    let nodata = ask(net, server, 5, zone, NODATA_PROBE_TYPE);
+    let nsec3param = ask(net, server, 8, zone, RrType::Nsec3Param);
+    let mut answers = Vec::new();
+    if let Some((qname, types)) = targets {
+        for (i, t) in types.iter().enumerate() {
+            answers.push((*t, ask(net, server, 10 + i as u16, qname, *t)));
+        }
+    }
+    let responsive =
+        soa.is_some() || ns.is_some() || dnskey.is_some() || nxdomain.is_some() || nodata.is_some();
+    ServerProbe {
+        server: server.clone(),
+        responsive,
+        soa,
+        ns,
+        dnskey,
+        nxdomain,
+        nxdomain_hi,
+        nodata,
+        nsec3param,
+        answers,
+    }
+}
+
+/// Finds the next delegation cut between `zone` and `qname` by asking the
+/// zone's servers for the query domain and reading the referral.
+fn next_cut(net: &dyn Network, servers: &[ServerId], qname: &Name, zone: &Name) -> Option<(Name, Vec<Name>)> {
+    for server in servers {
+        let Some(resp) = ask(net, server, 6, qname, RrType::A) else {
+            continue;
+        };
+        // A referral: NS records in authority owned by a strict descendant
+        // of the current zone (and ancestor-or-self of qname).
+        let mut cut: Option<Name> = None;
+        let mut ns_names = Vec::new();
+        for rec in &resp.authorities {
+            if let RData::Ns(host) = &rec.rdata {
+                if rec.name.is_strict_subdomain_of(zone) && qname.is_subdomain_of(&rec.name) {
+                    cut = Some(rec.name.clone());
+                    ns_names.push(host.clone());
+                }
+            }
+        }
+        if let Some(cut) = cut {
+            return Some((cut, ns_names));
+        }
+    }
+    None
+}
+
+/// Runs the full probe walk.
+pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
+    let mut zones = Vec::new();
+    let mut zone = cfg.anchor_zone.clone();
+    let mut servers = cfg.anchor_servers.clone();
+    let mut parent: Option<Name> = None;
+    let mut delegation_ns: Vec<Name> = Vec::new();
+    let mut unresolved: Vec<Name> = Vec::new();
+    let mut ds_responses: Vec<(ServerId, Option<Message>)> = Vec::new();
+
+    for _depth in 0..16 {
+        // Is this the query zone (no further cut toward the target)?
+        let cut = next_cut(net, &servers, &cfg.query_domain, &zone);
+        let is_query_zone = cut.is_none();
+        let targets = if is_query_zone {
+            Some((&cfg.query_domain, &cfg.target_types[..]))
+        } else {
+            None
+        };
+        let server_probes: Vec<ServerProbe> = servers
+            .iter()
+            .map(|s| probe_server(net, s, &zone, targets))
+            .collect();
+        zones.push(ZoneProbe {
+            zone: zone.clone(),
+            parent: parent.clone(),
+            delegation_ns: delegation_ns.clone(),
+            unresolved_ns: unresolved.clone(),
+            ds_responses: ds_responses.clone(),
+            servers: server_probes,
+            orphaned: false,
+        });
+
+        let Some((cut, ns_names)) = cut else {
+            break;
+        };
+        // Gather DS for the child from every parent server.
+        ds_responses = servers
+            .iter()
+            .map(|s| (s.clone(), ask(net, s, 7, &cut, RrType::Ds)))
+            .collect();
+        // Resolve the child's nameservers.
+        let mut next_servers = Vec::new();
+        let mut next_unresolved = Vec::new();
+        for host in &ns_names {
+            match net.resolve_ns(host) {
+                Some(id) if !next_servers.contains(&id) => next_servers.push(id),
+                Some(_) => {}
+                None => next_unresolved.push(host.clone()),
+            }
+        }
+        parent = Some(zone);
+        zone = cut;
+        delegation_ns = ns_names;
+        unresolved = next_unresolved;
+        servers = next_servers;
+        if servers.is_empty() {
+            // Fully lame delegation: record the empty zone probe and stop.
+            zones.push(ZoneProbe {
+                zone: zone.clone(),
+                parent: parent.clone(),
+                delegation_ns: delegation_ns.clone(),
+                unresolved_ns: unresolved.clone(),
+                ds_responses: ds_responses.clone(),
+                servers: Vec::new(),
+                orphaned: false,
+            });
+            break;
+        }
+    }
+
+    // Hint pass: a hinted zone on the query path that the walk never reached
+    // (its delegation is missing from the parent) gets probed directly and
+    // recorded as orphaned.
+    let deepest = zones.last().map(|z| z.zone.clone());
+    if let Some(deepest) = deepest {
+        let mut missing: Vec<&(Name, Vec<ServerId>)> = cfg
+            .hints
+            .iter()
+            .filter(|(z, _)| {
+                cfg.query_domain.is_subdomain_of(z)
+                    && z.is_strict_subdomain_of(&deepest)
+                    && zones.iter().all(|zp| zp.zone != *z)
+            })
+            .collect();
+        missing.sort_by_key(|a| a.0.label_count());
+        for (z, hint_servers) in missing {
+            let is_query_zone = zones.iter().all(|zp| !cfg.query_domain.is_subdomain_of(&zp.zone))
+                || z.label_count() >= deepest.label_count();
+            let targets = if is_query_zone {
+                Some((&cfg.query_domain, &cfg.target_types[..]))
+            } else {
+                None
+            };
+            let server_probes: Vec<ServerProbe> = hint_servers
+                .iter()
+                .map(|s| probe_server(net, s, z, targets))
+                .collect();
+            zones.push(ZoneProbe {
+                zone: z.clone(),
+                parent: Some(deepest.clone()),
+                delegation_ns: Vec::new(),
+                unresolved_ns: Vec::new(),
+                ds_responses: Vec::new(),
+                servers: server_probes,
+                orphaned: true,
+            });
+        }
+    }
+
+    ProbeResult {
+        query_domain: cfg.query_domain.clone(),
+        time: cfg.time,
+        zones,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::{name, Record, Soa, Zone};
+    use ddx_dnssec::{make_ds, sign_zone, Algorithm, DigestType, KeyPair, KeyRing, KeyRole, SignerConfig};
+    use ddx_server::{Server, Testbed};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    const NOW: u32 = 1_000_000;
+
+    fn soa_rec(apex: &Name) -> Record {
+        Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa(Soa {
+                mname: apex.child("ns1").unwrap(),
+                rname: apex.child("hostmaster").unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        )
+    }
+
+    /// Builds a two-level signed hierarchy: anchor `a.com` delegating
+    /// `par.a.com`, each on one server.
+    fn build_testbed() -> (Testbed, ProbeConfig) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let parent_apex = name("a.com");
+        let child_apex = name("par.a.com");
+
+        // Child zone + keys.
+        let mut child_ring = KeyRing::new();
+        for role in [KeyRole::Ksk, KeyRole::Zsk] {
+            child_ring.add(KeyPair::generate(
+                &mut rng,
+                child_apex.clone(),
+                Algorithm::EcdsaP256Sha256,
+                256,
+                role,
+                NOW,
+            ));
+        }
+        let mut child = Zone::new(child_apex.clone());
+        child.add(soa_rec(&child_apex));
+        child.add(Record::new(
+            child_apex.clone(),
+            3600,
+            RData::Ns(name("ns1.par.a.com")),
+        ));
+        child.add(Record::new(
+            name("ns1.par.a.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 10)),
+        ));
+        child.add(Record::new(
+            name("www.par.a.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 11)),
+        ));
+        sign_zone(&mut child, &child_ring, &SignerConfig::nsec_at(NOW), NOW).unwrap();
+        let ksk = child_ring.active(KeyRole::Ksk, NOW)[0];
+        let ds = make_ds(&child_apex, &ksk.dnskey, DigestType::Sha256);
+
+        // Parent zone + keys.
+        let mut parent_ring = KeyRing::new();
+        for role in [KeyRole::Ksk, KeyRole::Zsk] {
+            parent_ring.add(KeyPair::generate(
+                &mut rng,
+                parent_apex.clone(),
+                Algorithm::EcdsaP256Sha256,
+                256,
+                role,
+                NOW,
+            ));
+        }
+        let mut parent = Zone::new(parent_apex.clone());
+        parent.add(soa_rec(&parent_apex));
+        parent.add(Record::new(
+            parent_apex.clone(),
+            3600,
+            RData::Ns(name("ns1.a.com")),
+        ));
+        parent.add(Record::new(
+            name("ns1.a.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        parent.add(Record::new(
+            child_apex.clone(),
+            3600,
+            RData::Ns(name("ns1.par.a.com")),
+        ));
+        parent.add(Record::new(
+            name("ns1.par.a.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 10)),
+        ));
+        parent.add(Record::new(child_apex.clone(), 3600, RData::Ds(ds)));
+        sign_zone(&mut parent, &parent_ring, &SignerConfig::nsec_at(NOW), NOW).unwrap();
+
+        let mut tb = Testbed::new();
+        let mut ps = Server::new(ServerId("a.com#0".into()));
+        ps.load_zone(parent);
+        tb.add_server(ps);
+        tb.register_ns(name("ns1.a.com"), ServerId("a.com#0".into()));
+        let mut cs = Server::new(ServerId("par.a.com#0".into()));
+        cs.load_zone(child);
+        tb.add_server(cs);
+        tb.register_ns(name("ns1.par.a.com"), ServerId("par.a.com#0".into()));
+
+        let cfg = ProbeConfig {
+            anchor_zone: name("a.com"),
+            anchor_servers: vec![ServerId("a.com#0".into())],
+            query_domain: name("www.par.a.com"),
+            target_types: vec![RrType::A],
+            time: NOW,
+            hints: vec![(name("par.a.com"), vec![ServerId("par.a.com#0".into())])],
+        };
+        (tb, cfg)
+    }
+
+    #[test]
+    fn walks_two_zone_cuts() {
+        let (tb, cfg) = build_testbed();
+        let result = probe(&tb, &cfg);
+        assert_eq!(result.zones.len(), 2);
+        assert_eq!(result.zones[0].zone, name("a.com"));
+        assert_eq!(result.zones[1].zone, name("par.a.com"));
+        assert_eq!(result.zones[1].parent, Some(name("a.com")));
+        assert_eq!(result.zones[1].delegation_ns, vec![name("ns1.par.a.com")]);
+    }
+
+    #[test]
+    fn collects_ds_from_parent() {
+        let (tb, cfg) = build_testbed();
+        let result = probe(&tb, &cfg);
+        let qz = result.query_zone().unwrap();
+        assert_eq!(qz.ds_responses.len(), 1);
+        let ds_msg = qz.ds_responses[0].1.as_ref().unwrap();
+        assert!(ds_msg.find_answer(&name("par.a.com"), RrType::Ds).is_some());
+    }
+
+    #[test]
+    fn gathers_dnskey_and_negative_probes() {
+        let (tb, cfg) = build_testbed();
+        let result = probe(&tb, &cfg);
+        let qz = result.query_zone().unwrap();
+        let sp = &qz.servers[0];
+        assert!(sp.responsive);
+        assert_eq!(sp.dnskeys().len(), 2);
+        let nx = sp.nxdomain.as_ref().unwrap();
+        assert_eq!(nx.rcode, ddx_dns::Rcode::NxDomain);
+        assert!(nx.authorities.iter().any(|r| r.rtype() == RrType::Nsec));
+        // Target answer at the query zone only.
+        assert_eq!(sp.answers.len(), 1);
+        assert!(sp.answers[0].1.is_some());
+        assert!(result.zones[0].servers[0].answers.is_empty());
+    }
+
+    #[test]
+    fn lame_child_recorded() {
+        let (mut tb, cfg) = build_testbed();
+        tb.unregister_ns(&name("ns1.par.a.com"));
+        let result = probe(&tb, &cfg);
+        let qz = result.query_zone().unwrap();
+        assert_eq!(qz.zone, name("par.a.com"));
+        assert!(qz.is_lame());
+        assert_eq!(qz.unresolved_ns, vec![name("ns1.par.a.com")]);
+    }
+
+    #[test]
+    fn anchor_only_walk() {
+        let (tb, mut cfg) = build_testbed();
+        cfg.query_domain = name("a.com");
+        let result = probe(&tb, &cfg);
+        assert_eq!(result.zones.len(), 1);
+        assert!(!result.zones[0].servers[0].answers.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! A validating stub resolver: answers a single query with the §2.2
+//! semantics — `Secure` (AD bit set), `Insecure` (plain DNS), or `Bogus`
+//! (SERVFAIL with an RFC 8914 Extended DNS Error). Where `grok` is a
+//! diagnostic that reports *everything*, the resolver makes the one
+//! resolution decision an end user experiences.
+
+use serde::{Deserialize, Serialize};
+
+use ddx_dns::{Name, Rcode, Record, RrType};
+use ddx_server::{Network, ServerId};
+
+use crate::ede::{ede_for, Ede};
+use crate::grok::grok;
+use crate::probe::{probe, ProbeConfig};
+use crate::status::SnapshotStatus;
+
+/// The validation state of an answer (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationState {
+    Secure,
+    Insecure,
+    Bogus,
+}
+
+/// What the resolver hands back to the client.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    pub rcode: Rcode,
+    /// Authentic-data bit (set only for Secure answers).
+    pub ad: bool,
+    pub state: ValidationState,
+    pub answers: Vec<Record>,
+    /// The EDE attached to a SERVFAIL, if any.
+    pub ede: Option<Ede>,
+}
+
+/// How a resolver treats NSEC3 iteration counts above its limit — the
+/// implementation-dependent behaviour the paper's footnote 2 highlights
+/// (RFC 9276 §3.2 allows returning insecure; "a minority of resolvers
+/// treat nonzero NSEC3 iteration counts as fatal").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Nsec3IterationPolicy {
+    /// Validate regardless of the iteration count (most resolvers).
+    #[default]
+    Tolerate,
+    /// Above `limit`, treat the zone's data as insecure (RFC 9276 §3.2,
+    /// e.g. Unbound/BIND with default limits).
+    InsecureAbove(u16),
+    /// Above `limit`, fail validation outright (the strict minority).
+    FatalAbove(u16),
+}
+
+
+/// Resolver configuration: the local trust anchor.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    pub anchor_zone: Name,
+    pub anchor_servers: Vec<ServerId>,
+    /// Zone hints (same semantics as [`ProbeConfig::hints`]).
+    pub hints: Vec<(Name, Vec<ServerId>)>,
+    /// NSEC3 iteration handling (paper §3.2.1 footnote 2).
+    pub nsec3_policy: Nsec3IterationPolicy,
+}
+
+/// Resolves `qname`/`qtype` at time `now` with full DNSSEC validation.
+pub fn resolve_validating(
+    net: &dyn Network,
+    cfg: &ResolverConfig,
+    qname: &Name,
+    qtype: RrType,
+    now: u32,
+) -> Resolution {
+    let probe_cfg = ProbeConfig {
+        anchor_zone: cfg.anchor_zone.clone(),
+        anchor_servers: cfg.anchor_servers.clone(),
+        query_domain: qname.clone(),
+        target_types: vec![qtype],
+        time: now,
+        hints: cfg.hints.clone(),
+    };
+    let result = probe(net, &probe_cfg);
+    let report = grok(&result);
+
+    // NSEC3 iteration policy (footnote 2): parse the observed iteration
+    // count out of the NZIC finding, if any.
+    let nzic_iterations: Option<u16> = report
+        .errors()
+        .find(|e| e.code == crate::codes::ErrorCode::Nsec3IterationsNonzero)
+        .and_then(|e| {
+            e.detail
+                .rsplit('=')
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+        });
+
+    // Extract the answers from the first responsive query-zone server.
+    let answers: Vec<Record> = result
+        .query_zone()
+        .and_then(|z| {
+            z.servers.iter().find(|s| s.responsive).and_then(|s| {
+                s.answers
+                    .iter()
+                    .find(|(t, _)| *t == qtype)
+                    .and_then(|(_, m)| m.as_ref())
+                    .map(|m| m.answers.clone())
+            })
+        })
+        .unwrap_or_default();
+    let positive_rcode = if answers.is_empty() {
+        // NODATA or NXDOMAIN at the leaf; surface whatever the server said.
+        result
+            .query_zone()
+            .and_then(|z| z.servers.iter().find(|s| s.responsive))
+            .and_then(|s| s.answers.first().and_then(|(_, m)| m.as_ref()))
+            .map(|m| m.rcode)
+            .unwrap_or(Rcode::NoError)
+    } else {
+        Rcode::NoError
+    };
+
+    // Apply the iteration policy before the standard mapping.
+    if let Some(iters) = nzic_iterations {
+        match cfg.nsec3_policy {
+            Nsec3IterationPolicy::Tolerate => {}
+            Nsec3IterationPolicy::InsecureAbove(limit) if iters > limit => {
+                if matches!(report.status, SnapshotStatus::Sv | SnapshotStatus::Svm) {
+                    return Resolution {
+                        rcode: positive_rcode,
+                        ad: false,
+                        state: ValidationState::Insecure,
+                        answers,
+                        ede: None,
+                    };
+                }
+            }
+            Nsec3IterationPolicy::FatalAbove(limit) if iters > limit => {
+                return Resolution {
+                    rcode: Rcode::ServFail,
+                    ad: false,
+                    state: ValidationState::Bogus,
+                    answers: Vec::new(),
+                    ede: Some(crate::ede::Ede::UnsupportedNsec3Iterations),
+                };
+            }
+            _ => {}
+        }
+    }
+
+    match report.status {
+        SnapshotStatus::Sv | SnapshotStatus::Svm => Resolution {
+            rcode: positive_rcode,
+            ad: true,
+            state: ValidationState::Secure,
+            answers,
+            ede: None,
+        },
+        SnapshotStatus::Is => Resolution {
+            rcode: positive_rcode,
+            ad: false,
+            state: ValidationState::Insecure,
+            answers,
+            ede: None,
+        },
+        SnapshotStatus::Sb => {
+            // Pick the EDE of the most severe (first critical) error.
+            let ede = report
+                .errors()
+                .find(|e| e.critical)
+                .or_else(|| report.errors().next())
+                .map(|e| ede_for(e.code));
+            Resolution {
+                rcode: Rcode::ServFail,
+                ad: false,
+                state: ValidationState::Bogus,
+                answers: Vec::new(),
+                ede,
+            }
+        }
+        SnapshotStatus::Lm | SnapshotStatus::Ic => Resolution {
+            rcode: Rcode::ServFail,
+            ad: false,
+            state: ValidationState::Bogus,
+            answers: Vec::new(),
+            ede: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::name;
+    use ddx_dnssec::{resign_rrset, KeyRole, SignOptions};
+    use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+    const NOW: u32 = 1_000_000;
+
+    fn sandbox() -> Sandbox {
+        build_sandbox(
+            &[
+                ZoneSpec::conventional(name("a.com")),
+                ZoneSpec::conventional(name("par.a.com")),
+            ],
+            NOW,
+            17,
+        )
+    }
+
+    fn cfg(sb: &Sandbox) -> ResolverConfig {
+        ResolverConfig {
+            anchor_zone: sb.anchor().apex.clone(),
+            anchor_servers: sb.anchor().servers.clone(),
+            hints: sb
+                .zones
+                .iter()
+                .map(|z| (z.apex.clone(), z.servers.clone()))
+                .collect(),
+            nsec3_policy: Nsec3IterationPolicy::Tolerate,
+        }
+    }
+
+    #[test]
+    fn secure_answer_sets_ad() {
+        let sb = sandbox();
+        let r = resolve_validating(
+            &sb.testbed,
+            &cfg(&sb),
+            &name("www.par.a.com"),
+            RrType::A,
+            NOW,
+        );
+        assert_eq!(r.state, ValidationState::Secure);
+        assert!(r.ad);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.answers.iter().any(|rec| rec.rtype() == RrType::A));
+        assert!(r.ede.is_none());
+    }
+
+    #[test]
+    fn unsigned_delegation_is_insecure() {
+        let mut sb = sandbox();
+        sb.set_ds(&name("par.a.com"), vec![], NOW);
+        let r = resolve_validating(
+            &sb.testbed,
+            &cfg(&sb),
+            &name("www.par.a.com"),
+            RrType::A,
+            NOW,
+        );
+        assert_eq!(r.state, ValidationState::Insecure);
+        assert!(!r.ad);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(!r.answers.is_empty(), "insecure still resolves");
+    }
+
+    #[test]
+    fn expired_signature_is_bogus_with_ede7() {
+        let mut sb = sandbox();
+        let apex = name("par.a.com");
+        let zsk = sb.zone(&apex).unwrap().ring.active(KeyRole::Zsk, NOW)[0].clone();
+        let www = name("www.par.a.com");
+        sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+            resign_rrset(
+                zone,
+                &www,
+                RrType::A,
+                &zsk,
+                SignOptions {
+                    inception: 0,
+                    expiration: NOW - 1,
+                },
+            );
+        });
+        let r = resolve_validating(&sb.testbed, &cfg(&sb), &www, RrType::A, NOW);
+        assert_eq!(r.state, ValidationState::Bogus);
+        assert_eq!(r.rcode, Rcode::ServFail);
+        assert!(r.answers.is_empty(), "bogus answers are withheld");
+        assert_eq!(r.ede.map(|e| e.code()), Some(7));
+    }
+
+    #[test]
+    fn nsec3_iteration_policies_differ_per_resolver() {
+        // The same NZIC zone (150 iterations) under the three policies of
+        // footnote 2: tolerated / downgraded to insecure / fatal.
+        let mut leaf = ZoneSpec::conventional(name("par.a.com"));
+        leaf.nsec3 = Some(ddx_dnssec::Nsec3Config {
+            iterations: 150,
+            ..Default::default()
+        });
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), leaf], NOW, 19);
+        let mut rcfg = cfg(&sb);
+        let q = name("www.par.a.com");
+
+        rcfg.nsec3_policy = Nsec3IterationPolicy::Tolerate;
+        let r = resolve_validating(&sb.testbed, &rcfg, &q, RrType::A, NOW);
+        assert_eq!(r.state, ValidationState::Secure);
+
+        rcfg.nsec3_policy = Nsec3IterationPolicy::InsecureAbove(100);
+        let r = resolve_validating(&sb.testbed, &rcfg, &q, RrType::A, NOW);
+        assert_eq!(r.state, ValidationState::Insecure);
+        assert!(!r.answers.is_empty(), "insecure still resolves");
+
+        rcfg.nsec3_policy = Nsec3IterationPolicy::FatalAbove(100);
+        let r = resolve_validating(&sb.testbed, &rcfg, &q, RrType::A, NOW);
+        assert_eq!(r.state, ValidationState::Bogus);
+        assert_eq!(r.ede.map(|e| e.code()), Some(27));
+
+        // Below the limit nothing changes.
+        rcfg.nsec3_policy = Nsec3IterationPolicy::InsecureAbove(200);
+        let r = resolve_validating(&sb.testbed, &rcfg, &q, RrType::A, NOW);
+        assert_eq!(r.state, ValidationState::Secure);
+    }
+
+    #[test]
+    fn nzic_is_tolerated() {
+        // Per the paper (§3.2.1 footnote 2), most resolvers tolerate NZIC:
+        // the zone validates with the misconfiguration flagged.
+        let mut leaf = ZoneSpec::conventional(name("par.a.com"));
+        leaf.nsec3 = Some(ddx_dnssec::Nsec3Config {
+            iterations: 50,
+            ..Default::default()
+        });
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), leaf], NOW, 18);
+        let r = resolve_validating(
+            &sb.testbed,
+            &cfg(&sb),
+            &name("www.par.a.com"),
+            RrType::A,
+            NOW,
+        );
+        assert_eq!(r.state, ValidationState::Secure);
+        assert!(r.ad);
+    }
+}

@@ -1,0 +1,385 @@
+//! End-to-end DFixer validation: replicate each error with ZReplicator,
+//! run the iterative fixer, and require a clean re-verification — the
+//! test-fix-verify cycle of paper §4.5/§5.
+
+use std::collections::BTreeSet;
+
+use ddx_dnsviz::{grok, probe, ErrorCode, SnapshotStatus};
+use ddx_fixer::{run_fixer, run_naive, suggest, FixerOptions, InstructionKind, ServerFlavor};
+use ddx_replicator::{replicate, Nsec3Meta, ReplicationRequest, ZoneMeta};
+
+const NOW: u32 = 1_000_000;
+
+fn request(codes: &[ErrorCode], nsec3: bool) -> ReplicationRequest {
+    let mut meta = ZoneMeta::default();
+    if nsec3 {
+        meta.nsec3 = Some(Nsec3Meta {
+            iterations: 0,
+            salt_len: 0,
+            opt_out: false,
+        });
+    }
+    ReplicationRequest {
+        meta,
+        intended: codes.iter().copied().collect(),
+    }
+}
+
+fn needs_nsec3(code: ErrorCode) -> bool {
+    use ErrorCode::*;
+    matches!(
+        code,
+        Nsec3ProofMissing
+            | Nsec3BitmapAssertsType
+            | Nsec3CoverageBroken
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch
+            | Nsec3IterationsNonzero
+            | Nsec3OptOutViolation
+            | Nsec3UnsupportedAlgorithm
+            | Nsec3NoClosestEncloser
+    )
+}
+
+#[test]
+fn dfixer_resolves_every_replicable_error_solo() {
+    let mut failures = Vec::new();
+    for code in ErrorCode::ALL {
+        if !code.replicable() {
+            continue;
+        }
+        let req = request(&[code], needs_nsec3(code));
+        let mut rep = replicate(&req, NOW, 0xFADE).expect("replicates");
+        assert!(rep.skipped.is_empty(), "{code} skipped: {:?}", rep.skipped);
+        let cfg = rep.probe.clone();
+        let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+        if !run.fixed {
+            failures.push(format!(
+                "{code}: NOT fixed after {} iterations; final {:?} ({})",
+                run.iterations.len(),
+                run.final_errors,
+                run.final_status
+            ));
+        } else if run.iterations.len() > 4 {
+            failures.push(format!(
+                "{code}: took {} iterations (paper: ≤4)",
+                run.iterations.len()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "fix gaps:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn fig8_revoked_ksk_with_linked_ds() {
+    // The Appendix Fig 8 scenario: the zone's only KSK is revoked and a DS
+    // references it.
+    let req = request(&[ErrorCode::DsReferencesRevokedKey], false);
+    let mut rep = replicate(&req, NOW, 0xF18).unwrap();
+    let cfg = rep.probe.clone();
+
+    // Suggest-only first: the plan should follow the Fig 8 shape.
+    let (_report, resolution, commands) =
+        suggest(&rep.sandbox, &cfg, ServerFlavor::Bind);
+    let kinds: Vec<InstructionKind> = resolution.plan.iter().map(|i| i.kind()).collect();
+    assert!(kinds.contains(&InstructionKind::GenerateKsk), "{kinds:?}");
+    assert!(kinds.contains(&InstructionKind::UploadDs));
+    assert!(kinds.contains(&InstructionKind::RemoveIncorrectDs));
+    assert!(kinds.contains(&InstructionKind::WaitTtl));
+    assert!(kinds.contains(&InstructionKind::RemoveRevokedKey));
+    assert!(kinds.contains(&InstructionKind::SignZone));
+    // Ordering: generate before upload before removal before wait before
+    // key deletion before re-sign (Fig 8 steps 1→7).
+    let pos = |k: InstructionKind| kinds.iter().position(|x| *x == k).unwrap();
+    assert!(pos(InstructionKind::GenerateKsk) < pos(InstructionKind::UploadDs));
+    assert!(pos(InstructionKind::UploadDs) < pos(InstructionKind::RemoveIncorrectDs));
+    assert!(pos(InstructionKind::RemoveIncorrectDs) < pos(InstructionKind::WaitTtl));
+    assert!(pos(InstructionKind::WaitTtl) < pos(InstructionKind::RemoveRevokedKey));
+    assert!(pos(InstructionKind::RemoveRevokedKey) < pos(InstructionKind::SignZone));
+    // Commands include the dnssec-keygen invocation with -f KSK.
+    assert!(commands.iter().any(|c| c.line.contains("dnssec-keygen -f KSK")));
+
+    // Auto-apply: converges.
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed, "final errors {:?}", run.final_errors);
+}
+
+#[test]
+fn independent_errors_take_multiple_iterations() {
+    // NZIC + extraneous DS (paper §5.4): DS removed first, zone re-signed
+    // with zero iterations second.
+    let req = request(
+        &[
+            ErrorCode::Nsec3IterationsNonzero,
+            ErrorCode::DsMissingKeyForAlgorithm,
+        ],
+        true,
+    );
+    let mut rep = replicate(&req, NOW, 0x1234).unwrap();
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed, "final errors {:?}", run.final_errors);
+    assert!(
+        run.iterations.len() >= 2,
+        "expected incremental fixing, got {} iterations",
+        run.iterations.len()
+    );
+    // Iteration 1 addresses the delegation problem.
+    let first = &run.iterations[0];
+    assert!(first
+        .plan
+        .iter()
+        .any(|i| i.kind() == InstructionKind::RemoveIncorrectDs));
+    // A later iteration re-signs with compliant NSEC3 parameters.
+    let resign = run
+        .iterations
+        .iter()
+        .flat_map(|it| it.plan.iter())
+        .find_map(|i| match i {
+            ddx_fixer::Instruction::SignZone { nsec3: Some(cfg) } => Some(cfg.clone()),
+            _ => None,
+        })
+        .expect("an NSEC3 re-sign happens");
+    assert_eq!(resign.iterations, 0);
+}
+
+#[test]
+fn combined_revoked_ksk_scenario_single_iteration() {
+    // Paper §5.4: revoked KSK + missing DNSKEY signature + invalid DS all
+    // share one root cause and should clear in a single pass.
+    let req = request(&[ErrorCode::DsReferencesRevokedKey], false);
+    let mut rep = replicate(&req, NOW, 0x777).unwrap();
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed);
+    assert!(
+        run.iterations.len() <= 2,
+        "single root cause should clear in 1-2 iterations, took {}",
+        run.iterations.len()
+    );
+}
+
+#[test]
+fn naive_baseline_fails_on_extraneous_ds() {
+    // The Appendix A.2 test zone: extraneous DS with an algorithm no DNSKEY
+    // carries. The naive planner uploads DS records but never removes the
+    // bad one, so the error persists; DFixer clears it.
+    let req = request(&[ErrorCode::DsMissingKeyForAlgorithm], false);
+
+    let mut naive_rep = replicate(&req, NOW, 0xAAA).unwrap();
+    let cfg = naive_rep.probe.clone();
+    let naive_run = run_naive(&mut naive_rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(
+        !naive_run.fixed,
+        "naive baseline unexpectedly fixed the extraneous DS"
+    );
+    assert!(naive_run
+        .final_errors
+        .contains(&ErrorCode::DsMissingKeyForAlgorithm));
+
+    let mut dfixer_rep = replicate(&req, NOW, 0xAAA).unwrap();
+    let cfg = dfixer_rep.probe.clone();
+    let run = run_fixer(&mut dfixer_rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed);
+}
+
+#[test]
+fn naive_baseline_loses_nsec3_parameters() {
+    // An NSEC3 zone with a broken chain: the naive fix re-signs with plain
+    // NSEC defaults, silently changing the denial mechanism.
+    let req = request(&[ErrorCode::Nsec3CoverageBroken], true);
+    let mut rep = replicate(&req, NOW, 0xBBB).unwrap();
+    let cfg = rep.probe.clone();
+    let run = run_naive(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    // It may resolve the error, but the zone is now NSEC.
+    let leaf_apex = rep.sandbox.leaf().apex.clone();
+    let server = rep.sandbox.leaf().servers[0].clone();
+    let zone = rep
+        .sandbox
+        .testbed
+        .server(&server)
+        .unwrap()
+        .zone(&leaf_apex)
+        .unwrap();
+    let has_nsec3 = zone.rrsets().any(|s| s.rtype == ddx_dns::RrType::Nsec3);
+    assert!(!has_nsec3, "naive re-sign should have dropped NSEC3");
+    let _ = run;
+}
+
+#[test]
+fn unfixable_parent_breakage_reported_honestly() {
+    // Break the PARENT zone (DS present, DNSKEY stripped) — the condition
+    // behind the paper's five unfixed S2 snapshots. DFixer, operating on
+    // the child, must report failure rather than claim success.
+    let req = request(&[], false);
+    let mut rep = replicate(&req, NOW, 0xCCC).unwrap();
+    let parent = ddx_replicator::parent_apex();
+    rep.sandbox.testbed.mutate_zone_everywhere(&parent, |zone| {
+        zone.strip_type(ddx_dns::RrType::Dnskey);
+    });
+    let cfg = rep.probe.clone();
+    let report = grok(&probe(&rep.sandbox.testbed, &cfg));
+    assert_eq!(report.status, SnapshotStatus::Sb);
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(!run.fixed, "child-side DFixer cannot repair the parent");
+    assert!(!run.final_errors.is_empty());
+}
+
+#[test]
+fn suggest_mode_is_side_effect_free() {
+    let req = request(&[ErrorCode::RrsigExpired], false);
+    let rep = replicate(&req, NOW, 0xDDD).unwrap();
+    let cfg = rep.probe.clone();
+    let before = grok(&probe(&rep.sandbox.testbed, &cfg));
+    let (_, resolution, commands) = suggest(&rep.sandbox, &cfg, ServerFlavor::Bind);
+    assert!(!resolution.plan.is_empty());
+    assert!(!commands.is_empty());
+    let after = grok(&probe(&rep.sandbox.testbed, &cfg));
+    assert_eq!(before.codes(), after.codes(), "suggest must not mutate");
+}
+
+#[test]
+fn all_flavors_render_fig8_plan() {
+    let req = request(&[ErrorCode::DsReferencesRevokedKey], false);
+    let rep = replicate(&req, NOW, 0xEEE).unwrap();
+    let cfg = rep.probe.clone();
+    for flavor in ServerFlavor::ALL {
+        let (_, resolution, commands) = suggest(&rep.sandbox, &cfg, flavor);
+        assert!(!resolution.plan.is_empty());
+        assert!(
+            commands.len() >= resolution.plan.len(),
+            "{flavor:?} rendered too few commands"
+        );
+    }
+}
+
+#[test]
+fn multi_error_stress_combinations() {
+    // Random-ish composites across categories.
+    let combos: Vec<Vec<ErrorCode>> = vec![
+        vec![ErrorCode::RrsigExpired, ErrorCode::OriginalTtlExceeded],
+        vec![ErrorCode::RrsigMissing, ErrorCode::DsDigestInvalid],
+        vec![
+            ErrorCode::DnskeyAlgorithmWithoutRrsig,
+            ErrorCode::RrsigExpired,
+        ],
+        vec![ErrorCode::KeyLengthTooShort, ErrorCode::RrsigMissingFromServers],
+        vec![
+            ErrorCode::Nsec3IterationsNonzero,
+            ErrorCode::Nsec3ParamMismatch,
+        ],
+    ];
+    for (i, combo) in combos.iter().enumerate() {
+        let nsec3 = combo.iter().any(|c| needs_nsec3(*c));
+        let req = request(combo, nsec3);
+        let mut rep = replicate(&req, NOW, 0x5000 + i as u64).unwrap();
+        let intended: BTreeSet<ErrorCode> = rep.injected.iter().copied().collect();
+        let cfg = rep.probe.clone();
+        // Verify replication first (IE ⊆ GE).
+        let report = grok(&probe(&rep.sandbox.testbed, &cfg));
+        let generated = report.codes();
+        for code in &intended {
+            assert!(generated.contains(code), "combo {i}: {code} not generated");
+        }
+        let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+        assert!(
+            run.fixed,
+            "combo {i} {combo:?} not fixed: {:?}",
+            run.final_errors
+        );
+        assert!(run.iterations.len() <= 4, "combo {i} took {} iterations", run.iterations.len());
+    }
+}
+
+#[test]
+fn cds_mode_repairs_ds_errors_without_registrar_steps() {
+    // §5.5.2 extension: with CDS/CDNSKEY enabled, the same stale-DS zone is
+    // repaired entirely through in-band publication — the parent's scanner
+    // installs the advertised set; no registrar round trip appears.
+    let req = request(&[ErrorCode::DsDigestInvalid], false);
+    let mut rep = replicate(&req, NOW, 0xCD5).unwrap();
+    let cfg = rep.probe.clone();
+    let opts = FixerOptions {
+        use_cds: true,
+        ..Default::default()
+    };
+    let run = run_fixer(&mut rep.sandbox, &cfg, &opts);
+    assert!(run.fixed, "residual {:?}", run.final_errors);
+    // The plan used CDS publication, not UploadDs/RemoveIncorrectDs.
+    let kinds: Vec<InstructionKind> = run
+        .iterations
+        .iter()
+        .flat_map(|it| it.plan.iter().map(|i| i.kind()))
+        .collect();
+    assert!(kinds.contains(&InstructionKind::PublishCds), "{kinds:?}");
+    assert!(!kinds.contains(&InstructionKind::UploadDs));
+    assert!(!kinds.contains(&InstructionKind::RemoveIncorrectDs));
+    // No registrar-manual commands in the rendered output.
+    for it in &run.iterations {
+        for c in &it.commands {
+            assert!(
+                !(c.manual && c.note.contains("via your registrar")),
+                "unexpected registrar step: {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cds_mode_handles_revoked_ksk_flow() {
+    let req = request(&[ErrorCode::DsReferencesRevokedKey], false);
+    let mut rep = replicate(&req, NOW, 0xCD6).unwrap();
+    let cfg = rep.probe.clone();
+    let opts = FixerOptions {
+        use_cds: true,
+        ..Default::default()
+    };
+    let run = run_fixer(&mut rep.sandbox, &cfg, &opts);
+    assert!(run.fixed, "residual {:?}", run.final_errors);
+    assert!(run.iterations.len() <= 3);
+}
+
+#[test]
+fn suggest_remote_plans_without_sandbox_knowledge() {
+    use ddx_fixer::suggest_remote;
+    // The remote mode only sees what the servers publish — it must still
+    // identify the root cause and produce the same instruction kinds.
+    for (codes, nsec3) in [
+        (vec![ErrorCode::RrsigExpired], false),
+        (vec![ErrorCode::DsReferencesRevokedKey], false),
+        (vec![ErrorCode::Nsec3IterationsNonzero], true),
+        (vec![ErrorCode::DsDigestInvalid], false),
+    ] {
+        let req = request(&codes, nsec3);
+        let rep = replicate(&req, NOW, 0x4E40).unwrap();
+        let (report, remote, _) =
+            suggest_remote(&rep.sandbox.testbed, &rep.probe, ServerFlavor::Bind);
+        let (_, local, _) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
+        assert_eq!(remote.addressed, local.addressed, "codes {codes:?}");
+        let remote_kinds: BTreeSet<InstructionKind> =
+            remote.plan.iter().map(|i| i.kind()).collect();
+        let local_kinds: BTreeSet<InstructionKind> =
+            local.plan.iter().map(|i| i.kind()).collect();
+        assert_eq!(remote_kinds, local_kinds, "codes {codes:?}: {report:?}");
+    }
+}
+
+#[test]
+fn suggest_remote_infers_nsec3_parameters() {
+    use ddx_fixer::suggest_remote;
+    // An NZIC zone: the remote plan must re-sign with compliant NSEC3
+    // (mechanism inferred from the NSEC3PARAM answer, not from a ring).
+    let req = request(&[ErrorCode::Nsec3IterationsNonzero], true);
+    let rep = replicate(&req, NOW, 0x4E41).unwrap();
+    let (_, resolution, _) =
+        suggest_remote(&rep.sandbox.testbed, &rep.probe, ServerFlavor::Bind);
+    let sign = resolution
+        .plan
+        .iter()
+        .find_map(|i| match i {
+            ddx_fixer::Instruction::SignZone { nsec3: Some(cfg) } => Some(cfg.clone()),
+            _ => None,
+        })
+        .expect("NSEC3 re-sign plan");
+    assert_eq!(sign.iterations, 0, "plan must target RFC 9276 compliance");
+}

@@ -1,0 +1,20 @@
+//! # ddx-replicator — ZReplicator
+//!
+//! Recreates real-world DNSSEC misconfigurations inside a local sandbox
+//! (paper §4.5): a base zone `a.com`, a parent `par.a.com`, and the target
+//! `inv-chd.par.a.com`, each on two authoritative servers. Zone
+//! meta-parameters (key algorithms/sizes/flags, DS digest types, NSEC vs
+//! NSEC3 and its parameters) are mirrored from the snapshot; deprecated
+//! algorithms are substituted per §5.5.1; and each intended error code is
+//! injected by surgical zone tampering.
+
+pub mod inject;
+pub mod meta;
+pub mod replicate;
+
+pub use inject::{inject, injection_phase, SkipReason};
+pub use meta::{plan_digests, plan_keys, KeyPlan, KeySpec, MetaError, Nsec3Meta, Substitution, ZoneMeta};
+pub use replicate::{
+    anchor_apex, parent_apex, probe_config_for, replicate, target_apex, Replication,
+    ReplicationRequest,
+};

@@ -1,0 +1,148 @@
+//! Status-classification matrix: replicating each error code solo must
+//! yield the snapshot status its criticality implies — `sb` for
+//! SERVFAIL-level errors, `svm` for tolerated violations (paper §3.2.1).
+
+use std::collections::BTreeSet;
+
+use ddx_dnsviz::{grok, probe, ErrorCode, SnapshotStatus};
+use ddx_replicator::{replicate, Nsec3Meta, ReplicationRequest, ZoneMeta};
+
+const NOW: u32 = 1_000_000;
+
+fn needs_nsec3(code: ErrorCode) -> bool {
+    use ErrorCode::*;
+    matches!(
+        code,
+        Nsec3ProofMissing
+            | Nsec3BitmapAssertsType
+            | Nsec3CoverageBroken
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch
+            | Nsec3IterationsNonzero
+            | Nsec3OptOutViolation
+            | Nsec3UnsupportedAlgorithm
+            | Nsec3NoClosestEncloser
+    )
+}
+
+#[test]
+fn criticality_drives_snapshot_status() {
+    let mut failures = Vec::new();
+    for code in ErrorCode::ALL {
+        if !code.replicable() {
+            continue;
+        }
+        let mut meta = ZoneMeta::default();
+        if needs_nsec3(code) {
+            meta.nsec3 = Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: false,
+            });
+        }
+        let req = ReplicationRequest {
+            meta,
+            intended: BTreeSet::from([code]),
+        };
+        let rep = replicate(&req, NOW, 0xC1A5).expect("replicates");
+        if !rep.skipped.is_empty() {
+            continue;
+        }
+        let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+        // Contextual criticality: the snapshot is sb iff any generated
+        // error instance is critical in context.
+        let any_critical = report.errors().any(|e| e.critical);
+        let expected = if any_critical {
+            SnapshotStatus::Sb
+        } else {
+            SnapshotStatus::Svm
+        };
+        if report.status != expected {
+            failures.push(format!(
+                "{code}: status {} but any_critical={any_critical} ({:?})",
+                report.status,
+                report.codes()
+            ));
+        }
+        // And statically-critical codes should produce sb when injected
+        // solo (no alternate valid path exists for the affected RRset).
+        if code.is_critical() && report.status != SnapshotStatus::Sb {
+            failures.push(format!(
+                "{code} is critical but snapshot is {}",
+                report.status
+            ));
+        }
+        if !code.is_critical() && report.status == SnapshotStatus::Sb {
+            // A tolerated code must not, alone, produce SERVFAIL — unless a
+            // critical companion was generated.
+            let companion_critical = report
+                .codes()
+                .iter()
+                .any(|c| *c != code && c.is_critical());
+            if !companion_critical {
+                failures.push(format!("{code} is tolerated but snapshot is sb"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn clean_zone_is_sv_under_both_denial_modes() {
+    for nsec3 in [false, true] {
+        let mut meta = ZoneMeta::default();
+        if nsec3 {
+            meta.nsec3 = Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: false,
+            });
+        }
+        let req = ReplicationRequest {
+            meta,
+            intended: BTreeSet::new(),
+        };
+        let rep = replicate(&req, NOW, 3).unwrap();
+        let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+        assert_eq!(report.status, SnapshotStatus::Sv, "nsec3={nsec3}: {:?}", report.codes());
+    }
+}
+
+#[test]
+fn optout_zone_is_valid() {
+    // Opt-out by itself is legal (RFC 5155 §6).
+    let req = ReplicationRequest {
+        meta: ZoneMeta {
+            nsec3: Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: true,
+            }),
+            ..ZoneMeta::default()
+        },
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 4).unwrap();
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+}
+
+#[test]
+fn salted_nsec3_zone_is_valid_but_noncompliant_upstream() {
+    // A salted, zero-iteration NSEC3 zone validates (salt is a SHOULD-level
+    // concern, excluded from the paper's error set).
+    let req = ReplicationRequest {
+        meta: ZoneMeta {
+            nsec3: Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 8,
+                opt_out: false,
+            }),
+            ..ZoneMeta::default()
+        },
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 5).unwrap();
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+}

@@ -1,0 +1,21 @@
+//! # ddx-server — in-memory authoritative DNS server testbed
+//!
+//! Models the paper's evaluation substrate: per-zone authoritative servers
+//! (two per zone, possibly with divergent copies), a query engine with
+//! DNSSEC-aware positive, referral, and negative responses, an in-process
+//! [`testbed::Network`], and a real loopback UDP transport speaking
+//! RFC 1035 wire format.
+
+pub mod cache;
+pub mod rollover;
+pub mod sandbox;
+pub mod server;
+pub mod testbed;
+pub mod udp;
+
+pub use cache::CachingNetwork;
+pub use rollover::{botched_ksk_rollover, Rollover, RolloverKind, RolloverStep};
+pub use sandbox::{build_sandbox, Sandbox, SandboxZone, ZoneSpec};
+pub use server::{Server, ServerBehavior, ServerId};
+pub use testbed::{Network, Testbed};
+pub use udp::{UdpNetwork, UdpServerHandle};

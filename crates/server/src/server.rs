@@ -1,0 +1,702 @@
+//! A single in-memory authoritative nameserver instance: zone storage plus
+//! the RFC 1034 §4.3.2 / RFC 4035 §3.1 query-resolution algorithm, including
+//! DNSSEC-aware positive answers, referrals, and NSEC/NSEC3 negative
+//! responses assembled from whatever chain the zone actually contains (so
+//! injected misconfigurations surface faithfully in responses).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ddx_dns::{
+    base32, Message, Name, Nsec3, RData, RRset, Rcode, Record, RrType, Zone,
+};
+use ddx_dnssec::nsec3_hash;
+
+/// Identifies one server instance (e.g. `ns1.par.a.com.#0`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub String);
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Failure modes a server can be put into, modeling the paper's `lm` (lame)
+/// category and transport-level brokenness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServerBehavior {
+    /// Answers queries normally.
+    #[default]
+    Normal,
+    /// Responds REFUSED to everything (lame delegation).
+    Refuses,
+    /// Never responds (transport returns nothing).
+    Unresponsive,
+}
+
+/// One authoritative server: an id, its zone copies, and a behavior switch.
+#[derive(Debug, Clone)]
+pub struct Server {
+    pub id: ServerId,
+    pub behavior: ServerBehavior,
+    zones: HashMap<Name, Zone>,
+}
+
+impl Server {
+    pub fn new(id: ServerId) -> Self {
+        Server {
+            id,
+            behavior: ServerBehavior::Normal,
+            zones: HashMap::new(),
+        }
+    }
+
+    /// Loads (or replaces) a zone on this server.
+    pub fn load_zone(&mut self, zone: Zone) {
+        self.zones.insert(zone.apex().clone(), zone);
+    }
+
+    /// Immutable access to a loaded zone.
+    pub fn zone(&self, apex: &Name) -> Option<&Zone> {
+        self.zones.get(apex)
+    }
+
+    /// Mutable access — ZReplicator's error injection hooks in here.
+    pub fn zone_mut(&mut self, apex: &Name) -> Option<&mut Zone> {
+        self.zones.get_mut(apex)
+    }
+
+    /// All zone apexes this server is authoritative for.
+    pub fn apexes(&self) -> Vec<Name> {
+        self.zones.keys().cloned().collect()
+    }
+
+    /// The deepest zone whose apex is an ancestor-or-self of `qname`.
+    fn best_zone(&self, qname: &Name) -> Option<&Zone> {
+        self.zones
+            .values()
+            .filter(|z| qname.is_subdomain_of(z.apex()))
+            .max_by_key(|z| z.apex().label_count())
+    }
+
+    /// Answers a query. Returns `None` when the server is unresponsive
+    /// (the transport layer turns that into a timeout).
+    pub fn handle(&self, query: &Message) -> Option<Message> {
+        match self.behavior {
+            ServerBehavior::Unresponsive => return None,
+            ServerBehavior::Refuses => {
+                let mut resp = query.response();
+                resp.rcode = Rcode::Refused;
+                return Some(resp);
+            }
+            ServerBehavior::Normal => {}
+        }
+        let mut resp = query.response();
+        let Some(q) = query.question.clone() else {
+            resp.rcode = Rcode::FormErr;
+            return Some(resp);
+        };
+        let Some(zone) = self.best_zone(&q.qname) else {
+            resp.rcode = Rcode::Refused;
+            return Some(resp);
+        };
+        // AXFR (RFC 5936): full zone transfer, SOA-bracketed. Only served
+        // for an exact apex match.
+        if q.qtype == RrType::Axfr {
+            if &q.qname != zone.apex() {
+                resp.rcode = Rcode::Refused;
+                return Some(resp);
+            }
+            resp.flags.aa = true;
+            resp.answers = axfr_records(zone);
+            return Some(resp);
+        }
+        let dnssec = query.dnssec_ok();
+        answer_from_zone(zone, &q.qname, q.qtype, dnssec, &mut resp);
+        Some(resp)
+    }
+}
+
+/// The AXFR record stream: SOA first, everything else, SOA again
+/// (RFC 5936 §2.2).
+fn axfr_records(zone: &Zone) -> Vec<Record> {
+    let mut out = Vec::with_capacity(zone.record_count() + 2);
+    let soa_rec = zone
+        .get(zone.apex(), RrType::Soa)
+        .map(|s| s.to_records())
+        .unwrap_or_default();
+    out.extend(soa_rec.iter().cloned());
+    for set in zone.rrsets() {
+        if set.rtype == RrType::Soa && set.name == *zone.apex() {
+            continue;
+        }
+        out.extend(set.to_records());
+    }
+    out.extend(soa_rec);
+    out
+}
+
+/// Adds an RRset (and, when `dnssec`, its covering RRSIGs) to a section.
+fn push_set(zone: &Zone, set: &RRset, dnssec: bool, section: &mut Vec<Record>) {
+    section.extend(set.to_records());
+    if dnssec {
+        if let Some(sigset) = zone.get(&set.name, RrType::Rrsig) {
+            for rd in &sigset.rdatas {
+                if matches!(rd, RData::Rrsig(s) if s.type_covered == set.rtype) {
+                    section.push(Record::new(set.name.clone(), sigset.ttl, rd.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The main resolution algorithm over one zone.
+fn answer_from_zone(zone: &Zone, qname: &Name, qtype: RrType, dnssec: bool, resp: &mut Message) {
+    resp.flags.aa = true;
+
+    // 1. Delegation? (only when qname is below the cut, or at the cut and
+    //    the query is not for DS — the DS lives in the parent.)
+    if let Some(cut) = zone.delegation_covering(qname) {
+        let at_cut = qname == &cut;
+        if !at_cut || qtype != RrType::Ds {
+            referral(zone, &cut, dnssec, resp);
+            return;
+        }
+    }
+
+    let exists = zone.has_name(qname) || has_descendant(zone, qname);
+    if !exists {
+        // Wildcard synthesis (RFC 1034 §4.3.3 / RFC 4035 §3.1.3.3): if
+        // `*.<closest encloser>` holds the type, expand it; the answer
+        // carries the wildcard's RRSIG (fewer labels than the owner) plus
+        // the proof that the exact name does not exist.
+        if let Some((wc_owner, set)) = wildcard_match(zone, qname, qtype) {
+            let mut expanded = set.clone();
+            expanded.name = qname.clone();
+            resp.answers.extend(expanded.to_records());
+            if dnssec {
+                if let Some(sigset) = zone.get(&wc_owner, RrType::Rrsig) {
+                    for rd in &sigset.rdatas {
+                        if matches!(rd, RData::Rrsig(s) if s.type_covered == qtype) {
+                            resp.answers
+                                .push(Record::new(qname.clone(), sigset.ttl, rd.clone()));
+                        }
+                    }
+                }
+                // Prove the exact qname does not exist.
+                attach_denial(zone, qname, dnssec, true, resp);
+            }
+            return;
+        }
+        negative(zone, qname, dnssec, true, resp);
+        return;
+    }
+
+    // 2. Exact data?
+    if let Some(set) = zone.get(qname, qtype) {
+        push_set(zone, set, dnssec, &mut resp.answers);
+        return;
+    }
+
+    // 3. CNAME?
+    if qtype != RrType::Cname {
+        if let Some(cname) = zone.get(qname, RrType::Cname) {
+            push_set(zone, cname, dnssec, &mut resp.answers);
+            return;
+        }
+    }
+
+    // 4. NODATA.
+    negative(zone, qname, dnssec, false, resp);
+}
+
+/// Finds a wildcard RRset covering `qname` at its closest encloser.
+fn wildcard_match<'a>(zone: &'a Zone, qname: &Name, qtype: RrType) -> Option<(Name, &'a RRset)> {
+    let mut ce = qname.parent();
+    while let Some(c) = ce {
+        if !c.is_subdomain_of(zone.apex()) {
+            break;
+        }
+        if zone.has_name(&c) || has_descendant(zone, &c) {
+            let wc = c.child("*").ok()?;
+            return zone.get(&wc, qtype).map(|set| (wc, set));
+        }
+        ce = c.parent();
+    }
+    None
+}
+
+/// True if any owner name in the zone is strictly below `name` (so `name`
+/// is an empty non-terminal and must not produce NXDOMAIN).
+fn has_descendant(zone: &Zone, name: &Name) -> bool {
+    zone.names().any(|n| n.is_strict_subdomain_of(name))
+}
+
+/// Builds a referral response for a delegation at `cut`.
+fn referral(zone: &Zone, cut: &Name, dnssec: bool, resp: &mut Message) {
+    resp.flags.aa = false;
+    if let Some(ns) = zone.get(cut, RrType::Ns) {
+        push_set(zone, ns, dnssec, &mut resp.authorities);
+        // Glue.
+        for rd in &ns.rdatas {
+            if let RData::Ns(host) = rd {
+                if host.is_subdomain_of(cut) {
+                    for t in [RrType::A, RrType::Aaaa] {
+                        if let Some(glue) = zone.get(host, t) {
+                            resp.additionals.extend(glue.to_records());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if dnssec {
+        if let Some(ds) = zone.get(cut, RrType::Ds) {
+            push_set(zone, ds, dnssec, &mut resp.authorities);
+        } else {
+            // Signed zone without DS at the cut: prove its absence.
+            attach_denial(zone, cut, dnssec, false, resp);
+        }
+    }
+}
+
+/// Builds an NXDOMAIN or NODATA response with SOA and denial records.
+fn negative(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+    if nxdomain {
+        resp.rcode = Rcode::NxDomain;
+    }
+    if let Some(soa) = zone.get(zone.apex(), RrType::Soa) {
+        push_set(zone, soa, dnssec, &mut resp.authorities);
+    }
+    if dnssec {
+        attach_denial(zone, qname, dnssec, nxdomain, resp);
+    }
+}
+
+/// Attaches the NSEC or NSEC3 proof records the zone can actually supply.
+fn attach_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+    let uses_nsec3 = zone
+        .rrsets()
+        .any(|s| s.rtype == RrType::Nsec3 || s.rtype == RrType::Nsec3Param);
+    if uses_nsec3 {
+        attach_nsec3_denial(zone, qname, dnssec, nxdomain, resp);
+    } else {
+        attach_nsec_denial(zone, qname, dnssec, nxdomain, resp);
+    }
+}
+
+fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+    let mut wanted: Vec<Name> = Vec::new();
+    if nxdomain {
+        wanted.push(qname.clone());
+        // Wildcard at the closest existing ancestor.
+        let mut ce = qname.parent();
+        while let Some(c) = &ce {
+            if zone.has_name(c) || has_descendant(zone, c) || c == zone.apex() {
+                break;
+            }
+            ce = c.parent();
+        }
+        if let Some(ce) = ce {
+            if let Ok(w) = ce.child("*") {
+                wanted.push(w);
+            }
+        }
+    } else {
+        wanted.push(qname.clone());
+    }
+
+    let mut added: Vec<Name> = Vec::new();
+    for target in wanted {
+        let found = zone
+            .rrsets()
+            .filter(|s| s.rtype == RrType::Nsec)
+            .find(|s| {
+                if nxdomain || s.name != target {
+                    s.rdatas.iter().any(|rd| match rd {
+                        RData::Nsec(n) => ddx_dnssec::denial::nsec_covers(
+                            &s.name,
+                            &n.next_name,
+                            &target,
+                            zone.apex(),
+                        ) || s.name == target,
+                        _ => false,
+                    })
+                } else {
+                    true
+                }
+            });
+        if let Some(set) = found {
+            if !added.contains(&set.name) {
+                added.push(set.name.clone());
+                push_set(zone, set, dnssec, &mut resp.authorities);
+            }
+        }
+    }
+}
+
+fn attach_nsec3_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+    // Parameters from any NSEC3 record (fall back to NSEC3PARAM).
+    let params = zone
+        .rrsets()
+        .find_map(|s| match s.rdatas.first() {
+            Some(RData::Nsec3(n3)) if s.rtype == RrType::Nsec3 => {
+                Some((n3.salt.clone(), n3.iterations))
+            }
+            _ => None,
+        })
+        .or_else(|| {
+            zone.get(zone.apex(), RrType::Nsec3Param)
+                .and_then(|s| match s.rdatas.first() {
+                    Some(RData::Nsec3Param(p)) => Some((p.salt.clone(), p.iterations)),
+                    _ => None,
+                })
+        });
+    let Some((salt, iterations)) = params else {
+        return;
+    };
+
+    let nsec3_sets: Vec<(&RRset, &Nsec3)> = zone
+        .rrsets()
+        .filter(|s| s.rtype == RrType::Nsec3)
+        .filter_map(|s| match s.rdatas.first() {
+            Some(RData::Nsec3(n3)) => Some((s, n3)),
+            _ => None,
+        })
+        .collect();
+    let owner_hash = |set: &RRset| -> Option<Vec<u8>> {
+        let label = set.name.labels().first()?;
+        base32::decode(std::str::from_utf8(label.as_bytes()).ok()?)
+    };
+    let find_match = |target: &Name| -> Option<&RRset> {
+        let h = nsec3_hash(target, &salt, iterations);
+        nsec3_sets
+            .iter()
+            .find(|(s, _)| owner_hash(s).as_deref() == Some(&h[..]))
+            .map(|(s, _)| *s)
+    };
+    let find_cover = |target: &Name| -> Option<&RRset> {
+        let h = nsec3_hash(target, &salt, iterations);
+        nsec3_sets
+            .iter()
+            .find(|(s, n3)| {
+                owner_hash(s)
+                    .map(|oh| ddx_dnssec::nsec3::hash_covered(&oh, &n3.next_hashed_owner, &h))
+                    .unwrap_or(false)
+            })
+            .map(|(s, _)| *s)
+    };
+
+    let mut wanted: Vec<&RRset> = Vec::new();
+    if nxdomain {
+        // Closest encloser: deepest ancestor that exists (by data or ENT).
+        let mut ce = qname.parent();
+        while let Some(c) = &ce {
+            if zone.has_name(c) || has_descendant(zone, c) || c == zone.apex() {
+                break;
+            }
+            ce = c.parent();
+        }
+        let ce = ce.unwrap_or_else(|| zone.apex().clone());
+        let labels = qname.labels();
+        let nc_len = ce.label_count() + 1;
+        let next_closer = if labels.len() >= nc_len {
+            Name::from_labels(labels[labels.len() - nc_len..].to_vec()).ok()
+        } else {
+            None
+        };
+        if let Some(m) = find_match(&ce) {
+            wanted.push(m);
+        }
+        if let Some(nc) = &next_closer {
+            if let Some(c) = find_cover(nc) {
+                wanted.push(c);
+            }
+        }
+        if let Ok(w) = ce.child("*") {
+            if let Some(c) = find_cover(&w).or_else(|| find_match(&w)) {
+                wanted.push(c);
+            }
+        }
+    } else {
+        if let Some(m) = find_match(qname) {
+            wanted.push(m);
+        }
+    }
+
+    let mut added: Vec<Name> = Vec::new();
+    for set in wanted {
+        if !added.contains(&set.name) {
+            added.push(set.name.clone());
+            push_set(zone, set, dnssec, &mut resp.authorities);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::{name, Soa};
+    use ddx_dnssec::{
+        sign_zone, Algorithm, KeyPair, KeyRing, KeyRole, Nsec3Config, SignerConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    const NOW: u32 = 1_000_000;
+
+    fn plain_zone() -> Zone {
+        let mut z = Zone::new(name("example.com"));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
+        z.add(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
+        z.add(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        z.add(Record::new(
+            name("alias.example.com"),
+            300,
+            RData::Cname(name("www.example.com")),
+        ));
+        z.add(Record::new(
+            name("sub.example.com"),
+            3600,
+            RData::Ns(name("ns1.sub.example.com")),
+        ));
+        z.add(Record::new(
+            name("ns1.sub.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ));
+        z
+    }
+
+    fn signed_zone(nsec3: bool) -> Zone {
+        let mut z = plain_zone();
+        let mut ring = KeyRing::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for role in [KeyRole::Ksk, KeyRole::Zsk] {
+            ring.add(KeyPair::generate(
+                &mut rng,
+                name("example.com"),
+                Algorithm::EcdsaP256Sha256,
+                256,
+                role,
+                NOW,
+            ));
+        }
+        let cfg = if nsec3 {
+            SignerConfig::nsec3_at(NOW, Nsec3Config::default())
+        } else {
+            SignerConfig::nsec_at(NOW)
+        };
+        sign_zone(&mut z, &ring, &cfg, NOW).unwrap();
+        z
+    }
+
+    fn server(zone: Zone) -> Server {
+        let mut s = Server::new(ServerId("test#0".into()));
+        s.load_zone(zone);
+        s
+    }
+
+    fn ask(s: &Server, qname: &str, qtype: RrType) -> Message {
+        s.handle(&Message::query(1, name(qname), qtype)).unwrap()
+    }
+
+    #[test]
+    fn positive_answer_with_sigs() {
+        let s = server(signed_zone(false));
+        let r = ask(&s, "www.example.com", RrType::A);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.flags.aa);
+        assert!(r.find_answer(&name("www.example.com"), RrType::A).is_some());
+        assert!(!Message::sigs_covering(&r.answers, &name("www.example.com"), RrType::A).is_empty());
+    }
+
+    #[test]
+    fn plain_query_omits_sigs() {
+        let s = server(signed_zone(false));
+        let mut q = Message::query(1, name("www.example.com"), RrType::A);
+        q.edns = None;
+        let r = s.handle(&q).unwrap();
+        assert!(Message::sigs_covering(&r.answers, &name("www.example.com"), RrType::A).is_empty());
+    }
+
+    #[test]
+    fn cname_answered() {
+        let s = server(signed_zone(false));
+        let r = ask(&s, "alias.example.com", RrType::A);
+        assert!(r
+            .find_answer(&name("alias.example.com"), RrType::Cname)
+            .is_some());
+    }
+
+    #[test]
+    fn nxdomain_with_nsec_proof() {
+        let s = server(signed_zone(false));
+        let r = ask(&s, "nope.example.com", RrType::A);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        let nsecs: Vec<_> = r
+            .authorities
+            .iter()
+            .filter(|rec| rec.rtype() == RrType::Nsec)
+            .collect();
+        assert!(!nsecs.is_empty(), "NXDOMAIN must carry NSEC proof");
+        // SOA present too.
+        assert!(r.authorities.iter().any(|rec| rec.rtype() == RrType::Soa));
+    }
+
+    #[test]
+    fn nodata_with_nsec_proof() {
+        let s = server(signed_zone(false));
+        let r = ask(&s, "www.example.com", RrType::Aaaa);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.answers.is_empty());
+        assert!(r
+            .authorities
+            .iter()
+            .any(|rec| rec.rtype() == RrType::Nsec && rec.name == name("www.example.com")));
+    }
+
+    #[test]
+    fn nxdomain_with_nsec3_proof() {
+        let s = server(signed_zone(true));
+        let r = ask(&s, "nope.example.com", RrType::A);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        let views: Vec<(Name, Nsec3)> = r
+            .authorities
+            .iter()
+            .filter_map(|rec| match &rec.rdata {
+                RData::Nsec3(n3) => Some((rec.name.clone(), n3.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(!views.is_empty());
+        // The records the server chose must form a verifiable
+        // closest-encloser proof.
+        let refs: Vec<(&Name, &Nsec3)> = views.iter().map(|(o, n)| (o, n)).collect();
+        ddx_dnssec::verify_nsec3_denial(
+            &name("nope.example.com"),
+            RrType::A,
+            ddx_dnssec::DenialKind::NxDomain,
+            &refs,
+            &name("example.com"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn referral_without_aa() {
+        let s = server(signed_zone(false));
+        let r = ask(&s, "x.sub.example.com", RrType::A);
+        assert!(!r.flags.aa);
+        assert!(r
+            .authorities
+            .iter()
+            .any(|rec| rec.rtype() == RrType::Ns && rec.name == name("sub.example.com")));
+        // Glue comes along.
+        assert!(r
+            .additionals
+            .iter()
+            .any(|rec| rec.name == name("ns1.sub.example.com")));
+        // Unsigned delegation in a signed zone: NSEC proves no DS.
+        assert!(r
+            .authorities
+            .iter()
+            .any(|rec| rec.rtype() == RrType::Nsec && rec.name == name("sub.example.com")));
+    }
+
+    #[test]
+    fn ds_at_cut_answered_from_parent() {
+        let mut zone = signed_zone(false);
+        // Pretend the child is signed: parent holds a DS.
+        zone.add(Record::new(
+            name("sub.example.com"),
+            3600,
+            RData::Ds(ddx_dns::Ds {
+                key_tag: 1,
+                algorithm: 13,
+                digest_type: 2,
+                digest: vec![0; 32],
+            }),
+        ));
+        let s = server(zone);
+        let r = ask(&s, "sub.example.com", RrType::Ds);
+        assert!(r.find_answer(&name("sub.example.com"), RrType::Ds).is_some());
+    }
+
+    #[test]
+    fn ent_gives_nodata_not_nxdomain() {
+        let mut zone = plain_zone();
+        zone.add(Record::new(
+            name("a.ent.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 99)),
+        ));
+        let s = server(zone);
+        let r = ask(&s, "ent.example.com", RrType::A);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn refused_outside_zones() {
+        let s = server(plain_zone());
+        let r = ask(&s, "other.org", RrType::A);
+        assert_eq!(r.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn behaviors() {
+        let mut s = server(plain_zone());
+        s.behavior = ServerBehavior::Refuses;
+        assert_eq!(ask(&s, "www.example.com", RrType::A).rcode, Rcode::Refused);
+        s.behavior = ServerBehavior::Unresponsive;
+        assert!(s
+            .handle(&Message::query(1, name("www.example.com"), RrType::A))
+            .is_none());
+    }
+
+    #[test]
+    fn best_zone_picks_deepest() {
+        let mut s = Server::new(ServerId("multi#0".into()));
+        s.load_zone(plain_zone());
+        let mut child = Zone::new(name("sub.example.com"));
+        child.add(Record::new(
+            name("sub.example.com"),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns1.sub.example.com"),
+                rname: name("hostmaster.sub.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        child.add(Record::new(
+            name("w.sub.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(203, 0, 113, 1)),
+        ));
+        s.load_zone(child);
+        let r = ask(&s, "w.sub.example.com", RrType::A);
+        assert!(r.flags.aa);
+        assert!(r.find_answer(&name("w.sub.example.com"), RrType::A).is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! The local testbed: a registry of authoritative servers plus the
+//! NS-hostname → server mapping a prober needs to walk delegations, and the
+//! [`Network`] abstraction over "send this server a query".
+
+use std::collections::HashMap;
+
+use ddx_dns::{Message, Name};
+
+use crate::server::{Server, ServerId};
+
+/// Anything that can deliver a query to a named server and return its
+/// response. `None` models a timeout (unresponsive server / no route).
+pub trait Network {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Message>;
+
+    /// Resolves an NS hostname to the server instance behind it — the
+    /// testbed's substitute for glue/A-record resolution. `None` models an
+    /// unresolvable nameserver (lame delegation).
+    fn resolve_ns(&self, host: &Name) -> Option<ServerId>;
+}
+
+/// An in-process testbed holding every server of the sandbox hierarchy.
+#[derive(Debug, Default, Clone)]
+pub struct Testbed {
+    servers: HashMap<ServerId, Server>,
+    /// NS hostname → hosting server (the testbed's substitute for glue
+    /// resolution).
+    ns_hosts: HashMap<Name, ServerId>,
+}
+
+impl Testbed {
+    pub fn new() -> Self {
+        Testbed::default()
+    }
+
+    /// Registers a server instance.
+    pub fn add_server(&mut self, server: Server) {
+        self.servers.insert(server.id.clone(), server);
+    }
+
+    /// Declares that the NS hostname `host` resolves to `server`.
+    pub fn register_ns(&mut self, host: Name, server: ServerId) {
+        self.ns_hosts.insert(host, server);
+    }
+
+    /// Removes an NS-host mapping, making that nameserver unresolvable
+    /// (one way a delegation goes lame).
+    pub fn unregister_ns(&mut self, host: &Name) -> Option<ServerId> {
+        self.ns_hosts.remove(host)
+    }
+
+    /// Resolves an NS hostname to its server.
+    pub fn server_for_host(&self, host: &Name) -> Option<&ServerId> {
+        self.ns_hosts.get(host)
+    }
+
+    pub fn server(&self, id: &ServerId) -> Option<&Server> {
+        self.servers.get(id)
+    }
+
+    pub fn server_mut(&mut self, id: &ServerId) -> Option<&mut Server> {
+        self.servers.get_mut(id)
+    }
+
+    /// All registered server ids, sorted for determinism.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.servers.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Servers that have a copy of the zone rooted at `apex`, sorted.
+    pub fn servers_hosting(&self, apex: &Name) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| s.zone(apex).is_some())
+            .map(|s| s.id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Applies a mutation to the zone copy of `apex` on every hosting
+    /// server — the common "consistent change" path; per-server divergence
+    /// goes through [`Testbed::server_mut`] instead.
+    pub fn mutate_zone_everywhere<F: FnMut(&mut ddx_dns::Zone)>(&mut self, apex: &Name, mut f: F) {
+        for server in self.servers.values_mut() {
+            if let Some(zone) = server.zone_mut(apex) {
+                f(zone);
+            }
+        }
+    }
+}
+
+impl Network for Testbed {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Message> {
+        self.servers.get(server)?.handle(query)
+    }
+
+    fn resolve_ns(&self, host: &Name) -> Option<ServerId> {
+        self.ns_hosts.get(host).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::{name, RData, Record, RrType, Soa, Zone};
+    use std::net::Ipv4Addr;
+
+    fn mini_zone(apex: &str) -> Zone {
+        let apex = name(apex);
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa(Soa {
+                mname: apex.child("ns1").unwrap(),
+                rname: apex.child("hostmaster").unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Ns(apex.child("ns1").unwrap()),
+        ));
+        z.add(Record::new(
+            apex.child("ns1").unwrap(),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z
+    }
+
+    #[test]
+    fn query_routing() {
+        let mut tb = Testbed::new();
+        let mut s = Server::new(ServerId("a#0".into()));
+        s.load_zone(mini_zone("a.com"));
+        tb.add_server(s);
+        tb.register_ns(name("ns1.a.com"), ServerId("a#0".into()));
+
+        let q = Message::query(1, name("a.com"), RrType::Soa);
+        let r = tb.query(&ServerId("a#0".into()), &q).unwrap();
+        assert!(r.flags.aa);
+        assert!(tb.query(&ServerId("missing#9".into()), &q).is_none());
+        assert_eq!(
+            tb.server_for_host(&name("ns1.a.com")),
+            Some(&ServerId("a#0".into()))
+        );
+    }
+
+    #[test]
+    fn hosting_and_mutation() {
+        let mut tb = Testbed::new();
+        for i in 0..2 {
+            let mut s = Server::new(ServerId(format!("a#{i}")));
+            s.load_zone(mini_zone("a.com"));
+            tb.add_server(s);
+        }
+        assert_eq!(tb.servers_hosting(&name("a.com")).len(), 2);
+        tb.mutate_zone_everywhere(&name("a.com"), |z| {
+            z.add(Record::new(
+                name("x.a.com"),
+                60,
+                RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+            ));
+        });
+        for id in tb.servers_hosting(&name("a.com")) {
+            assert!(tb
+                .server(&id)
+                .unwrap()
+                .zone(&name("a.com"))
+                .unwrap()
+                .has_name(&name("x.a.com")));
+        }
+        // Divergent change on one server only.
+        let id0 = ServerId("a#0".into());
+        tb.server_mut(&id0)
+            .unwrap()
+            .zone_mut(&name("a.com"))
+            .unwrap()
+            .remove(&name("x.a.com"), RrType::A);
+        assert!(!tb
+            .server(&id0)
+            .unwrap()
+            .zone(&name("a.com"))
+            .unwrap()
+            .has_name(&name("x.a.com")));
+        assert!(tb
+            .server(&ServerId("a#1".into()))
+            .unwrap()
+            .zone(&name("a.com"))
+            .unwrap()
+            .has_name(&name("x.a.com")));
+    }
+
+    #[test]
+    fn unregister_ns_makes_host_unresolvable() {
+        let mut tb = Testbed::new();
+        tb.register_ns(name("ns1.a.com"), ServerId("a#0".into()));
+        assert!(tb.unregister_ns(&name("ns1.a.com")).is_some());
+        assert!(tb.server_for_host(&name("ns1.a.com")).is_none());
+    }
+}

@@ -1,0 +1,458 @@
+//! A real loopback UDP transport: each server runs on its own socket and
+//! thread, speaking genuine RFC 1035 wire format via `ddx_dns::wire`. Used
+//! by integration tests and the transport benchmark to show the testbed is
+//! not tied to in-process shortcuts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use ddx_dns::{wire, Message};
+
+use crate::server::{Server, ServerId};
+use crate::testbed::Network;
+
+/// A running UDP+TCP authoritative server bound to one loopback port.
+///
+/// UDP answers are truncated to the client's advertised EDNS payload size
+/// (512 bytes without EDNS), setting the TC bit; the TCP listener on the
+/// same port serves the full response with RFC 1035 §4.2.2 length framing.
+pub struct UdpServerHandle {
+    pub id: ServerId,
+    pub addr: SocketAddr,
+    server: Arc<RwLock<Server>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    tcp_thread: Option<JoinHandle<()>>,
+}
+
+impl UdpServerHandle {
+    /// Spawns `server` on an ephemeral 127.0.0.1 port (UDP and TCP).
+    pub fn spawn(server: Server) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = socket.local_addr()?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let id = server.id.clone();
+        let server = Arc::new(RwLock::new(server));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 65_535];
+                while !stop.load(Ordering::Relaxed) {
+                    let (len, peer) = match socket.recv_from(&mut buf) {
+                        Ok(x) => x,
+                        Err(_) => continue, // timeout: re-check stop flag
+                    };
+                    let Ok(query) = wire::decode(&buf[..len]) else {
+                        continue;
+                    };
+                    // The client's advertised maximum UDP payload.
+                    let limit = query
+                        .edns
+                        .map(|e| e.udp_size.max(512) as usize)
+                        .unwrap_or(512);
+                    let response = server.read().handle(&query);
+                    if let Some(resp) = response {
+                        let mut bytes = wire::encode(&resp);
+                        if bytes.len() > limit {
+                            // RFC 1035 §4.2.1/RFC 2181 §9: answer doesn't
+                            // fit — return a truncated response with TC so
+                            // the client retries over TCP.
+                            let mut truncated = resp.clone();
+                            truncated.flags.tc = true;
+                            truncated.answers.clear();
+                            truncated.authorities.clear();
+                            truncated.additionals.clear();
+                            bytes = wire::encode(&truncated);
+                        }
+                        let _ = socket.send_to(&bytes, peer);
+                    }
+                }
+            })
+        };
+        let tcp_thread = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = handle_tcp_client(stream, &server);
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(UdpServerHandle {
+            id,
+            addr,
+            server,
+            stop,
+            thread: Some(thread),
+            tcp_thread: Some(tcp_thread),
+        })
+    }
+
+    /// Mutates the live server (e.g. to inject an error between probes).
+    pub fn with_server_mut<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        f(&mut self.server.write())
+    }
+}
+
+impl Drop for UdpServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.tcp_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one TCP connection: length-framed queries and responses
+/// (RFC 1035 §4.2.2), no truncation.
+fn handle_tcp_client(
+    mut stream: TcpStream,
+    server: &Arc<RwLock<Server>>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf)?;
+    let len = u16::from_be_bytes(len_buf) as usize;
+    let mut msg = vec![0u8; len];
+    stream.read_exact(&mut msg)?;
+    let Ok(query) = wire::decode(&msg) else {
+        return Ok(());
+    };
+    if let Some(resp) = server.read().handle(&query) {
+        let bytes = wire::encode(&resp);
+        stream.write_all(&(bytes.len() as u16).to_be_bytes())?;
+        stream.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Sends one query over TCP with RFC 1035 §4.2.2 framing.
+fn tcp_query(addr: SocketAddr, query: &Message, timeout: Duration) -> Option<Message> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let bytes = wire::encode(query);
+    stream
+        .write_all(&(bytes.len() as u16).to_be_bytes())
+        .ok()?;
+    stream.write_all(&bytes).ok()?;
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u16::from_be_bytes(len_buf) as usize;
+    let mut msg = vec![0u8; len];
+    stream.read_exact(&mut msg).ok()?;
+    wire::decode(&msg).ok()
+}
+
+/// A [`Network`] that reaches servers over loopback UDP, retrying over TCP
+/// when a response comes back truncated (TC bit).
+#[derive(Default)]
+pub struct UdpNetwork {
+    routes: std::collections::HashMap<ServerId, SocketAddr>,
+    hosts: std::collections::HashMap<ddx_dns::Name, ServerId>,
+    /// Per-query timeout; queries past it count as unresponsive.
+    pub timeout: Duration,
+    /// Retry truncated answers over TCP (on by default, like a stub
+    /// resolver). Disable to observe raw TC responses.
+    pub tcp_fallback: bool,
+}
+
+impl UdpNetwork {
+    pub fn new() -> Self {
+        UdpNetwork {
+            routes: Default::default(),
+            hosts: Default::default(),
+            timeout: Duration::from_millis(500),
+            tcp_fallback: true,
+        }
+    }
+
+    /// Registers a spawned server's address.
+    pub fn add_route(&mut self, handle: &UdpServerHandle) {
+        self.routes.insert(handle.id.clone(), handle.addr);
+    }
+
+    /// Declares that NS hostname `host` resolves to `server`.
+    pub fn register_ns(&mut self, host: ddx_dns::Name, server: ServerId) {
+        self.hosts.insert(host, server);
+    }
+}
+
+impl Network for UdpNetwork {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Message> {
+        let addr = self.routes.get(server)?;
+        let socket = UdpSocket::bind("127.0.0.1:0").ok()?;
+        socket.set_read_timeout(Some(self.timeout)).ok()?;
+        socket.send_to(&wire::encode(query), addr).ok()?;
+        let mut buf = [0u8; 4096];
+        loop {
+            let (len, peer) = socket.recv_from(&mut buf).ok()?;
+            if peer != *addr {
+                continue;
+            }
+            let msg = wire::decode(&buf[..len]).ok()?;
+            if msg.id == query.id {
+                if msg.flags.tc && self.tcp_fallback {
+                    return tcp_query(*addr, query, self.timeout);
+                }
+                return Some(msg);
+            }
+        }
+    }
+
+    fn resolve_ns(&self, host: &ddx_dns::Name) -> Option<ServerId> {
+        self.hosts.get(host).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerBehavior;
+    use ddx_dns::{name, RData, Record, RrType, Soa, Zone};
+    use std::net::Ipv4Addr;
+
+    fn zone() -> Zone {
+        let mut z = Zone::new(name("udp.test"));
+        z.add(Record::new(
+            name("udp.test"),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns1.udp.test"),
+                rname: name("hostmaster.udp.test"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(name("www.udp.test"), 60, RData::A(Ipv4Addr::new(127, 0, 0, 1))));
+        z
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let mut server = Server::new(ServerId("udp#0".into()));
+        server.load_zone(zone());
+        let handle = UdpServerHandle::spawn(server).unwrap();
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+        let q = Message::query(77, name("www.udp.test"), RrType::A);
+        let r = net.query(&ServerId("udp#0".into()), &q).unwrap();
+        assert_eq!(r.id, 77);
+        assert!(r.find_answer(&name("www.udp.test"), RrType::A).is_some());
+    }
+
+    #[test]
+    fn unresponsive_server_times_out() {
+        let mut server = Server::new(ServerId("udp#1".into()));
+        server.load_zone(zone());
+        server.behavior = ServerBehavior::Unresponsive;
+        let handle = UdpServerHandle::spawn(server).unwrap();
+        let mut net = UdpNetwork::new();
+        net.timeout = Duration::from_millis(100);
+        net.add_route(&handle);
+        let q = Message::query(78, name("www.udp.test"), RrType::A);
+        assert!(net.query(&ServerId("udp#1".into()), &q).is_none());
+    }
+
+    #[test]
+    fn live_mutation_visible() {
+        let mut server = Server::new(ServerId("udp#2".into()));
+        server.load_zone(zone());
+        let handle = UdpServerHandle::spawn(server).unwrap();
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+        handle.with_server_mut(|s| {
+            s.zone_mut(&name("udp.test")).unwrap().add(Record::new(
+                name("new.udp.test"),
+                60,
+                RData::A(Ipv4Addr::new(127, 0, 0, 2)),
+            ));
+        });
+        let q = Message::query(79, name("new.udp.test"), RrType::A);
+        let r = net.query(&ServerId("udp#2".into()), &q).unwrap();
+        assert!(r.find_answer(&name("new.udp.test"), RrType::A).is_some());
+    }
+}
+
+#[cfg(test)]
+mod tcp_tests {
+    use super::*;
+    use ddx_dns::{name, Edns, RData, Record, RrType, Soa, Zone};
+    use std::net::Ipv4Addr;
+
+    /// A zone whose TXT RRset cannot fit a 512-byte UDP response.
+    fn big_zone() -> Zone {
+        let mut z = Zone::new(name("big.test"));
+        z.add(Record::new(
+            name("big.test"),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns1.big.test"),
+                rname: name("hostmaster.big.test"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        for i in 0..12 {
+            z.add(Record::new(
+                name("fat.big.test"),
+                60,
+                RData::Txt(vec![format!("{:0>120}", i)]),
+            ));
+        }
+        z.add(Record::new(name("fat.big.test"), 60, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
+        z
+    }
+
+    fn spawn_big() -> (UdpServerHandle, UdpNetwork) {
+        let mut server = Server::new(ServerId("big#0".into()));
+        server.load_zone(big_zone());
+        let handle = UdpServerHandle::spawn(server).unwrap();
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+        (handle, net)
+    }
+
+    #[test]
+    fn oversized_answer_truncated_without_fallback() {
+        let (_handle, mut net) = spawn_big();
+        net.tcp_fallback = false;
+        let mut q = Message::query(5, name("fat.big.test"), RrType::Txt);
+        q.edns = Some(Edns {
+            udp_size: 512,
+            dnssec_ok: false,
+        });
+        let r = net.query(&ServerId("big#0".into()), &q).unwrap();
+        assert!(r.flags.tc, "TC bit must be set");
+        assert!(r.answers.is_empty(), "truncated responses carry no answers");
+    }
+
+    #[test]
+    fn tcp_fallback_recovers_full_answer() {
+        let (_handle, net) = spawn_big();
+        let mut q = Message::query(6, name("fat.big.test"), RrType::Txt);
+        q.edns = Some(Edns {
+            udp_size: 512,
+            dnssec_ok: false,
+        });
+        let r = net.query(&ServerId("big#0".into()), &q).unwrap();
+        assert!(!r.flags.tc);
+        assert_eq!(
+            r.find_answer(&name("fat.big.test"), RrType::Txt).unwrap().len(),
+            12
+        );
+    }
+
+    #[test]
+    fn large_edns_budget_avoids_truncation() {
+        let (_handle, mut net) = spawn_big();
+        net.tcp_fallback = false;
+        let mut q = Message::query(7, name("fat.big.test"), RrType::Txt);
+        q.edns = Some(Edns {
+            udp_size: 4096,
+            dnssec_ok: false,
+        });
+        let r = net.query(&ServerId("big#0".into()), &q).unwrap();
+        assert!(!r.flags.tc);
+        assert_eq!(
+            r.find_answer(&name("fat.big.test"), RrType::Txt).unwrap().len(),
+            12
+        );
+    }
+
+    #[test]
+    fn no_edns_means_512_byte_limit() {
+        let (_handle, mut net) = spawn_big();
+        net.tcp_fallback = false;
+        let mut q = Message::query(8, name("fat.big.test"), RrType::Txt);
+        q.edns = None;
+        let r = net.query(&ServerId("big#0".into()), &q).unwrap();
+        assert!(r.flags.tc, "plain-DNS clients get the classic 512 limit");
+    }
+}
+
+#[cfg(test)]
+mod axfr_tests {
+    use super::*;
+    use crate::sandbox::{build_sandbox, ZoneSpec};
+    use crate::server::Server;
+    use ddx_dns::{name, RrType, Zone};
+
+    /// Reconstructs a zone from an AXFR answer stream.
+    fn zone_from_axfr(apex: &ddx_dns::Name, records: &[ddx_dns::Record]) -> Zone {
+        let mut z = Zone::new(apex.clone());
+        // Skip the trailing SOA duplicate.
+        for rec in &records[..records.len().saturating_sub(1)] {
+            z.add(rec.clone());
+        }
+        z
+    }
+
+    #[test]
+    fn axfr_over_tcp_fallback_transfers_signed_zone() {
+        // A fully signed zone never fits 512 bytes: AXFR over UDP gets TC
+        // and the client transparently retries over TCP (RFC 5936 behavior
+        // approximated by fallback).
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("xfer.test"))], 1_000_000, 31);
+        let apex = name("xfer.test");
+        let original = sb
+            .testbed
+            .server(&sb.zones[0].servers[0])
+            .unwrap()
+            .zone(&apex)
+            .unwrap()
+            .clone();
+        let mut server = Server::new(ServerId("xfer#0".into()));
+        server.load_zone(original.clone());
+        let handle = UdpServerHandle::spawn(server).unwrap();
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+
+        let mut q = Message::query(9, apex.clone(), RrType::Axfr);
+        q.edns = None; // classic 512-byte UDP: forces the TCP path
+        let r = net.query(&ServerId("xfer#0".into()), &q).unwrap();
+        assert!(!r.flags.tc, "fallback must deliver the untruncated stream");
+        // SOA-bracketed stream.
+        assert_eq!(r.answers.first().map(|r| r.rtype()), Some(RrType::Soa));
+        assert_eq!(r.answers.last().map(|r| r.rtype()), Some(RrType::Soa));
+        // The transferred zone equals the original.
+        let transferred = zone_from_axfr(&apex, &r.answers);
+        assert_eq!(transferred, original);
+    }
+
+    #[test]
+    fn axfr_refused_for_non_apex() {
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("xfer.test"))], 1_000_000, 32);
+        let server = sb.testbed.server(&sb.zones[0].servers[0]).unwrap();
+        let q = Message::query(10, name("www.xfer.test"), RrType::Axfr);
+        let r = server.handle(&q).unwrap();
+        assert_eq!(r.rcode, ddx_dns::Rcode::Refused);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a broken DNSSEC zone in the local sandbox, diagnose it
+//! like DNSViz would, and let DFixer repair it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+
+fn main() {
+    // 1. Describe the zone to replicate: the meta-parameters a DNSViz scan
+    //    records (key algorithms/sizes, DS digest type, NSEC vs NSEC3) plus
+    //    the errors it exhibited — here an expired RRSIG.
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+
+    // 2. ZReplicator builds a.com → par.a.com → inv-chd.par.a.com, two
+    //    authoritative servers per zone, and injects the misconfiguration.
+    let mut rep = replicate(&request, 1_000_000, 42).expect("replication succeeds");
+    println!("sandbox zones:");
+    for z in &rep.sandbox.zones {
+        println!("  {} on {} servers", z.apex, z.servers.len());
+    }
+
+    // 3. Diagnose: probe walks the chain of trust, grok validates it.
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    println!("\nstatus before fix: {} (signed & bogus)", report.status);
+    for e in report.errors() {
+        println!("  [{}] {} — {}", e.zone, e.code, e.detail);
+    }
+    assert_eq!(report.status, SnapshotStatus::Sb);
+
+    // 4. Ask DFixer for a plan (suggest-only): root cause + BIND commands.
+    let (_, resolution, commands) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
+    println!("\nroot cause: {:?}", resolution.addressed);
+    println!("plan:");
+    for instr in &resolution.plan {
+        println!("  - {}", instr.describe());
+    }
+    println!("commands:");
+    for c in &commands {
+        println!("  {c}");
+    }
+
+    // 5. Auto-apply mode: iterate probe → resolve → apply until clean.
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    println!(
+        "\nfixed={} after {} iteration(s); final status: {}",
+        run.fixed,
+        run.iterations.len(),
+        run.final_status
+    );
+    assert!(run.fixed);
+}

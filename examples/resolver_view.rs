@@ -1,0 +1,70 @@
+//! The end-user view: what a *validating resolver* (§2.2) answers for the
+//! same zone as it moves through healthy → tolerated-misconfigured →
+//! bogus → repaired states, including the RFC 8914 Extended DNS Error a
+//! modern resolver attaches to its SERVFAIL.
+//!
+//! ```text
+//! cargo run --example resolver_view
+//! ```
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+use ddx_dns::Rcode;
+use ddx_dnsviz::{resolve_validating, ResolverConfig};
+
+fn show(tag: &str, r: &ddx_dnsviz::Resolution) {
+    println!(
+        "{tag:<22} rcode={:<9} AD={} state={:?} answers={} ede={}",
+        r.rcode.to_string(),
+        r.ad as u8,
+        r.state,
+        r.answers.len(),
+        r.ede
+            .map(|e| format!("{} ({})", e.code(), e.purpose()))
+            .unwrap_or_else(|| "-".into())
+    );
+}
+
+fn main() {
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    let mut rep = replicate(&request, 1_000_000, 7).expect("replicates");
+    let qname = name("www.inv-chd.par.a.com");
+    let cfg = ResolverConfig {
+        anchor_zone: rep.sandbox.anchor().apex.clone(),
+        anchor_servers: rep.sandbox.anchor().servers.clone(),
+        hints: rep
+            .sandbox
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+        nsec3_policy: Default::default(),
+    };
+
+    // 1. Broken: the resolver withholds the answer and reports EDE 7.
+    let r = resolve_validating(&rep.sandbox.testbed, &cfg, &qname, RrType::A, 1_000_000);
+    show("expired RRSIG:", &r);
+    assert_eq!(r.rcode, Rcode::ServFail);
+    assert_eq!(r.ede.map(|e| e.code()), Some(7));
+
+    // 2. DFixer repairs the zone…
+    let probe_cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &probe_cfg, &FixerOptions::default());
+    assert!(run.fixed);
+
+    // …and the same query now validates with the AD bit set.
+    let r = resolve_validating(&rep.sandbox.testbed, &cfg, &qname, RrType::A, 1_000_000);
+    show("after DFixer:", &r);
+    assert!(r.ad);
+
+    // 3. Drop the DS: the answer still resolves, but unauthenticated.
+    rep.sandbox.set_ds(&name("inv-chd.par.a.com"), vec![], 1_000_000);
+    let r = resolve_validating(&rep.sandbox.testbed, &cfg, &qname, RrType::A, 1_000_000);
+    show("DS removed:", &r);
+    assert!(!r.ad);
+    assert_eq!(r.rcode, Rcode::NoError);
+}

@@ -1,0 +1,66 @@
+//! The paper's Figure 8 scenario end-to-end: a zone whose **only KSK
+//! carries the REVOKE flag and is still referenced by a DS record** in the
+//! parent. This is the canonical multi-step remediation — new KSK, DS
+//! upload, stale DS removal, TTL wait, key deletion, re-sign — and the case
+//! where naive per-error suggestions fall apart (Appendix A.2).
+//!
+//! ```text
+//! cargo run --example revoked_ksk
+//! ```
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+
+fn main() {
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::DsReferencesRevokedKey]),
+    };
+
+    // --- DFixer ---
+    let mut rep = replicate(&request, 1_000_000, 0xF18).expect("replicates");
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    println!("errors observed ({}):", report.status);
+    for e in report.errors() {
+        println!("  {} — {}", e.code, e.detail);
+    }
+
+    let (_, resolution, commands) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
+    println!(
+        "\nDResolver identified root cause: {:?} (of {} root causes)",
+        resolution.addressed,
+        resolution.root_causes.len()
+    );
+    println!("\nremediation plan (cf. paper Fig 8):");
+    for (i, instr) in resolution.plan.iter().enumerate() {
+        println!("  ({}) {}", i + 1, instr.describe());
+    }
+    println!("\nBIND command sequence:");
+    for c in &commands {
+        println!("  {c}");
+    }
+
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    println!(
+        "\nDFixer: fixed={} in {} iteration(s)",
+        run.fixed,
+        run.iterations.len()
+    );
+    assert!(run.fixed);
+
+    // --- naive baseline on the identical zone ---
+    let mut rep2 = replicate(&request, 1_000_000, 0xF18).expect("replicates");
+    let cfg2 = rep2.probe.clone();
+    let naive = run_naive(&mut rep2.sandbox, &cfg2, &FixerOptions::default());
+    println!(
+        "naive baseline: fixed={} in {} iteration(s); remaining: {:?}",
+        naive.fixed,
+        naive.iterations.len(),
+        naive.final_errors
+    );
+    // The naive planner removes the revoked key but never replaces the KSK
+    // nor cleans the stale DS — the chain stays broken.
+    assert!(!naive.fixed, "naive baseline should not fully repair this");
+}

@@ -1,0 +1,86 @@
+//! Rollover drill: the three RFC 6781 rollover strategies executed against
+//! the live sandbox, verified (like §3.4's well-behaved operators would) at
+//! every phase — followed by the classic botched KSK rollover that tops the
+//! paper's sv→sb cause list, and its DFixer repair.
+//!
+//! ```text
+//! cargo run --example rollover_drill
+//! ```
+
+use ddx::prelude::*;
+use ddx_dnsviz::ProbeConfig;
+use ddx_server::{botched_ksk_rollover, build_sandbox, Rollover, RolloverKind, Sandbox};
+
+const NOW: u32 = 1_000_000;
+
+fn sandbox() -> Sandbox {
+    build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+        ],
+        NOW,
+        2024,
+    )
+}
+
+fn probe_cfg(sb: &Sandbox, time: u32) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name("www.par.a.com"),
+        target_types: vec![RrType::A],
+        time,
+        hints: sb
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+fn drill(kind: RolloverKind, alg: Option<Algorithm>) {
+    println!("\n== {kind:?} ==");
+    let mut sb = sandbox();
+    let apex = name("par.a.com");
+    let mut rollover = Rollover::start(&sb, &apex, kind, alg, 9);
+    let mut now = NOW;
+    while let Some(step) = rollover.advance(&mut sb, now) {
+        let report = grok(&probe(&sb.testbed, &probe_cfg(&sb, now)));
+        println!(
+            "phase {}: {:<58} status={} (wait {}s)",
+            step.phase, step.description, report.status, step.wait_secs
+        );
+        assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+        now += step.wait_secs + 1;
+    }
+    let report = grok(&probe(&sb.testbed, &probe_cfg(&sb, now)));
+    println!("complete: status={}", report.status);
+    assert_eq!(report.status, SnapshotStatus::Sv);
+}
+
+fn main() {
+    drill(RolloverKind::ZskPrePublish, None);
+    drill(RolloverKind::KskDoubleDs, None);
+    drill(
+        RolloverKind::AlgorithmConservative,
+        Some(Algorithm::RsaSha256),
+    );
+
+    println!("\n== botched KSK rollover (no DS update) ==");
+    let mut sb = sandbox();
+    botched_ksk_rollover(&mut sb, &name("par.a.com"), NOW, 13);
+    let report = grok(&probe(&sb.testbed, &probe_cfg(&sb, NOW)));
+    println!("after botch: status={} errors={:?}", report.status, report.codes());
+    assert_eq!(report.status, SnapshotStatus::Sb);
+
+    let cfg = probe_cfg(&sb, NOW);
+    let run = run_fixer(&mut sb, &cfg, &FixerOptions::default());
+    println!(
+        "DFixer: fixed={} in {} iteration(s); final status={}",
+        run.fixed,
+        run.iterations.len(),
+        run.final_status
+    );
+    assert!(run.fixed);
+}

@@ -1,0 +1,110 @@
+//! Client-cache semantics behind DFixer's WaitTtl step (paper Fig 8 step 5):
+//! even after the authoritative side is fully repaired, a validator holding
+//! cached delegation material keeps failing until the TTL expires.
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+use ddx_dnsviz::{resolve_validating, ResolverConfig, ValidationState};
+use ddx_server::CachingNetwork;
+
+const NOW: u32 = 1_000_000;
+
+/// A network whose upstream can be switched between a broken and a fixed
+/// testbed mid-test — standing in for "the authoritative side changed
+/// underneath the validator's cache".
+struct ShiftingNetwork<'a> {
+    broken: &'a ddx_server::Testbed,
+    fixed: &'a ddx_server::Testbed,
+    use_fixed: std::cell::Cell<bool>,
+}
+
+impl ddx_server::Network for ShiftingNetwork<'_> {
+    fn query(&self, server: &ddx_server::ServerId, query: &ddx_dns::Message) -> Option<ddx_dns::Message> {
+        if self.use_fixed.get() {
+            self.fixed.query(server, query)
+        } else {
+            self.broken.query(server, query)
+        }
+    }
+
+    fn resolve_ns(&self, host: &Name) -> Option<ddx_server::ServerId> {
+        self.fixed.resolve_ns(host)
+    }
+}
+
+#[test]
+fn cached_bogus_state_outlives_the_authoritative_fix() {
+    // Break the zone with an expired signature.
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    let mut rep = replicate(&request, NOW, 0xCAC4E).unwrap();
+    let qname = name("www.inv-chd.par.a.com");
+    let rcfg = ResolverConfig {
+        anchor_zone: rep.sandbox.anchor().apex.clone(),
+        anchor_servers: rep.sandbox.anchor().servers.clone(),
+        hints: rep
+            .sandbox
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+        nsec3_policy: Default::default(),
+    };
+
+    // Snapshot the broken authoritative state, then repair the live one.
+    let broken_testbed = rep.sandbox.testbed.clone();
+    let probe_cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &probe_cfg, &FixerOptions::default());
+    assert!(run.fixed);
+
+    let net = ShiftingNetwork {
+        broken: &broken_testbed,
+        fixed: &rep.sandbox.testbed,
+        use_fixed: std::cell::Cell::new(false),
+    };
+    let cache = CachingNetwork::new(&net, NOW);
+
+    // The validator populates its cache while the zone is still broken.
+    let r = resolve_validating(&cache, &rcfg, &qname, RrType::A, NOW);
+    assert_eq!(r.state, ValidationState::Bogus);
+
+    // The authoritative side is now fixed — but the validator still answers
+    // from its poisoned cache.
+    net.use_fixed.set(true);
+    cache.set_now(NOW + 10);
+    let r = resolve_validating(&cache, &rcfg, &qname, RrType::A, NOW + 10);
+    assert_eq!(
+        r.state,
+        ValidationState::Bogus,
+        "cached records must keep the answer bogus until TTLs expire"
+    );
+
+    // After one full TTL everything cached has expired: the fix is visible.
+    cache.set_now(NOW + 90_000);
+    let r = resolve_validating(&cache, &rcfg, &qname, RrType::A, NOW + 90_000);
+    assert_eq!(r.state, ValidationState::Secure, "ede={:?}", r.ede);
+    assert!(r.ad);
+}
+
+#[test]
+fn cache_hit_ratio_improves_on_repeated_probes() {
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&request, NOW, 0xCAC4F).unwrap();
+    let cache = CachingNetwork::new(&rep.sandbox.testbed, NOW);
+    let mut cfg = rep.probe.clone();
+    cfg.time = NOW;
+    let first = grok(&probe(&cache, &cfg));
+    let (h1, m1) = cache.stats();
+    assert_eq!(first.status, SnapshotStatus::Sv);
+    let second = grok(&probe(&cache, &cfg));
+    let (h2, m2) = cache.stats();
+    assert_eq!(second.status, SnapshotStatus::Sv);
+    assert_eq!(m2, m1, "second probe should add no upstream queries");
+    assert!(h2 > h1, "second probe should be served from cache");
+}

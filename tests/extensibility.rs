@@ -1,0 +1,135 @@
+//! §5.6 extensibility: every DFixer plan renders into complete command
+//! sequences for NSD, Knot, and PowerDNS — and each replicated error code's
+//! plan is expressible in every flavor.
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+
+const NOW: u32 = 1_000_000;
+
+fn needs_nsec3(code: ErrorCode) -> bool {
+    use ErrorCode::*;
+    matches!(
+        code,
+        Nsec3ProofMissing
+            | Nsec3BitmapAssertsType
+            | Nsec3CoverageBroken
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch
+            | Nsec3IterationsNonzero
+            | Nsec3OptOutViolation
+            | Nsec3UnsupportedAlgorithm
+            | Nsec3NoClosestEncloser
+    )
+}
+
+#[test]
+fn every_replicable_error_renders_in_every_flavor() {
+    for code in ErrorCode::ALL {
+        if !code.replicable() {
+            continue;
+        }
+        let mut meta = ZoneMeta::default();
+        if needs_nsec3(code) {
+            meta.nsec3 = Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: false,
+            });
+        }
+        let req = ReplicationRequest {
+            meta,
+            intended: BTreeSet::from([code]),
+        };
+        let rep = replicate(&req, NOW, 0xE57).expect("replicates");
+        if !rep.skipped.is_empty() {
+            continue;
+        }
+        for flavor in ServerFlavor::ALL {
+            let (_, resolution, commands) = suggest(&rep.sandbox, &rep.probe, flavor);
+            assert!(
+                !resolution.plan.is_empty(),
+                "{code}: empty plan for {flavor:?}"
+            );
+            assert!(
+                !commands.is_empty(),
+                "{code}: no commands rendered for {flavor:?}"
+            );
+            for c in &commands {
+                assert!(
+                    c.manual || !c.line.trim().is_empty(),
+                    "{code}/{flavor:?}: empty non-manual command"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flavor_specific_tooling_used() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::DsReferencesRevokedKey]),
+    };
+    let rep = replicate(&req, NOW, 0xE58).unwrap();
+    let lines = |flavor| {
+        let (_, _, commands) = suggest(&rep.sandbox, &rep.probe, flavor);
+        commands
+            .iter()
+            .map(|c| c.line.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let bind = lines(ServerFlavor::Bind);
+    assert!(bind.contains("dnssec-keygen"), "{bind}");
+    assert!(bind.contains("dnssec-signzone"));
+    let nsd = lines(ServerFlavor::Nsd);
+    assert!(nsd.contains("ldns-keygen"), "{nsd}");
+    assert!(nsd.contains("ldns-signzone"));
+    let knot = lines(ServerFlavor::Knot);
+    assert!(knot.contains("keymgr"), "{knot}");
+    let pdns = lines(ServerFlavor::PowerDns);
+    assert!(pdns.contains("pdnsutil"), "{pdns}");
+}
+
+#[test]
+fn pdns_presigned_workaround_documented() {
+    // PowerDNS pre-signed zones cannot be fixed in place (pdns#8892): the
+    // rendered plan must include the manual note plus the import path.
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    let rep = replicate(&req, NOW, 0xE59).unwrap();
+    let (_, _, commands) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::PowerDns);
+    assert!(commands.iter().any(|c| c.manual && c.note.contains("8892")));
+    assert!(commands.iter().any(|c| c.line.contains("load-zone")));
+    assert!(commands.iter().any(|c| c.line.contains("rectify-zone")));
+}
+
+#[test]
+fn registrar_steps_always_manual() {
+    // DS upload/removal goes through the registrar in every flavor
+    // (§5.5.2: "Requires manual update of DS records").
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::DsDigestInvalid]),
+    };
+    let rep = replicate(&req, NOW, 0xE5A).unwrap();
+    for flavor in ServerFlavor::ALL {
+        let (_, resolution, commands) = suggest(&rep.sandbox, &rep.probe, flavor);
+        let wants_registrar = resolution.plan.iter().any(|i| {
+            matches!(
+                i.kind(),
+                InstructionKind::UploadDs | InstructionKind::RemoveIncorrectDs
+            )
+        });
+        if wants_registrar {
+            assert!(
+                commands.iter().any(|c| c.manual && c.note.contains("registrar")),
+                "{flavor:?}: registrar step not marked manual"
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Convergence properties of the DFixer engine: pairwise combinations of
+//! error codes must fix within the iteration budget, suggestion plans must
+//! be stable, and the engine must never report success with errors left.
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+
+const NOW: u32 = 1_000_000;
+
+fn needs_nsec3(code: ErrorCode) -> bool {
+    use ErrorCode::*;
+    matches!(
+        code,
+        Nsec3ProofMissing
+            | Nsec3BitmapAssertsType
+            | Nsec3CoverageBroken
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch
+            | Nsec3IterationsNonzero
+            | Nsec3OptOutViolation
+            | Nsec3UnsupportedAlgorithm
+            | Nsec3NoClosestEncloser
+    )
+}
+
+fn needs_nsec(code: ErrorCode) -> bool {
+    use ErrorCode::*;
+    matches!(
+        code,
+        NsecProofMissing
+            | NsecBitmapAssertsType
+            | NsecCoverageBroken
+            | NsecMissingWildcardProof
+            | LastNsecNotApex
+    )
+}
+
+fn request(codes: &[ErrorCode]) -> ReplicationRequest {
+    let nsec3 = codes.iter().any(|c| needs_nsec3(*c));
+    let mut meta = ZoneMeta::default();
+    if nsec3 {
+        meta.nsec3 = Some(Nsec3Meta {
+            iterations: 0,
+            salt_len: 0,
+            opt_out: false,
+        });
+    }
+    ReplicationRequest {
+        meta,
+        intended: codes.iter().copied().collect(),
+    }
+}
+
+/// A deterministic selection of cross-category pairs.
+fn pairs() -> Vec<(ErrorCode, ErrorCode)> {
+    use ErrorCode::*;
+    vec![
+        (RrsigExpired, DsDigestInvalid),
+        (RrsigMissing, Nsec3IterationsNonzero),
+        (DsMissingKeyForAlgorithm, RrsigNotYetValid),
+        (KeyLengthTooShort, OriginalTtlExceeded),
+        (DnskeyAlgorithmWithoutRrsig, TtlBeyondSignatureExpiry),
+        (RrsigBadLength, RrsigSignerMismatch),
+        (Nsec3ParamMismatch, Nsec3OptOutViolation),
+        (NsecCoverageBroken, RrsigExpired),
+        (DnskeyMissingFromServers, RrsigMissingFromServers),
+        (DsAlgorithmMismatch, RrsigInvalid),
+        (RevokedKeyInUse, RrsigExpired),
+        (Nsec3IterationsNonzero, Nsec3UnsupportedAlgorithm),
+    ]
+    .into_iter()
+    .filter(|(a, b)| {
+        // Skip structurally incompatible pairs (one needs NSEC, one NSEC3).
+        !((needs_nsec(*a) && needs_nsec3(*b)) || (needs_nsec3(*a) && needs_nsec(*b)))
+    })
+    .collect()
+}
+
+#[test]
+fn pairwise_combinations_converge() {
+    let mut failures = Vec::new();
+    for (i, (a, b)) in pairs().into_iter().enumerate() {
+        let req = request(&[a, b]);
+        let Ok(mut rep) = replicate(&req, NOW, 0x9000 + i as u64) else {
+            failures.push(format!("{a}+{b}: replication error"));
+            continue;
+        };
+        if !rep.skipped.is_empty() {
+            continue; // combination not injectable in one sandbox
+        }
+        let cfg = rep.probe.clone();
+        let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+        if !run.fixed {
+            failures.push(format!("{a}+{b}: residual {:?}", run.final_errors));
+        } else if run.iterations.len() > 4 {
+            failures.push(format!("{a}+{b}: {} iterations", run.iterations.len()));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn fixed_flag_matches_final_errors() {
+    let req = request(&[ErrorCode::RrsigExpired]);
+    let mut rep = replicate(&req, NOW, 0xA11).unwrap();
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert_eq!(run.fixed, run.final_errors.is_empty());
+    // After the engine reports success, an independent probe agrees.
+    let report = grok(&probe(&rep.sandbox.testbed, &cfg));
+    assert!(report.codes().is_empty());
+    assert_eq!(report.status, SnapshotStatus::Sv);
+}
+
+#[test]
+fn iteration_budget_respected() {
+    let req = request(&[ErrorCode::RrsigExpired]);
+    let mut rep = replicate(&req, NOW, 0xA12).unwrap();
+    let cfg = rep.probe.clone();
+    let opts = FixerOptions {
+        max_iterations: 1,
+        ..Default::default()
+    };
+    let run = run_fixer(&mut rep.sandbox, &cfg, &opts);
+    assert!(run.iterations.len() <= 1);
+}
+
+#[test]
+fn suggestion_is_deterministic() {
+    let req = request(&[ErrorCode::DsReferencesRevokedKey]);
+    let rep = replicate(&req, NOW, 0xA13).unwrap();
+    let (_, res1, cmd1) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
+    let (_, res2, cmd2) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
+    assert_eq!(res1.plan, res2.plan);
+    assert_eq!(cmd1, cmd2);
+}
+
+#[test]
+fn fixer_repairs_heavily_broken_zone() {
+    // Five simultaneous error classes.
+    let codes = [
+        ErrorCode::RrsigExpired,
+        ErrorCode::DsMissingKeyForAlgorithm,
+        ErrorCode::KeyLengthTooShort,
+        ErrorCode::OriginalTtlExceeded,
+        ErrorCode::RrsigMissingFromServers,
+    ];
+    let req = request(&codes);
+    let mut rep = replicate(&req, NOW, 0xA14).unwrap();
+    assert!(rep.skipped.is_empty(), "{:?}", rep.skipped);
+    let cfg = rep.probe.clone();
+    // Verify the mess first.
+    let before: BTreeSet<ErrorCode> = grok(&probe(&rep.sandbox.testbed, &cfg)).codes();
+    assert!(before.len() >= 4, "only {before:?}");
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed, "residual {:?}", run.final_errors);
+    assert!(run.iterations.len() <= 5);
+}
+
+#[test]
+fn clean_zone_needs_zero_iterations() {
+    let req = request(&[]);
+    let mut rep = replicate(&req, NOW, 0xA15).unwrap();
+    let cfg = rep.probe.clone();
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed);
+    assert!(run.iterations.is_empty());
+}

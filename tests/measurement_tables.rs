@@ -1,0 +1,159 @@
+//! Measurement-pipeline integration: the corpus-derived tables and figures
+//! must exhibit the paper's qualitative findings at a moderate scale.
+
+use ddx::prelude::*;
+use ddx_dataset::{analysis, params, tranco};
+use ddx_dnsviz::Category;
+
+fn corpus() -> Corpus {
+    generate(&CorpusConfig {
+        scale: 0.03,
+        seed: 20_200_311,
+    })
+}
+
+#[test]
+fn table1_counts_scale_linearly() {
+    let c = corpus();
+    let rows = analysis::table1(&c);
+    let sld = rows.iter().find(|r| r.level == "SLD+").unwrap();
+    let expect_domains = params::table1::SLD_DOMAINS as f64 * 0.03;
+    assert!(
+        (sld.domains as f64 - expect_domains).abs() / expect_domains < 0.02,
+        "domains {} vs {}",
+        sld.domains,
+        expect_domains
+    );
+    let expect_snaps = params::table1::SLD_SNAPSHOTS as f64 * 0.03;
+    assert!(
+        (sld.snapshots as f64 - expect_snaps).abs() / expect_snaps < 0.25,
+        "snapshots {} vs {}",
+        sld.snapshots,
+        expect_snaps
+    );
+}
+
+#[test]
+fn headline_findings_hold() {
+    let c = corpus();
+
+    // "NSEC3 misconfigurations, delegation failures and missing/expired
+    // signatures account for more than 70% of all bogus states" (abstract;
+    // here measured over all error mentions).
+    let prev = analysis::prevalence(&c);
+    let mention_total: u64 = prev.rows.iter().map(|r| r.snapshots).sum();
+    let big_three: u64 = prev
+        .rows
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.subcategory.category(),
+                Category::Nsec3Only | Category::Nsec3Shared | Category::Delegation
+            ) || matches!(
+                r.subcategory,
+                Subcategory::MissingSignature | Subcategory::ExpiredSignature
+            )
+        })
+        .map(|r| r.snapshots)
+        .sum();
+    let share = big_three as f64 / mention_total as f64;
+    assert!(share > 0.70, "big-three share {share}");
+
+    // "18% of such domains remain broken" — sb never-resolved share.
+    let rows = analysis::unresolved(&c);
+    let sb = &rows[0];
+    assert!(
+        (0.08..0.35).contains(&sb.share()),
+        "sb unresolved {}",
+        sb.share()
+    );
+
+    // Critical errors get fixed faster than non-critical ones.
+    let tm = analysis::transitions(&c);
+    assert!(tm.median_hours[2][0] < tm.median_hours[1][0]);
+}
+
+#[test]
+fn fig1_series_shapes() {
+    let bins = tranco::tranco_bins(0.05, 20_200_311);
+    // Downward coverage trend top → bottom.
+    assert!(bins[0].dataset_share() > bins[9].dataset_share());
+    // Signed-domain series stays above 30% everywhere.
+    for b in &bins {
+        assert!(b.signed_dataset_share() > 0.3, "bin {}", b.bin);
+    }
+    // Misconfiguration grows down-rank.
+    assert!(bins[9].misconfigured_share() > bins[0].misconfigured_share());
+}
+
+#[test]
+fn fig4_negative_errors_persist_longest() {
+    let c = corpus();
+    let rt = analysis::resolution_times(&c);
+    // Gather the p50 per marker for the critical and non-critical groups.
+    let p50 = |marker: u8, critical: bool| {
+        rt.rows
+            .iter()
+            .find(|r| r.marker == marker && r.critical == critical)
+            .map(|r| r.p50_hours)
+    };
+    // NZIC (9) and Original-TTL (8), both non-critical, outlast the
+    // delegation-level criticals (1, 5) when present.
+    if let (Some(nzic), Some(deleg)) = (p50(9, false), p50(5, true)) {
+        assert!(nzic > deleg, "{nzic} !> {deleg}");
+    }
+    if let (Some(ttl), Some(digest)) = (p50(8, false), p50(1, true)) {
+        assert!(ttl > digest, "{ttl} !> {digest}");
+    }
+}
+
+#[test]
+fn snapshot_serialization_round_trips() {
+    // The corpus is the stand-in for DNSViz's JSON snapshot files; it must
+    // survive serde round trips for pipeline interchange.
+    let c = generate(&CorpusConfig {
+        scale: 0.001,
+        seed: 1,
+    });
+    let domain = c
+        .sld_domains()
+        .find(|d| d.snapshots.iter().any(|s| !s.errors.is_empty()))
+        .expect("erroneous domain");
+    let json = serde_json::to_string(domain).unwrap();
+    let back: ddx_dataset::DomainRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.snapshots.len(), domain.snapshots.len());
+    assert_eq!(back.snapshots[0].status, domain.snapshots[0].status);
+}
+
+#[test]
+fn large_scale_smoke() {
+    // A 20%-scale corpus (64K domains, ~150K snapshots): headline
+    // aggregates stay within calibration bands (the full-scale run is
+    // exercised by `tables --full`; debug-build test time keeps this at
+    // 0.2).
+    let c = generate(&CorpusConfig {
+        scale: 0.2,
+        seed: 20_200_311,
+    });
+    let rows = analysis::table1(&c);
+    let sld = rows.iter().find(|r| r.level == "SLD+").unwrap();
+    assert_eq!(sld.domains, 63_855);
+    assert_eq!(sld.multi, 16_992);
+    let snap_delta = (sld.snapshots as f64 - 149_491.0).abs() / 149_491.0;
+    assert!(snap_delta < 0.10, "snapshots {} off by {snap_delta:.2}", sld.snapshots);
+
+    let prev = analysis::prevalence(&c);
+    let err_share = prev.erroneous_snapshots as f64 / prev.total_snapshots as f64;
+    assert!((0.28..0.45).contains(&err_share), "error share {err_share}");
+    let nzic = prev
+        .rows
+        .iter()
+        .find(|r| r.subcategory == Subcategory::NonzeroIterationCount)
+        .unwrap();
+    assert!((20.0..33.0).contains(&nzic.snapshot_pct), "NZIC {}", nzic.snapshot_pct);
+
+    let tm = analysis::transitions(&c);
+    // The signature asymmetry at full scale: sb→sv in ~0.7h, sv→sb >100h.
+    assert!(tm.median_hours[2][0] < 2.0);
+    assert!(tm.median_hours[0][2] > 80.0);
+}

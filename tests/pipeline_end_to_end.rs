@@ -1,0 +1,126 @@
+//! Full-pipeline integration test spanning every crate: corpus generation →
+//! snapshot selection → ZReplicator → probe/grok → DFixer → re-verification,
+//! with the Table 6 metrics computed over a real sample.
+
+use ddx::prelude::*;
+use ddx::{evaluate_corpus, evaluate_snapshot, EvalConfig};
+
+#[test]
+fn table6_metrics_have_paper_shape() {
+    let corpus = generate(&CorpusConfig {
+        scale: 0.004,
+        seed: 11,
+    });
+    let cfg = EvalConfig {
+        max_snapshots: 120,
+        ..Default::default()
+    };
+    let summary = evaluate_corpus(&corpus, &cfg);
+    let total = summary.total();
+    assert!(total.snapshots >= 100, "sample too small: {}", total.snapshots);
+
+    // Replication-rate shape: S1 near-perfect, S2 noticeably lower,
+    // total in between (paper: 98.81% / 78.71% / 90.11%).
+    assert!(summary.s1.rr() > 0.93, "s1 rr {}", summary.s1.rr());
+    assert!(
+        summary.s2.rr() < summary.s1.rr(),
+        "s2 {} !< s1 {}",
+        summary.s2.rr(),
+        summary.s1.rr()
+    );
+    assert!(summary.s2.rr() > 0.5, "s2 rr collapsed: {}", summary.s2.rr());
+    let rr = total.rr();
+    assert!((0.75..=1.0).contains(&rr), "total rr {rr}");
+
+    // Fix-rate shape: everything replicated gets fixed (paper: 99.99%).
+    assert!(total.fr() > 0.99, "fr {}", total.fr());
+
+    // Convergence budget (paper: ≤4 iterations).
+    assert!(summary.max_iterations <= 4, "{}", summary.max_iterations);
+}
+
+#[test]
+fn single_snapshot_eval_exposes_ie_ge_ae() {
+    let corpus = generate(&CorpusConfig {
+        scale: 0.002,
+        seed: 3,
+    });
+    let cfg = EvalConfig::default();
+    let snapshot = corpus
+        .erroneous_snapshots()
+        .find(|s| s.is_nzic_only())
+        .expect("an NZIC-only snapshot exists");
+    let eval = evaluate_snapshot(snapshot, &cfg, 0);
+    assert_eq!(
+        eval.intended,
+        std::collections::BTreeSet::from([ErrorCode::Nsec3IterationsNonzero])
+    );
+    assert!(eval.replicated, "generated {:?}", eval.generated);
+    assert!(eval.generated.contains(&ErrorCode::Nsec3IterationsNonzero));
+    let after = eval.after_fix.expect("fixer ran");
+    assert!(after.is_empty(), "residual errors {after:?}");
+    assert!(eval.iterations >= 1);
+    // Fixing NZIC is a re-sign (paper §5.4).
+    assert!(eval
+        .instructions
+        .iter()
+        .any(|(_, k)| *k == InstructionKind::SignZone));
+}
+
+#[test]
+fn table7_histogram_dominated_by_signing_and_ds() {
+    let corpus = generate(&CorpusConfig {
+        scale: 0.004,
+        seed: 21,
+    });
+    let cfg = EvalConfig {
+        max_snapshots: 150,
+        ..Default::default()
+    };
+    let summary = evaluate_corpus(&corpus, &cfg);
+    let hist = &summary.instruction_histogram;
+    assert!(!hist.is_empty());
+    let count = |k: InstructionKind| {
+        hist.iter()
+            .find(|(kind, _)| *kind == k)
+            .map(|(_, cols)| cols[0])
+            .unwrap_or(0)
+    };
+    let sign = count(InstructionKind::SignZone);
+    let ds_remove = count(InstructionKind::RemoveIncorrectDs);
+    assert!(sign > 0, "no sign instructions");
+    // Paper Table 7: signing and DS removal are the two dominant first-
+    // iteration instructions.
+    for (kind, cols) in hist {
+        if !matches!(
+            kind,
+            InstructionKind::SignZone | InstructionKind::RemoveIncorrectDs
+        ) {
+            assert!(
+                cols[0] <= sign.max(ds_remove),
+                "{kind} unexpectedly dominates"
+            );
+        }
+    }
+}
+
+#[test]
+fn unreplicable_errors_depress_rr_not_fr() {
+    // Snapshots containing unreplicable codes must count against RR while
+    // leaving FR untouched (they never reach the fixer).
+    let corpus = generate(&CorpusConfig {
+        scale: 0.01,
+        seed: 31,
+    });
+    let cfg = EvalConfig::default();
+    let mut checked = 0;
+    for (i, s) in corpus.erroneous_snapshots().enumerate().take(400) {
+        if s.errors.iter().any(|e| !e.replicable()) {
+            let eval = evaluate_snapshot(s, &cfg, i as u64);
+            assert!(!eval.replicated, "unreplicable {:?} replicated", s.errors);
+            assert!(eval.after_fix.is_none());
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "corpus produced no unreplicable snapshots");
+}

@@ -1,0 +1,224 @@
+//! ZReplicator fidelity: the replicated zones must mirror the snapshot's
+//! meta-parameters (keys, algorithms, DS digests, NSEC3 settings) and the
+//! intended errors, with benign companion errors allowed (paper footnote 4).
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+use ddx_dns::RData;
+
+const NOW: u32 = 1_000_000;
+
+#[test]
+fn meta_key_count_and_algorithm_mirrored() {
+    let meta = ZoneMeta {
+        keys: vec![
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 8,
+                bits: 2048,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 8,
+                bits: 1024,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 13,
+                bits: 256,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 13,
+                bits: 256,
+            },
+        ],
+        ds_digest_types: vec![1, 2],
+        nsec3: None,
+    };
+    let req = ReplicationRequest {
+        meta,
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 77).unwrap();
+    let leaf = rep.sandbox.leaf();
+    assert_eq!(leaf.ring.len(), 4);
+    let mut algos = leaf.ring.algorithms(NOW);
+    algos.sort_unstable();
+    assert_eq!(algos, vec![8, 13]);
+    // RSA ZSK carries the requested 1024 bits.
+    assert!(leaf
+        .ring
+        .keys()
+        .iter()
+        .any(|k| k.key_bits == 1024 && k.role == KeyRole::Zsk));
+    // DS digests 1 and 2 both present in the parent.
+    let parent = &rep.sandbox.zones[1];
+    let pzone = rep
+        .sandbox
+        .testbed
+        .server(&parent.servers[0])
+        .unwrap()
+        .zone(&parent.apex)
+        .unwrap();
+    let ds_set = pzone.get(&leaf.apex, RrType::Ds).expect("DS present");
+    let mut digest_types: Vec<u8> = ds_set
+        .rdatas
+        .iter()
+        .filter_map(|rd| match rd {
+            RData::Ds(d) => Some(d.digest_type),
+            _ => None,
+        })
+        .collect();
+    digest_types.sort_unstable();
+    digest_types.dedup();
+    assert_eq!(digest_types, vec![1, 2]);
+    // And the zone verifies clean.
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+}
+
+#[test]
+fn nsec3_parameters_mirrored_exactly() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta {
+            nsec3: Some(Nsec3Meta {
+                iterations: 33,
+                salt_len: 6,
+                opt_out: true,
+            }),
+            ..ZoneMeta::default()
+        },
+        intended: BTreeSet::from([ErrorCode::Nsec3IterationsNonzero]),
+    };
+    let rep = replicate(&req, NOW, 78).unwrap();
+    let leaf = rep.sandbox.leaf();
+    let zone = rep
+        .sandbox
+        .testbed
+        .server(&leaf.servers[0])
+        .unwrap()
+        .zone(&leaf.apex)
+        .unwrap();
+    let mut seen = false;
+    for set in zone.rrsets().filter(|s| s.rtype == RrType::Nsec3) {
+        for rd in &set.rdatas {
+            if let RData::Nsec3(n3) = rd {
+                assert_eq!(n3.iterations, 33);
+                assert_eq!(n3.salt.len(), 6);
+                assert!(n3.opt_out());
+                seen = true;
+            }
+        }
+    }
+    assert!(seen, "zone has no NSEC3 records");
+}
+
+#[test]
+fn deprecated_algorithms_substituted_consistently() {
+    let meta = ZoneMeta {
+        keys: vec![
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 3, // DSA — BIND cannot generate it
+                bits: 1024,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 3,
+                bits: 1024,
+            },
+        ],
+        ds_digest_types: vec![2],
+        nsec3: None,
+    };
+    let req = ReplicationRequest {
+        meta,
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 79).unwrap();
+    assert_eq!(rep.substitutions.len(), 1);
+    assert_eq!(rep.substitutions[0].observed, 3);
+    let generated = rep.substitutions[0].generated;
+    // Both keys carry the same substitute and the chain still validates.
+    for k in rep.sandbox.leaf().ring.keys() {
+        assert_eq!(k.dnskey.algorithm, generated);
+    }
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+}
+
+#[test]
+fn algorithm_exhaustion_fails_replication() {
+    let meta = ZoneMeta {
+        keys: vec![
+            ddx_replicator::KeySpec { role: KeyRole::Ksk, algorithm: 8, bits: 2048 },
+            ddx_replicator::KeySpec { role: KeyRole::Ksk, algorithm: 13, bits: 256 },
+            ddx_replicator::KeySpec { role: KeyRole::Zsk, algorithm: 6, bits: 1024 },
+        ],
+        ds_digest_types: vec![2],
+        nsec3: None,
+    };
+    let req = ReplicationRequest {
+        meta,
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    assert!(replicate(&req, NOW, 80).is_err());
+}
+
+#[test]
+fn companion_errors_are_superset_not_substitute() {
+    // Footnote 4: simulating "Missing KSK for algorithm" may add companion
+    // errors — IE ⊆ GE must still hold.
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::DsMissingKeyForAlgorithm]),
+    };
+    let rep = replicate(&req, NOW, 81).unwrap();
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    let generated = report.codes();
+    assert!(generated.contains(&ErrorCode::DsMissingKeyForAlgorithm));
+    // Whatever else appeared must not include unrelated criticals like
+    // expired signatures.
+    assert!(!generated.contains(&ErrorCode::RrsigExpired));
+}
+
+#[test]
+fn two_servers_and_hierarchy_shape() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 82).unwrap();
+    assert_eq!(rep.sandbox.zones.len(), 3);
+    assert_eq!(rep.sandbox.zones[0].apex, ddx_replicator::anchor_apex());
+    assert_eq!(rep.sandbox.zones[1].apex, ddx_replicator::parent_apex());
+    assert_eq!(rep.sandbox.zones[2].apex, ddx_replicator::target_apex());
+    for z in &rep.sandbox.zones {
+        assert_eq!(z.servers.len(), 2, "{} must run two servers", z.apex);
+    }
+}
+
+#[test]
+fn denial_mode_mismatch_is_a_replication_failure() {
+    // An NSEC3-only error against an explicitly NSEC meta: the injector
+    // must skip and the snapshot counts against RR (one of the modeled
+    // §5.5.1 failure modes). The replicate() safety net only engages when
+    // the meta is silent, not when it asserts NSEC3 parameters exist.
+    let req = ReplicationRequest {
+        meta: ZoneMeta {
+            nsec3: Some(Nsec3Meta {
+                iterations: 0,
+                salt_len: 0,
+                opt_out: false,
+            }),
+            ..ZoneMeta::default()
+        },
+        intended: BTreeSet::from([ErrorCode::NsecProofMissing]),
+    };
+    let rep = replicate(&req, NOW, 83).unwrap();
+    assert_eq!(rep.skipped.len(), 1);
+    let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    assert!(!report.codes().contains(&ErrorCode::NsecProofMissing));
+}

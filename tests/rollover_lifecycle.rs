@@ -1,0 +1,136 @@
+//! Rollover lifecycle integration: correctly executed rollovers keep the
+//! zone `sv` at every phase; the botched KSK rollover (§3.4's top cause of
+//! sv→sb transitions) breaks the chain and DFixer repairs it.
+
+use ddx::prelude::*;
+use ddx_dnsviz::ProbeConfig;
+use ddx_server::{build_sandbox, Rollover, RolloverKind, Sandbox};
+
+const NOW: u32 = 1_000_000;
+
+fn sandbox() -> Sandbox {
+    build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+        ],
+        NOW,
+        61,
+    )
+}
+
+fn probe_cfg(sb: &Sandbox, time: u32) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name("www.par.a.com"),
+        target_types: vec![RrType::A],
+        time,
+        hints: sb
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+fn status_at(sb: &Sandbox, time: u32) -> (SnapshotStatus, Vec<ErrorCode>) {
+    let report = grok(&probe(&sb.testbed, &probe_cfg(sb, time)));
+    let codes = report.codes().into_iter().collect();
+    (report.status, codes)
+}
+
+/// Runs a rollover, asserting the zone validates after every phase (both
+/// immediately after the change and after the prescribed wait).
+fn assert_always_valid(kind: RolloverKind, alg: Option<Algorithm>) {
+    let mut sb = sandbox();
+    let apex = name("par.a.com");
+    let mut rollover = Rollover::start(&sb, &apex, kind, alg, 7);
+    let mut now = NOW;
+    let mut phase = 0;
+    while let Some(step) = rollover.advance(&mut sb, now) {
+        phase += 1;
+        let (status, codes) = status_at(&sb, now);
+        assert_eq!(
+            status,
+            SnapshotStatus::Sv,
+            "{kind:?} phase {phase} (immediately): {codes:?}"
+        );
+        now += step.wait_secs + 1;
+        let (status, codes) = status_at(&sb, now);
+        assert_eq!(
+            status,
+            SnapshotStatus::Sv,
+            "{kind:?} phase {phase} (after wait): {codes:?}"
+        );
+    }
+    assert!(phase >= 3, "{kind:?} ran only {phase} phases");
+}
+
+#[test]
+fn zsk_prepublish_rollover_never_breaks() {
+    assert_always_valid(RolloverKind::ZskPrePublish, None);
+}
+
+#[test]
+fn ksk_double_ds_rollover_never_breaks() {
+    assert_always_valid(RolloverKind::KskDoubleDs, None);
+}
+
+#[test]
+fn algorithm_rollover_never_breaks() {
+    assert_always_valid(
+        RolloverKind::AlgorithmConservative,
+        Some(Algorithm::RsaSha256),
+    );
+}
+
+#[test]
+fn botched_ksk_rollover_goes_bogus_and_dfixer_repairs() {
+    let mut sb = sandbox();
+    let apex = name("par.a.com");
+    ddx_server::botched_ksk_rollover(&mut sb, &apex, NOW, 99);
+
+    // The zone is now signed-and-bogus with a broken delegation — exactly
+    // the paper's "Key Rollover" negative-transition signature.
+    let (status, codes) = status_at(&sb, NOW);
+    assert_eq!(status, SnapshotStatus::Sb, "{codes:?}");
+    assert!(
+        codes.contains(&ErrorCode::NoSecureEntryPoint)
+            || codes.contains(&ErrorCode::DsDigestInvalid)
+            || codes.contains(&ErrorCode::DsMissingKeyForAlgorithm),
+        "{codes:?}"
+    );
+
+    // DFixer repairs it (uploading the correct DS, removing the stale one).
+    let cfg = probe_cfg(&sb, NOW);
+    let run = run_fixer(&mut sb, &cfg, &FixerOptions::default());
+    assert!(run.fixed, "residual {:?}", run.final_errors);
+    let kinds: Vec<InstructionKind> = run
+        .iterations
+        .iter()
+        .flat_map(|it| it.plan.iter().map(|i| i.kind()))
+        .collect();
+    assert!(kinds.contains(&InstructionKind::UploadDs), "{kinds:?}");
+    assert!(kinds.contains(&InstructionKind::RemoveIncorrectDs));
+}
+
+#[test]
+fn botched_rollover_fixable_via_cds_too() {
+    let mut sb = sandbox();
+    let apex = name("par.a.com");
+    ddx_server::botched_ksk_rollover(&mut sb, &apex, NOW, 77);
+    let cfg = probe_cfg(&sb, NOW);
+    let opts = FixerOptions {
+        use_cds: true,
+        ..Default::default()
+    };
+    let run = run_fixer(&mut sb, &cfg, &opts);
+    assert!(run.fixed, "residual {:?}", run.final_errors);
+    let kinds: Vec<InstructionKind> = run
+        .iterations
+        .iter()
+        .flat_map(|it| it.plan.iter().map(|i| i.kind()))
+        .collect();
+    assert!(kinds.contains(&InstructionKind::PublishCds), "{kinds:?}");
+}

@@ -1,0 +1,122 @@
+//! The testbed over a real loopback UDP transport: genuine RFC 1035 wire
+//! format end to end, the full probe/grok path against live sockets, and an
+//! injected error diagnosed through the network.
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+use ddx_server::{Network, UdpNetwork, UdpServerHandle};
+
+const NOW: u32 = 1_000_000;
+
+/// Lifts every server of a sandbox onto its own UDP socket and returns a
+/// matching network.
+fn lift_to_udp(sandbox: &Sandbox) -> (Vec<UdpServerHandle>, UdpNetwork) {
+    let mut handles = Vec::new();
+    let mut net = UdpNetwork::new();
+    for zone in &sandbox.zones {
+        for sid in &zone.servers {
+            let server = sandbox
+                .testbed
+                .server(sid)
+                .expect("server exists")
+                .clone();
+            let handle = UdpServerHandle::spawn(server).expect("socket binds");
+            net.add_route(&handle);
+            handles.push(handle);
+        }
+        for host in &zone.ns_hosts {
+            if let Some(sid) = sandbox.testbed.resolve_ns(host) {
+                net.register_ns(host.clone(), sid);
+            }
+        }
+    }
+    (handles, net)
+}
+
+#[test]
+fn healthy_hierarchy_verifies_over_udp() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 0xBD1).unwrap();
+    let (_handles, net) = lift_to_udp(&rep.sandbox);
+    let report = grok(&probe(&net, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+    assert_eq!(report.zones.len(), 3);
+}
+
+#[test]
+fn injected_error_detected_over_udp() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    let rep = replicate(&req, NOW, 0xBD2).unwrap();
+    let (_handles, net) = lift_to_udp(&rep.sandbox);
+    let report = grok(&probe(&net, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sb);
+    assert!(report.codes().contains(&ErrorCode::RrsigExpired));
+}
+
+#[test]
+fn udp_and_in_process_reports_agree() {
+    let req = ReplicationRequest {
+        meta: ZoneMeta {
+            nsec3: Some(Nsec3Meta {
+                iterations: 5,
+                salt_len: 4,
+                opt_out: false,
+            }),
+            ..ZoneMeta::default()
+        },
+        intended: BTreeSet::from([ErrorCode::Nsec3IterationsNonzero]),
+    };
+    let rep = replicate(&req, NOW, 0xBD3).unwrap();
+    let in_proc = grok(&probe(&rep.sandbox.testbed, &rep.probe));
+    let (_handles, net) = lift_to_udp(&rep.sandbox);
+    let over_udp = grok(&probe(&net, &rep.probe));
+    assert_eq!(in_proc.status, over_udp.status);
+    assert_eq!(in_proc.codes(), over_udp.codes());
+}
+
+#[test]
+fn large_dnskey_responses_survive_wire_round_trip() {
+    // RSA-2048 keys and their signatures make DNSKEY responses sizable;
+    // they must encode/decode intact within the 4096-byte EDNS budget.
+    let meta = ZoneMeta {
+        keys: vec![
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 8,
+                bits: 2048,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 8,
+                bits: 2048,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 13,
+                bits: 256,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 13,
+                bits: 256,
+            },
+        ],
+        ds_digest_types: vec![2],
+        nsec3: None,
+    };
+    let req = ReplicationRequest {
+        meta,
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&req, NOW, 0xBD4).unwrap();
+    let (_handles, net) = lift_to_udp(&rep.sandbox);
+    let report = grok(&probe(&net, &rep.probe));
+    assert_eq!(report.status, SnapshotStatus::Sv, "{:?}", report.codes());
+}
