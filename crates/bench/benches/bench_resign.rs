@@ -1,0 +1,85 @@
+//! Re-signing benchmarks for the sign-once pipeline: repeated
+//! `Sandbox::resign_zone` passes (the DFixer per-iteration workload),
+//! cached vs cold zone signing, and the NSEC3 high-iteration case the
+//! paper's NZIC class makes hot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ddx_dns::name;
+use ddx_dnssec::{sign_zone, sign_zone_cached, Nsec3Config, SigCache};
+use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+const NOW: u32 = 1_000_000;
+
+fn three_level(nsec3: Option<Nsec3Config>) -> Sandbox {
+    let mut leaf = ZoneSpec::conventional(name("chd.par.a.com"));
+    leaf.nsec3 = nsec3;
+    build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+            leaf,
+        ],
+        NOW,
+        7,
+    )
+}
+
+fn high_iteration_nsec3() -> Nsec3Config {
+    Nsec3Config {
+        iterations: 150,
+        salt: vec![0xAA, 0xBB, 0xCC, 0xDD],
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // The DFixer-iteration shape: the same zone re-signed over and over on
+    // a long-lived sandbox whose RRSIG cache persists across passes.
+    c.bench_function("resign_zone_warm", |b| {
+        let mut sb = three_level(None);
+        let apex = name("chd.par.a.com");
+        sb.resign_zone(&apex, NOW + 10).unwrap();
+        b.iter(|| sb.resign_zone(&apex, NOW + 10).unwrap())
+    });
+    c.bench_function("resign_zone_nsec3_high_iter_warm", |b| {
+        let mut sb = three_level(Some(high_iteration_nsec3()));
+        let apex = name("chd.par.a.com");
+        sb.resign_zone(&apex, NOW + 10).unwrap();
+        b.iter(|| sb.resign_zone(&apex, NOW + 10).unwrap())
+    });
+
+    // Cached vs cold whole-zone signing over identical input, isolating the
+    // signer from the sandbox fan-out.
+    let template = {
+        let sb = three_level(None);
+        let apex = name("chd.par.a.com");
+        let id = sb.testbed.servers_hosting(&apex).remove(0);
+        sb.testbed.server(&id).unwrap().zone(&apex).unwrap().clone()
+    };
+    let (ring, cfg) = {
+        let sb = three_level(None);
+        let z = sb.zone(&name("chd.par.a.com")).unwrap();
+        (z.ring.clone(), z.signer_config.clone())
+    };
+    c.bench_function("sign_zone_cold", |b| {
+        b.iter(|| {
+            let mut zone = template.clone();
+            sign_zone(&mut zone, &ring, &cfg, NOW + 10).unwrap();
+            zone
+        })
+    });
+    c.bench_function("sign_zone_cached_warm", |b| {
+        let mut cache = SigCache::new();
+        let mut warmup = template.clone();
+        sign_zone_cached(&mut warmup, &ring, &cfg, NOW + 10, &mut cache).unwrap();
+        b.iter(|| {
+            let mut zone = template.clone();
+            sign_zone_cached(&mut zone, &ring, &cfg, NOW + 10, &mut cache).unwrap();
+            zone
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

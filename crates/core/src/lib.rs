@@ -29,11 +29,17 @@
 
 pub mod pipeline;
 
-pub use pipeline::{evaluate_corpus, evaluate_corpus_parallel, evaluate_snapshot, EvalConfig, EvalSummary, SnapshotEval, Table6Row};
+pub use pipeline::{
+    evaluate_corpus, evaluate_corpus_parallel, evaluate_corpus_seq, evaluate_snapshot, EvalConfig,
+    EvalSummary, SnapshotEval, Table6Row,
+};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::pipeline::{evaluate_corpus, evaluate_corpus_parallel, evaluate_snapshot, EvalConfig, EvalSummary};
+    pub use crate::pipeline::{
+        evaluate_corpus, evaluate_corpus_parallel, evaluate_corpus_seq, evaluate_snapshot,
+        EvalConfig, EvalSummary,
+    };
     pub use ddx_dataset::{generate, Corpus, CorpusConfig, Level, Snapshot};
     pub use ddx_dns::{name, Name, RData, RRset, Record, RrType, Zone};
     pub use ddx_dnssec::{Algorithm, DigestType, KeyPair, KeyRing, KeyRole, Nsec3Config};
@@ -85,13 +91,14 @@ mod tests {
             max_snapshots: 30,
             ..Default::default()
         };
-        let seq = pipeline::evaluate_corpus(&corpus, &cfg);
+        let seq = pipeline::evaluate_corpus_seq(&corpus, &cfg);
         let par = pipeline::evaluate_corpus_parallel(&corpus, &cfg, 4);
         assert_eq!(seq.s1.snapshots, par.s1.snapshots);
         assert_eq!(seq.s1.replicated, par.s1.replicated);
         assert_eq!(seq.s2.replicated, par.s2.replicated);
         assert_eq!(seq.s2.fixed, par.s2.fixed);
         assert_eq!(seq.instruction_histogram, par.instruction_histogram);
+        assert_eq!(seq.histogram_overflow, par.histogram_overflow);
         assert_eq!(seq.max_iterations, par.max_iterations);
     }
 }

@@ -81,8 +81,12 @@ impl Table6Row {
 pub struct EvalSummary {
     pub s1: Table6Row,
     pub s2: Table6Row,
-    /// Table 7: `counts[kind][iteration-1]` over the S2 subset.
+    /// Table 7: `counts[kind][iteration-1]` over the S2 subset; iterations
+    /// past 6 are clamped into the last bucket.
     pub instruction_histogram: Vec<(InstructionKind, [u64; 6])>,
+    /// Instructions issued at iteration > 6 (clamped into bucket 6 above
+    /// rather than silently dropped).
+    pub histogram_overflow: u64,
     /// Maximum iterations any fixed zone needed.
     pub max_iterations: usize,
 }
@@ -201,8 +205,20 @@ pub fn evaluate_corpus_parallel(corpus: &Corpus, cfg: &EvalConfig, workers: usiz
     summarize(evals.into_iter().map(|(_, e)| e))
 }
 
-/// Runs the pipeline over (a sample of) the corpus' erroneous snapshots.
+/// Runs the pipeline over (a sample of) the corpus' erroneous snapshots,
+/// using every available core. Results are identical to
+/// [`evaluate_corpus_seq`]: per-snapshot seeds derive from corpus index, not
+/// scheduling order.
 pub fn evaluate_corpus(corpus: &Corpus, cfg: &EvalConfig) -> EvalSummary {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    evaluate_corpus_parallel(corpus, cfg, workers)
+}
+
+/// Single-threaded [`evaluate_corpus`], kept for determinism tests and
+/// environments where spawning threads is undesirable.
+pub fn evaluate_corpus_seq(corpus: &Corpus, cfg: &EvalConfig) -> EvalSummary {
     summarize(
         corpus
             .erroneous_snapshots()
@@ -224,6 +240,7 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
     };
     let mut histogram: std::collections::BTreeMap<InstructionKind, [u64; 6]> =
         Default::default();
+    let mut histogram_overflow = 0u64;
     let mut max_iterations = 0usize;
 
     for eval in evals {
@@ -242,17 +259,32 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
         if !eval.s1 {
             for (iteration, kind) in &eval.instructions {
                 let slot = histogram.entry(*kind).or_default();
-                if *iteration >= 1 && *iteration <= 6 {
-                    slot[iteration - 1] += 1;
+                if *iteration >= 1 {
+                    // Table 7 has six columns; later iterations are rare but
+                    // must not vanish — clamp them into the last bucket and
+                    // keep a count so the loss is visible.
+                    let bucket = (*iteration).min(6);
+                    slot[bucket - 1] += 1;
+                    if *iteration > 6 {
+                        histogram_overflow += 1;
+                    }
                 }
             }
         }
+    }
+
+    if histogram_overflow > 0 {
+        eprintln!(
+            "pipeline: {histogram_overflow} instruction(s) issued past iteration 6 \
+             clamped into the last Table 7 bucket"
+        );
     }
 
     EvalSummary {
         s1,
         s2,
         instruction_histogram: histogram.into_iter().collect(),
+        histogram_overflow,
         max_iterations,
     }
 }

@@ -26,6 +26,6 @@ pub use rdata::{
     Ds, Dnskey, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa, DNSKEY_FLAG_REVOKE, DNSKEY_FLAG_SEP,
     DNSKEY_FLAG_ZONE, NSEC3_FLAG_OPT_OUT,
 };
-pub use rrset::{RRset, Record};
+pub use rrset::{CanonicalScratch, RRset, Record};
 pub use types::{Rcode, RrClass, RrType, TypeBitmap};
 pub use zone::Zone;

@@ -224,12 +224,19 @@ impl Name {
     /// Canonical wire form: lowercased, uncompressed (RFC 4034 §6.2).
     pub fn canonical_wire(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
+        self.canonical_wire_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical wire form to `out` without intermediate
+    /// allocations — the hot path for bulk signing and NSEC3 hashing.
+    pub fn canonical_wire_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
         for label in &self.labels {
             out.push(label.len() as u8);
-            out.extend(label.to_lowercase());
+            out.extend(label.as_bytes().iter().map(|b| b.to_ascii_lowercase()));
         }
         out.push(0);
-        out
     }
 
     /// ASCII-lowercased presentation form, used as a case-insensitive map key.

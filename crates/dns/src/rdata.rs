@@ -59,10 +59,20 @@ impl Dnskey {
         self.flags & DNSKEY_FLAG_REVOKE != 0
     }
 
+    /// Appends the DNSKEY RDATA wire form (flags | protocol | algorithm |
+    /// public key) to `out` without routing through an [`RData`] wrapper.
+    pub fn wire_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.flags.to_be_bytes());
+        out.push(self.protocol);
+        out.push(self.algorithm);
+        out.extend_from_slice(&self.public_key);
+    }
+
     /// Key tag per RFC 4034 Appendix B: ones-complement-style checksum over
     /// the RDATA.
     pub fn key_tag(&self) -> u16 {
-        let rdata = RData::Dnskey(self.clone()).to_wire();
+        let mut rdata = Vec::with_capacity(4 + self.public_key.len());
+        self.wire_into(&mut rdata);
         let mut acc: u32 = 0;
         for (i, &b) in rdata.iter().enumerate() {
             if i % 2 == 0 {
@@ -104,6 +114,13 @@ impl Rrsig {
     /// and excluding the signature field (RFC 4034 §3.1.8.1).
     pub fn signed_prefix(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.signed_prefix_into(&mut out);
+        out
+    }
+
+    /// Appends the signed RDATA prefix to `out` (allocation-free form of
+    /// [`Rrsig::signed_prefix`]).
+    pub fn signed_prefix_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.type_covered.code().to_be_bytes());
         out.push(self.algorithm);
         out.push(self.labels);
@@ -111,8 +128,7 @@ impl Rrsig {
         out.extend_from_slice(&self.expiration.to_be_bytes());
         out.extend_from_slice(&self.inception.to_be_bytes());
         out.extend_from_slice(&self.key_tag.to_be_bytes());
-        out.extend_from_slice(&self.signer_name.canonical_wire());
-        out
+        self.signer_name.canonical_wire_into(out);
     }
 
     /// True if `now` falls inside the validity window, inclusive.
@@ -216,37 +232,49 @@ impl RData {
 
     /// Wire RDATA with names in their stored case, uncompressed.
     pub fn to_wire(&self) -> Vec<u8> {
-        self.encode(false)
+        let mut out = Vec::new();
+        self.encode_into(false, &mut out);
+        out
     }
 
     /// Canonical wire RDATA: embedded names lowercased (RFC 4034 §6.2).
     pub fn canonical_wire(&self) -> Vec<u8> {
-        self.encode(true)
+        let mut out = Vec::new();
+        self.encode_into(true, &mut out);
+        out
     }
 
-    fn encode(&self, canonical: bool) -> Vec<u8> {
-        let name_wire = |n: &Name| -> Vec<u8> {
+    /// Appends the wire RDATA (stored-case names) to `out`.
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
+        self.encode_into(false, out);
+    }
+
+    /// Appends the canonical wire RDATA (lowercased names) to `out`.
+    pub fn canonical_wire_into(&self, out: &mut Vec<u8>) {
+        self.encode_into(true, out);
+    }
+
+    fn encode_into(&self, canonical: bool, out: &mut Vec<u8>) {
+        fn name_wire(n: &Name, canonical: bool, out: &mut Vec<u8>) {
             if canonical {
-                n.canonical_wire()
+                n.canonical_wire_into(out);
             } else {
                 // Uncompressed, original case.
-                let mut out = Vec::with_capacity(n.wire_len());
+                out.reserve(n.wire_len());
                 for label in n.labels() {
                     out.push(label.len() as u8);
                     out.extend_from_slice(label.as_bytes());
                 }
                 out.push(0);
-                out
             }
-        };
-        let mut out = Vec::new();
+        }
         match self {
             RData::A(addr) => out.extend_from_slice(&addr.octets()),
             RData::Aaaa(addr) => out.extend_from_slice(&addr.octets()),
-            RData::Ns(n) | RData::Cname(n) => out.extend(name_wire(n)),
+            RData::Ns(n) | RData::Cname(n) => name_wire(n, canonical, out),
             RData::Soa(soa) => {
-                out.extend(name_wire(&soa.mname));
-                out.extend(name_wire(&soa.rname));
+                name_wire(&soa.mname, canonical, out);
+                name_wire(&soa.rname, canonical, out);
                 for v in [soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum] {
                     out.extend_from_slice(&v.to_be_bytes());
                 }
@@ -256,7 +284,7 @@ impl RData {
                 exchange,
             } => {
                 out.extend_from_slice(&preference.to_be_bytes());
-                out.extend(name_wire(exchange));
+                name_wire(exchange, canonical, out);
             }
             RData::Txt(strings) => {
                 for s in strings {
@@ -266,14 +294,9 @@ impl RData {
                     out.extend_from_slice(&b[..len]);
                 }
             }
-            RData::Dnskey(k) | RData::Cdnskey(k) => {
-                out.extend_from_slice(&k.flags.to_be_bytes());
-                out.push(k.protocol);
-                out.push(k.algorithm);
-                out.extend_from_slice(&k.public_key);
-            }
+            RData::Dnskey(k) | RData::Cdnskey(k) => k.wire_into(out),
             RData::Rrsig(sig) => {
-                out.extend(sig.signed_prefix());
+                sig.signed_prefix_into(out);
                 out.extend_from_slice(&sig.signature);
             }
             RData::Ds(ds) | RData::Cds(ds) => {
@@ -283,7 +306,7 @@ impl RData {
                 out.extend_from_slice(&ds.digest);
             }
             RData::Nsec(nsec) => {
-                out.extend(name_wire(&nsec.next_name));
+                name_wire(&nsec.next_name, canonical, out);
                 out.extend(nsec.type_bitmap.to_wire());
             }
             RData::Nsec3(n3) => {
@@ -305,7 +328,6 @@ impl RData {
             }
             RData::Unknown { data, .. } => out.extend_from_slice(data),
         }
-        out
     }
 }
 

@@ -117,28 +117,77 @@ impl RRset {
     ///
     /// `original_ttl` comes from the RRSIG being built or checked.
     pub fn canonical_signing_form(&self, original_ttl: u32) -> Vec<u8> {
-        let owner = self.name.canonical_wire();
-        let mut rdatas: Vec<Vec<u8>> = self.rdatas.iter().map(|rd| rd.canonical_wire()).collect();
-        rdatas.sort();
         let mut out = Vec::new();
-        for rdata in rdatas {
-            out.extend_from_slice(&owner);
+        self.canonical_signing_form_with(original_ttl, &mut CanonicalScratch::default(), &mut out);
+        out
+    }
+
+    /// Appends the canonical signing form to `out`, reusing `scratch` so a
+    /// bulk signer encoding thousands of RRsets allocates nothing per record
+    /// after warm-up (the per-RDATA `Vec` churn of the naive encoder).
+    pub fn canonical_signing_form_with(
+        &self,
+        original_ttl: u32,
+        scratch: &mut CanonicalScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let CanonicalScratch { owner, arena, ranges } = scratch;
+        owner.clear();
+        self.name.canonical_wire_into(owner);
+        // Encode every RDATA once into a shared arena and sort index ranges
+        // by the encoded bytes (RFC 4034 §6.3 canonical RR ordering).
+        arena.clear();
+        ranges.clear();
+        for rd in &self.rdatas {
+            let start = arena.len() as u32;
+            rd.canonical_wire_into(arena);
+            ranges.push((start, arena.len() as u32));
+        }
+        ranges.sort_by(|a, b| {
+            arena[a.0 as usize..a.1 as usize].cmp(&arena[b.0 as usize..b.1 as usize])
+        });
+        for &(start, end) in ranges.iter() {
+            let rdata = &arena[start as usize..end as usize];
+            out.extend_from_slice(owner);
             out.extend_from_slice(&self.rtype.code().to_be_bytes());
             out.extend_from_slice(&RrClass::In.code().to_be_bytes());
             out.extend_from_slice(&original_ttl.to_be_bytes());
             out.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
-            out.extend_from_slice(&rdata);
+            out.extend_from_slice(rdata);
         }
-        out
     }
 
     /// The full message a signature covers: RRSIG RDATA prefix followed by
     /// the canonical RRset (RFC 4034 §3.1.8.1).
     pub fn signing_payload(&self, rrsig: &Rrsig) -> Vec<u8> {
-        let mut payload = rrsig.signed_prefix();
-        payload.extend(self.canonical_signing_form(rrsig.original_ttl));
+        let mut payload = Vec::new();
+        self.signing_payload_with(rrsig, &mut CanonicalScratch::default(), &mut payload);
         payload
     }
+
+    /// Clears `out` and fills it with the full signed message, reusing
+    /// `scratch` (allocation-free form of [`RRset::signing_payload`]).
+    pub fn signing_payload_with(
+        &self,
+        rrsig: &Rrsig,
+        scratch: &mut CanonicalScratch,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        rrsig.signed_prefix_into(out);
+        self.canonical_signing_form_with(rrsig.original_ttl, scratch, out);
+    }
+}
+
+/// Reusable buffers for canonical signing-form encoding. One instance,
+/// carried across [`RRset::canonical_signing_form_with`] /
+/// [`RRset::signing_payload_with`] calls, amortizes every intermediate
+/// allocation of the encoder to zero.
+#[derive(Debug, Default, Clone)]
+pub struct CanonicalScratch {
+    owner: Vec<u8>,
+    arena: Vec<u8>,
+    ranges: Vec<(u32, u32)>,
 }
 
 impl fmt::Display for RRset {

@@ -1,0 +1,162 @@
+//! RRSIG memo cache for the sign-once signing pipeline.
+//!
+//! Signatures in this workspace are deterministic functions of the DNSKEY
+//! RDATA and the signing payload (see DESIGN.md §4), so a signature computed
+//! once can be replayed for any later request over the same inputs. The
+//! cache key is a SHA-256 digest over both, plus the algorithm's signature
+//! length. Because the signing payload embeds the full RRSIG prefix —
+//! type covered, algorithm, labels, original TTL, the inception/expiration
+//! window, key tag, and signer name — as well as the canonical RRset bytes,
+//! every component the ISSUE names (canonical RRset digest, key tag,
+//! algorithm, validity window) is subsumed: two requests collide only if
+//! they would produce byte-identical signatures anyway.
+//!
+//! Invalidation is therefore automatic: a key-ring change alters the DNSKEY
+//! wire or key tag, a validity-window rollover alters the embedded
+//! inception/expiration, and a serial bump alters the SOA RRset bytes —
+//! each lands on a fresh key and recomputes. Stale entries are never
+//! *wrong*, only unused, so eviction is a simple size cap.
+
+use std::collections::HashMap;
+
+use sha2::{Digest, Sha256};
+
+use ddx_dns::CanonicalScratch;
+
+/// Entry cap; a full cache resets rather than evicting piecemeal. 64Ki
+/// signatures (~4 MiB at RSA-2048 lengths) comfortably covers the largest
+/// sandbox zones while bounding a long-lived pipeline process.
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// Domain-separation tag for cache-key digests.
+const CACHE_TAG: &[u8] = b"ddx-sig-cache-v1";
+
+/// Cache key: digest of (DNSKEY wire ‖ signing payload) plus signature
+/// length. See the module docs for why this is collision-sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SigKey {
+    digest: [u8; 32],
+    sig_len: usize,
+}
+
+/// Memo cache mapping signing inputs to raw signature bytes, with reusable
+/// scratch buffers for the canonical-form encoder so a warm signing pass
+/// performs no per-RRset allocation.
+#[derive(Debug, Default, Clone)]
+pub struct SigCache {
+    map: HashMap<SigKey, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+    /// Scratch: signing payload under construction.
+    pub(crate) payload: Vec<u8>,
+    /// Scratch: DNSKEY RDATA wire form of the signing key.
+    pub(crate) key_wire: Vec<u8>,
+    /// Scratch: canonical-form encoder buffers.
+    pub(crate) canon: CanonicalScratch,
+}
+
+/// Counters exposed for tests, benches, and operational logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigCacheStats {
+    /// Sign requests answered from the cache.
+    pub hits: u64,
+    /// Sign requests that had to run the signature expansion.
+    pub misses: u64,
+    /// Signatures currently held.
+    pub entries: usize,
+}
+
+impl SigCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters since construction or the last [`SigCache::clear`].
+    pub fn stats(&self) -> SigCacheStats {
+        SigCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drops all cached signatures and resets the counters. Scratch buffers
+    /// keep their capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    pub(crate) fn key(key_wire: &[u8], payload: &[u8], sig_len: usize) -> SigKey {
+        let mut h = Sha256::new();
+        h.update(CACHE_TAG);
+        // Length-prefix the variable-length key wire so (key ‖ payload)
+        // splits cannot alias across the boundary.
+        h.update((key_wire.len() as u32).to_be_bytes());
+        h.update(key_wire);
+        h.update(payload);
+        SigKey {
+            digest: h.finalize().into(),
+            sig_len,
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: &SigKey) -> Option<Vec<u8>> {
+        match self.map.get(key) {
+            Some(sig) => {
+                self.hits += 1;
+                Some(sig.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: SigKey, sig: Vec<u8>) {
+        if self.map.len() >= MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(key, sig);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_keys() {
+        let a = SigCache::key(b"key-a", b"payload", 64);
+        let b = SigCache::key(b"key-b", b"payload", 64);
+        let c = SigCache::key(b"key-a", b"payloae", 64);
+        let d = SigCache::key(b"key-a", b"payload", 32);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn key_boundary_is_unambiguous() {
+        // Without the length prefix these two would hash identically.
+        let a = SigCache::key(b"ab", b"c", 64);
+        let b = SigCache::key(b"a", b"bc", 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut cache = SigCache::new();
+        let k = SigCache::key(b"key", b"payload", 64);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), vec![0xAB; 64]);
+        assert_eq!(cache.get(&k).as_deref(), Some(&[0xAB; 64][..]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

@@ -8,7 +8,7 @@ use ddx_dns::{
     Name, Nsec, Nsec3, Nsec3Param, RData, Record, RrType, TypeBitmap, Zone, NSEC3_FLAG_OPT_OUT,
 };
 
-use crate::nsec3::{hash_covered, nsec3_hash, nsec3_owner, Nsec3Config};
+use crate::nsec3::{hash_covered, nsec3_hash, Nsec3Config};
 
 /// Which denial mechanism a zone uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,14 +158,18 @@ pub fn build_nsec3_chain(zone: &mut Zone, cfg: &Nsec3Config) {
     let flags = if cfg.opt_out { NSEC3_FLAG_OPT_OUT } else { 0 };
     let count = hashed.len();
     for i in 0..count {
-        let (_, ref name) = hashed[i];
+        let (ref hash, ref name) = hashed[i];
         let next_hash = hashed[(i + 1) % count].0.clone();
         let bitmap = if zone.has_name(name) {
             bitmap_for(zone, name, false)
         } else {
             TypeBitmap::new() // empty non-terminal
         };
-        let owner = nsec3_owner(name, &apex, &cfg.salt, cfg.iterations);
+        // Derive the owner from the hash already computed for the ring
+        // instead of rehashing the name.
+        let owner = apex
+            .child(&ddx_dns::base32::encode(hash))
+            .expect("nsec3 label fits");
         zone.add(Record::new(
             owner,
             ttl,
@@ -399,6 +403,7 @@ pub fn verify_nsec3_denial(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nsec3::nsec3_owner;
     use ddx_dns::{name, Soa};
     use std::net::Ipv4Addr;
 

@@ -7,6 +7,7 @@
 //! modeling `dnssec-signzone`.
 
 pub mod algorithm;
+pub mod cache;
 pub mod cds;
 pub mod denial;
 pub mod ds;
@@ -16,6 +17,7 @@ pub mod sign;
 pub mod signer;
 
 pub use algorithm::{Algorithm, DigestType, ALL_ALGORITHMS};
+pub use cache::{SigCache, SigCacheStats};
 pub use cds::{publish_cds, scan_child_cds, withdraw_cds, CdsScanError, CdsScanResult, CDS_TTL};
 pub use denial::{
     build_nsec3_chain, build_nsec_chain, empty_non_terminals, verify_nsec3_denial,
@@ -23,9 +25,12 @@ pub use denial::{
 };
 pub use ds::{check_ds, compute_digest, make_ds, DsMatch};
 pub use keys::{KeyPair, KeyRing, KeyRole};
-pub use nsec3::{nsec3_hash, nsec3_label, nsec3_owner, Nsec3Config, NSEC3_HASH_SHA1};
-pub use sign::{sign_rrset, verify_rrset, SignOptions, VerifyError};
+pub use nsec3::{
+    nsec3_hash, nsec3_hash_uncached, nsec3_label, nsec3_memo_clear, nsec3_memo_stats, nsec3_owner,
+    Nsec3Config, NSEC3_HASH_SHA1,
+};
+pub use sign::{sign_rrset, sign_rrset_cached, verify_rrset, SignOptions, VerifyError};
 pub use signer::{
-    remove_sigs_covering, resign_rrset, sign_zone, sigs_covering, SignError, SignerConfig,
-    DNSKEY_TTL,
+    remove_sigs_covering, resign_rrset, sign_zone, sign_zone_cached, sigs_covering, SignError,
+    SignerConfig, DNSKEY_TTL,
 };

@@ -3,6 +3,9 @@
 //! the single most violated rule in the paper's dataset ("Nonzero
 //! Iteration Count", 28.8% of snapshots).
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use sha1::{Digest, Sha1};
 use serde::{Deserialize, Serialize};
 
@@ -41,10 +44,50 @@ impl Nsec3Config {
     }
 }
 
+/// Memo table entry cap before the table resets. High-iteration snapshots
+/// (the paper's NZIC class) hash the same names over and over across chain
+/// building, proof checking, and grok; 64Ki entries covers the largest
+/// sandbox zones many times over while bounding long-lived processes.
+const MEMO_MAX_ENTRIES: usize = 1 << 16;
+
+thread_local! {
+    /// (canonical name wire, salt, iterations) → hash, plus hit/miss tallies.
+    static NSEC3_MEMO: RefCell<(HashMap<(Vec<u8>, Vec<u8>, u16), Vec<u8>>, u64, u64)> =
+        RefCell::new((HashMap::new(), 0, 0));
+}
+
 /// Computes the NSEC3 hash of `name` (RFC 5155 §5):
 /// `IH(salt, x, 0) = H(x ‖ salt)`, `IH(salt, x, k) = H(IH(salt, x, k-1) ‖ salt)`,
 /// over the canonical (lowercased) wire form of the name.
+///
+/// Hashes with a nonzero iteration count are memoized per thread: the extra
+/// rounds dominate chain-build and proof-check cost, and the same names
+/// recur across every signing pass and grok of a sandbox. Zero-iteration
+/// hashes (the RFC 9276 default) are a single SHA-1 round — cheaper than
+/// the memo lookup — and bypass the table.
 pub fn nsec3_hash(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8> {
+    if iterations == 0 {
+        return nsec3_hash_uncached(name, salt, iterations);
+    }
+    NSEC3_MEMO.with(|memo| {
+        let (map, hits, misses) = &mut *memo.borrow_mut();
+        let key = (name.canonical_wire(), salt.to_vec(), iterations);
+        if let Some(hash) = map.get(&key) {
+            *hits += 1;
+            return hash.clone();
+        }
+        *misses += 1;
+        let hash = nsec3_hash_uncached(name, salt, iterations);
+        if map.len() >= MEMO_MAX_ENTRIES {
+            map.clear();
+        }
+        map.insert(key, hash.clone());
+        hash
+    })
+}
+
+/// The raw RFC 5155 §5 computation, always performed, never memoized.
+pub fn nsec3_hash_uncached(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8> {
     let mut h = Sha1::new();
     h.update(name.canonical_wire());
     h.update(salt);
@@ -55,6 +98,24 @@ pub fn nsec3_hash(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8> {
         digest = h.finalize_reset().to_vec();
     }
     digest
+}
+
+/// This thread's NSEC3 memo (hits, misses) counters.
+pub fn nsec3_memo_stats() -> (u64, u64) {
+    NSEC3_MEMO.with(|memo| {
+        let (_, hits, misses) = &*memo.borrow();
+        (*hits, *misses)
+    })
+}
+
+/// Empties this thread's NSEC3 memo table and resets its counters.
+pub fn nsec3_memo_clear() {
+    NSEC3_MEMO.with(|memo| {
+        let (map, hits, misses) = &mut *memo.borrow_mut();
+        map.clear();
+        *hits = 0;
+        *misses = 0;
+    })
 }
 
 /// The base32hex label under which the NSEC3 record for `name` lives.
@@ -121,6 +182,21 @@ mod tests {
         let n = name("example.com");
         assert_ne!(nsec3_hash(&n, b"", 0), nsec3_hash(&n, b"", 1));
         assert_ne!(nsec3_hash(&n, b"", 0), nsec3_hash(&n, b"x", 0));
+    }
+
+    #[test]
+    fn memoized_hash_matches_uncached() {
+        // Each test runs on its own thread, so the thread-local memo and
+        // its counters are isolated here.
+        nsec3_memo_clear();
+        let n = name("memo.example.com");
+        let direct = nsec3_hash_uncached(&n, b"salt", 25);
+        assert_eq!(nsec3_hash(&n, b"salt", 25), direct, "miss path");
+        assert_eq!(nsec3_hash(&n, b"salt", 25), direct, "hit path");
+        assert_eq!(nsec3_memo_stats(), (1, 1));
+        // Zero-iteration hashes bypass the memo entirely.
+        nsec3_hash(&n, b"salt", 0);
+        assert_eq!(nsec3_memo_stats(), (1, 1));
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! the paper measures are metadata-level and behave exactly as with real
 //! asymmetric crypto.
 
+use std::cell::RefCell;
+
 use sha2::{Digest, Sha256};
 
-use ddx_dns::{Dnskey, Name, RData, RRset, Rrsig, RrType};
+use ddx_dns::{CanonicalScratch, Dnskey, Name, RRset, Rrsig, RrType};
 
 use crate::algorithm::Algorithm;
+use crate::cache::SigCache;
 use crate::keys::KeyPair;
 
 /// Domain-separation tag baked into every simulated signature.
@@ -77,22 +80,37 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Computes the simulated signature bytes for a payload under a key,
+/// Computes the simulated signature bytes for a payload under a key
+/// (passed as its DNSKEY RDATA wire form, encoded once by the caller),
 /// expanded to the algorithm's natural signature length.
-fn raw_signature(dnskey: &Dnskey, payload: &[u8], sig_len: usize) -> Vec<u8> {
+fn raw_signature(dnskey_wire: &[u8], payload: &[u8], sig_len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(sig_len);
     let mut counter: u32 = 0;
     while out.len() < sig_len {
         let mut h = Sha256::new();
         h.update(SIG_TAG);
         h.update(counter.to_be_bytes());
-        h.update((RData::Dnskey(dnskey.clone())).to_wire());
+        h.update(dnskey_wire);
         h.update(payload);
         out.extend_from_slice(&h.finalize());
         counter += 1;
     }
     out.truncate(sig_len);
     out
+}
+
+thread_local! {
+    /// Encoder buffers reused across the free-function sign/verify paths,
+    /// so per-call allocation drops to zero after warm-up.
+    static SCRATCH: RefCell<(CanonicalScratch, Vec<u8>, Vec<u8>)> = RefCell::new(Default::default());
+}
+
+/// Signature length for an algorithm code, with the historical fallback of
+/// 32 bytes for unknown codes.
+fn signature_len(algorithm: u8, key_bits: u16) -> usize {
+    Algorithm::from_code(algorithm)
+        .map(|a| a.signature_len(key_bits))
+        .unwrap_or(32)
 }
 
 /// Options controlling RRSIG generation.
@@ -104,9 +122,8 @@ pub struct SignOptions {
     pub expiration: u32,
 }
 
-/// Signs an RRset with `key`, producing an RRSIG whose signer is the key's
-/// zone. The RRSIG `labels` field is derived from the owner name.
-pub fn sign_rrset(rrset: &RRset, key: &KeyPair, opts: SignOptions) -> Rrsig {
+/// Builds the RRSIG with every field set except the signature bytes.
+fn rrsig_template(rrset: &RRset, key: &KeyPair, opts: SignOptions) -> Rrsig {
     // RFC 4034 §3.1.3: the Labels field excludes the root label and any
     // leftmost `*` label, so wildcard-synthesized answers can be validated.
     let mut label_count = rrset.name.label_count() as u8;
@@ -119,7 +136,7 @@ pub fn sign_rrset(rrset: &RRset, key: &KeyPair, opts: SignOptions) -> Rrsig {
     {
         label_count -= 1;
     }
-    let mut rrsig = Rrsig {
+    Rrsig {
         type_covered: rrset.rtype,
         algorithm: key.dnskey.algorithm,
         labels: label_count,
@@ -129,12 +146,47 @@ pub fn sign_rrset(rrset: &RRset, key: &KeyPair, opts: SignOptions) -> Rrsig {
         key_tag: key.key_tag(),
         signer_name: key.zone.clone(),
         signature: Vec::new(),
-    };
-    let payload = rrset.signing_payload(&rrsig);
-    let sig_len = Algorithm::from_code(key.dnskey.algorithm)
-        .map(|a| a.signature_len(key.key_bits))
-        .unwrap_or(32);
-    rrsig.signature = raw_signature(&key.dnskey, &payload, sig_len);
+    }
+}
+
+/// Signs an RRset with `key`, producing an RRSIG whose signer is the key's
+/// zone. The RRSIG `labels` field is derived from the owner name.
+pub fn sign_rrset(rrset: &RRset, key: &KeyPair, opts: SignOptions) -> Rrsig {
+    let mut rrsig = rrsig_template(rrset, key, opts);
+    let sig_len = signature_len(key.dnskey.algorithm, key.key_bits);
+    rrsig.signature = SCRATCH.with(|s| {
+        let (canon, payload, key_wire) = &mut *s.borrow_mut();
+        rrset.signing_payload_with(&rrsig, canon, payload);
+        key_wire.clear();
+        key.dnskey.wire_into(key_wire);
+        raw_signature(key_wire, payload, sig_len)
+    });
+    rrsig
+}
+
+/// [`sign_rrset`] with a memo cache: if an identical signing request (same
+/// key material, same payload, same length) was answered before, the cached
+/// bytes are replayed without recomputing the signature expansion. Output is
+/// byte-identical to the uncached path in all cases.
+pub fn sign_rrset_cached(
+    rrset: &RRset,
+    key: &KeyPair,
+    opts: SignOptions,
+    cache: &mut SigCache,
+) -> Rrsig {
+    let mut rrsig = rrsig_template(rrset, key, opts);
+    let sig_len = signature_len(key.dnskey.algorithm, key.key_bits);
+    rrset.signing_payload_with(&rrsig, &mut cache.canon, &mut cache.payload);
+    cache.key_wire.clear();
+    key.dnskey.wire_into(&mut cache.key_wire);
+    let memo_key = SigCache::key(&cache.key_wire, &cache.payload, sig_len);
+    if let Some(sig) = cache.get(&memo_key) {
+        rrsig.signature = sig;
+        return rrsig;
+    }
+    let sig = raw_signature(&cache.key_wire, &cache.payload, sig_len);
+    cache.insert(memo_key, sig.clone());
+    rrsig.signature = sig;
     rrsig
 }
 
@@ -218,18 +270,21 @@ pub fn verify_rrset(
             now,
         });
     }
-    let expected_len = Algorithm::from_code(dnskey.algorithm)
-        .map(|a| a.signature_len((dnskey.public_key.len() * 8) as u16))
-        .unwrap_or(32);
+    let expected_len = signature_len(dnskey.algorithm, (dnskey.public_key.len() * 8) as u16);
     if rrsig.signature.len() != expected_len {
         return Err(VerifyError::BadSignatureLength {
             expected: expected_len,
             actual: rrsig.signature.len(),
         });
     }
-    let payload = rrset.signing_payload(rrsig);
-    let expected = raw_signature(dnskey, &payload, expected_len);
-    if expected != rrsig.signature {
+    let matches = SCRATCH.with(|s| {
+        let (canon, payload, key_wire) = &mut *s.borrow_mut();
+        rrset.signing_payload_with(rrsig, canon, payload);
+        key_wire.clear();
+        dnskey.wire_into(key_wire);
+        raw_signature(key_wire, payload, expected_len) == rrsig.signature
+    });
+    if !matches {
         return Err(VerifyError::BadSignature);
     }
     Ok(())
@@ -276,6 +331,21 @@ mod tests {
         assert_eq!(sig.signature.len(), 256);
         assert_eq!(sig.labels, 3);
         verify_rrset(&rs, &sig, &k.dnskey, &name("example.com"), 5000).unwrap();
+    }
+
+    #[test]
+    fn cached_signing_matches_uncached() {
+        let k = key(1);
+        let rs = rrset();
+        let mut cache = SigCache::new();
+        let cold = sign_rrset(&rs, &k, OPTS);
+        let miss = sign_rrset_cached(&rs, &k, OPTS, &mut cache);
+        let hit = sign_rrset_cached(&rs, &k, OPTS, &mut cache);
+        assert_eq!(cold, miss);
+        assert_eq!(cold, hit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        verify_rrset(&rs, &hit, &k.dnskey, &name("example.com"), 5000).unwrap();
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use ddx_dns::{Name, RData, RRset, Record, RrType, Zone};
 
+use crate::cache::SigCache;
 use crate::denial::{build_nsec3_chain, build_nsec_chain, DenialMode};
 use crate::keys::{KeyPair, KeyRing, KeyRole};
-use crate::sign::{sign_rrset, SignOptions};
+use crate::sign::{sign_rrset, sign_rrset_cached, SignOptions};
 
 /// TTL used for published DNSKEY RRsets.
 pub const DNSKEY_TTL: u32 = 3600;
@@ -101,6 +102,30 @@ fn key_signer(ring: &KeyRing, algorithm: u8, now: u32) -> Option<&KeyPair> {
 /// from the ring's published keys. This mirrors running
 /// `dnssec-signzone -S -o <zone>` over the unsigned zone file.
 pub fn sign_zone(zone: &mut Zone, ring: &KeyRing, cfg: &SignerConfig, now: u32) -> Result<(), SignError> {
+    sign_zone_impl(zone, ring, cfg, now, None)
+}
+
+/// [`sign_zone`] backed by an RRSIG memo cache: RRsets unchanged since the
+/// cache last saw them (same canonical bytes, key material, and validity
+/// window) reuse their signature bytes instead of recomputing them. Output
+/// is byte-identical to [`sign_zone`].
+pub fn sign_zone_cached(
+    zone: &mut Zone,
+    ring: &KeyRing,
+    cfg: &SignerConfig,
+    now: u32,
+    cache: &mut SigCache,
+) -> Result<(), SignError> {
+    sign_zone_impl(zone, ring, cfg, now, Some(cache))
+}
+
+fn sign_zone_impl(
+    zone: &mut Zone,
+    ring: &KeyRing,
+    cfg: &SignerConfig,
+    now: u32,
+    mut cache: Option<&mut SigCache>,
+) -> Result<(), SignError> {
     zone.strip_dnssec();
     zone.strip_type(RrType::Dnskey);
     // Serial bump happens before signing so the SOA signature stays valid
@@ -132,13 +157,17 @@ pub fn sign_zone(zone: &mut Zone, ring: &KeyRing, cfg: &SignerConfig, now: u32) 
     algorithms.dedup();
 
     let opts = cfg.options();
-    let to_sign: Vec<RRset> = zone
-        .rrsets()
-        .filter(|set| is_signable(zone, set))
-        .cloned()
-        .collect();
-    for set in to_sign {
-        let mut sigs: Vec<Record> = Vec::new();
+    let sign_one = |set: &RRset, key: &KeyPair, cache: &mut Option<&mut SigCache>| {
+        match cache.as_deref_mut() {
+            Some(c) => sign_rrset_cached(set, key, opts, c),
+            None => sign_rrset(set, key, opts),
+        }
+    };
+    // Signatures are collected over an immutable pass and added afterwards,
+    // so no RRset is cloned; addition order matches the previous per-set
+    // in-loop adds, keeping RRSIG rdata ordering identical.
+    let mut sigs: Vec<Record> = Vec::new();
+    for set in zone.rrsets().filter(|set| is_signable(zone, set)) {
         for &alg in &algorithms {
             let signer = if set.rtype == RrType::Dnskey {
                 key_signer(ring, alg, now)
@@ -146,7 +175,7 @@ pub fn sign_zone(zone: &mut Zone, ring: &KeyRing, cfg: &SignerConfig, now: u32) 
                 data_signer(ring, alg, now)
             };
             if let Some(key) = signer {
-                let rrsig = sign_rrset(&set, key, opts);
+                let rrsig = sign_one(set, key, &mut cache);
                 sigs.push(Record::new(set.name.clone(), set.ttl, RData::Rrsig(rrsig)));
             }
         }
@@ -154,13 +183,13 @@ pub fn sign_zone(zone: &mut Zone, ring: &KeyRing, cfg: &SignerConfig, now: u32) 
         // prove the revocation is authentic.
         if set.rtype == RrType::Dnskey {
             for key in published.iter().filter(|k| k.is_revoked()) {
-                let rrsig = sign_rrset(&set, key, opts);
+                let rrsig = sign_one(set, key, &mut cache);
                 sigs.push(Record::new(set.name.clone(), set.ttl, RData::Rrsig(rrsig)));
             }
         }
-        for sig in sigs {
-            zone.add(sig);
-        }
+    }
+    for sig in sigs {
+        zone.add(sig);
     }
     Ok(())
 }
@@ -432,6 +461,24 @@ mod tests {
         // Cryptographically still valid at a time inside the window.
         let set = zone.get(&name("www.example.com"), RrType::A).unwrap();
         verify_rrset(set, &sigs[0], &zsk_keys[0].dnskey, &name("example.com"), NOW - 10).unwrap();
+    }
+
+    #[test]
+    fn cached_zone_signing_matches_uncached() {
+        let r = ring(NOW);
+        let cfg = SignerConfig::nsec_at(NOW);
+        let mut cold = base_zone();
+        sign_zone(&mut cold, &r, &cfg, NOW).unwrap();
+
+        let mut cache = SigCache::new();
+        let mut warm1 = base_zone();
+        sign_zone_cached(&mut warm1, &r, &cfg, NOW, &mut cache).unwrap();
+        assert_eq!(cold, warm1, "cold cache pass must match uncached signing");
+
+        let mut warm2 = base_zone();
+        sign_zone_cached(&mut warm2, &r, &cfg, NOW, &mut cache).unwrap();
+        assert_eq!(cold, warm2, "warm cache pass must match uncached signing");
+        assert!(cache.stats().hits > 0, "second pass should hit the cache");
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::net::Ipv4Addr;
 
 use ddx_dns::{Name, RData, Record, RrType, Soa, Zone};
 use ddx_dnssec::{
-    make_ds, sign_zone, Algorithm, DenialMode, DigestType, KeyPair, KeyRing, KeyRole,
-    Nsec3Config, SignerConfig,
+    make_ds, sign_zone, sign_zone_cached, Algorithm, DenialMode, DigestType, KeyPair, KeyRing,
+    KeyRole, Nsec3Config, SigCache, SignError, SignerConfig,
 };
 
 use crate::server::{Server, ServerId};
@@ -69,6 +69,10 @@ pub struct Sandbox {
     /// Zones anchor-first.
     pub zones: Vec<SandboxZone>,
     pub now: u32,
+    /// RRSIG memo shared across every re-sign of every zone in this
+    /// sandbox, so DFixer's per-iteration `SignZone` instructions only pay
+    /// for signatures over RRsets that actually changed.
+    pub sig_cache: SigCache,
 }
 
 impl Sandbox {
@@ -94,17 +98,45 @@ impl Sandbox {
 
     /// Re-signs a zone on every server from its ring (the effect of running
     /// `dnssec-signzone` and reloading all secondaries).
-    pub fn resign_zone(&mut self, apex: &Name, now: u32) -> Result<(), ddx_dnssec::SignError> {
+    ///
+    /// Sign-once fan-out: replicas whose pre-sign content is identical are
+    /// signed once and receive clones of the signed result, instead of
+    /// re-running the signer per server. Replicas that have diverged (e.g.
+    /// ZReplicator injected an inconsistency on one server) are still signed
+    /// independently so per-server differences survive the way they did
+    /// under per-server signing — though the shared RRSIG cache still spares
+    /// them recomputing signatures for the RRsets they agree on.
+    pub fn resign_zone(&mut self, apex: &Name, now: u32) -> Result<(), SignError> {
         let (ring, cfg) = {
             let z = self.zone(apex).expect("zone exists");
             (z.ring.clone(), z.signer_config.clone())
         };
+        let ids = self.testbed.servers_hosting(apex);
+        // (pre-sign content, signed content, sign result) per distinct replica.
+        let mut signed: Vec<(Zone, Zone, Result<(), SignError>)> = Vec::new();
         let mut result = Ok(());
-        self.testbed.mutate_zone_everywhere(apex, |zone| {
-            if let Err(e) = sign_zone(zone, &ring, &cfg, now) {
-                result = Err(e);
+        for id in &ids {
+            let (post, res) = {
+                let Some(current) = self.testbed.server(id).and_then(|s| s.zone(apex)) else {
+                    continue;
+                };
+                if let Some((_, post, res)) = signed.iter().find(|(pre, _, _)| pre == current) {
+                    (post.clone(), res.clone())
+                } else {
+                    let pre = current.clone();
+                    let mut zone = pre.clone();
+                    let res = sign_zone_cached(&mut zone, &ring, &cfg, now, &mut self.sig_cache);
+                    signed.push((pre, zone.clone(), res.clone()));
+                    (zone, res)
+                }
+            };
+            if let Some(zone) = self.testbed.server_mut(id).and_then(|s| s.zone_mut(apex)) {
+                *zone = post;
             }
-        });
+            if res.is_err() {
+                result = res;
+            }
+        }
         result
     }
 
@@ -281,6 +313,7 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
         testbed,
         zones,
         now,
+        sig_cache: SigCache::new(),
     }
 }
 
@@ -386,9 +419,58 @@ mod tests {
             .unwrap()
             .strip_type(RrType::Rrsig);
         sb.resign_zone(&apex, NOW + 10).unwrap();
-        for sid in sb.testbed.servers_hosting(&apex) {
-            let z = sb.testbed.server(&sid).unwrap().zone(&apex).unwrap();
+        let copies: Vec<Zone> = sb
+            .testbed
+            .servers_hosting(&apex)
+            .iter()
+            .map(|sid| sb.testbed.server(sid).unwrap().zone(&apex).unwrap().clone())
+            .collect();
+        assert_eq!(copies.len(), 2);
+        for z in &copies {
             assert!(z.rrsets().any(|s| s.rtype == RrType::Rrsig));
         }
+        // Fan-out must leave every server with an identical signed copy:
+        // both replicas held the same data modulo DNSSEC material, which a
+        // full re-sign regenerates from scratch.
+        assert_eq!(copies[0], copies[1], "server copies diverged after resign");
+    }
+
+    #[test]
+    fn resign_preserves_per_server_divergence() {
+        let mut sb = three_level();
+        let apex = name("chd.par.a.com");
+        // ZReplicator-style divergence: one server carries an extra record.
+        let id = sb.zones[2].servers[0].clone();
+        let extra = name("only-here.chd.par.a.com");
+        sb.testbed
+            .server_mut(&id)
+            .unwrap()
+            .zone_mut(&apex)
+            .unwrap()
+            .add(Record::new(extra.clone(), 300, RData::A(Ipv4Addr::new(203, 0, 113, 1))));
+        sb.resign_zone(&apex, NOW + 10).unwrap();
+        let other = sb.zones[2].servers[1].clone();
+        let z0 = sb.testbed.server(&id).unwrap().zone(&apex).unwrap();
+        let z1 = sb.testbed.server(&other).unwrap().zone(&apex).unwrap();
+        assert!(z0.get(&extra, RrType::A).is_some(), "divergent record survives resign");
+        assert!(z1.get(&extra, RrType::A).is_none(), "divergence must not fan out");
+        assert_ne!(z0, z1);
+    }
+
+    #[test]
+    fn sig_cache_hits_across_resigns() {
+        let mut sb = three_level();
+        let apex = name("chd.par.a.com");
+        sb.resign_zone(&apex, NOW + 10).unwrap();
+        let after_first = sb.sig_cache.stats();
+        assert!(after_first.misses > 0, "cold pass populates the cache");
+        // Same signer window, unchanged data (bar the serial bump): the
+        // second pass should reuse almost every signature.
+        sb.resign_zone(&apex, NOW + 20).unwrap();
+        let after_second = sb.sig_cache.stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "warm pass must hit the cache: {after_second:?}"
+        );
     }
 }
