@@ -27,10 +27,7 @@ fn bench(c: &mut Criterion) {
     };
     let s2 = ReplicationRequest {
         meta: ZoneMeta::default(),
-        intended: BTreeSet::from([
-            ErrorCode::RrsigExpired,
-            ErrorCode::DsMissingKeyForAlgorithm,
-        ]),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired, ErrorCode::DsMissingKeyForAlgorithm]),
     };
     c.bench_function("replicate_only_s1", |b| {
         b.iter(|| replicate(&s1, 1_000_000, 9).unwrap())

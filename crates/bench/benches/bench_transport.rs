@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("probe_over_udp", |b| {
-        b.iter(|| probe(&net, &rep.probe))
-    });
+    c.bench_function("probe_over_udp", |b| b.iter(|| probe(&net, &rep.probe)));
 }
 
 criterion_group!(benches, bench);

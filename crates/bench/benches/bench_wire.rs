@@ -16,7 +16,11 @@ fn dnskey_response() -> Message {
     let mut records = Vec::new();
     for role in [KeyRole::Ksk, KeyRole::Zsk] {
         let k = KeyPair::generate(&mut rng, zone.clone(), Algorithm::RsaSha256, 2048, role, 0);
-        records.push(Record::new(zone.clone(), 3600, RData::Dnskey(k.dnskey.clone())));
+        records.push(Record::new(
+            zone.clone(),
+            3600,
+            RData::Dnskey(k.dnskey.clone()),
+        ));
         if role == KeyRole::Ksk {
             let set = ddx_dns::RRset::from_records(&records).unwrap();
             let sig = sign_rrset(
@@ -27,7 +31,8 @@ fn dnskey_response() -> Message {
                     expiration: 10_000_000,
                 },
             );
-            resp.answers.push(Record::new(zone.clone(), 3600, RData::Rrsig(sig)));
+            resp.answers
+                .push(Record::new(zone.clone(), 3600, RData::Rrsig(sig)));
         }
     }
     resp.answers.extend(records);

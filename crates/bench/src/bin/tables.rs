@@ -41,13 +41,19 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale),
             "--sample" => {
-                args.sample = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.sample)
+                args.sample = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.sample)
             }
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
             "--only" => args.only = it.next(),
             "--csv" => args.csv_dir = it.next(),
             "--workers" => {
-                args.workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.workers)
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.workers)
             }
             "--export-snapshots" => {
                 let n = it.next().and_then(|v| v.parse().ok()).unwrap_or(10);
@@ -199,7 +205,11 @@ fn export_csv(corpus: &Corpus, dir: &str, scale: f64, seed: u64) {
             "{},{},{},{},{:.3},{:.3},{:.3}\n",
             r.marker,
             r.subcategory.label().replace(',', ";"),
-            if r.critical { "critical" } else { "non-critical" },
+            if r.critical {
+                "critical"
+            } else {
+                "non-critical"
+            },
             r.instances,
             r.p20_hours / 24.0,
             r.p50_hours / 24.0,
@@ -210,7 +220,9 @@ fn export_csv(corpus: &Corpus, dir: &str, scale: f64, seed: u64) {
     // Fig 5.
     let cdf = analysis::gap_cdf(corpus);
     let mut out = String::from("hours,cdf\n");
-    for h in [0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 72.0, 168.0, 336.0, 720.0, 2160.0, 4320.0] {
+    for h in [
+        0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 72.0, 168.0, 336.0, 720.0, 2160.0, 4320.0,
+    ] {
         out.push_str(&format!("{h},{:.4}\n", cdf.cdf(h)));
     }
     write("fig5_gap_cdf.csv", out);
@@ -479,7 +491,10 @@ fn table6(summary: &EvalSummary) {
             100.0 * row.fr()
         );
     }
-    println!("max DFixer iterations: {} (paper: ≤4)", summary.max_iterations);
+    println!(
+        "max DFixer iterations: {} (paper: ≤4)",
+        summary.max_iterations
+    );
 }
 
 fn table7(summary: &EvalSummary) {
@@ -511,7 +526,9 @@ fn table7(summary: &EvalSummary) {
         }
         println!();
     }
-    println!("paper: Sign-the-zone 41.7% of 1st-iteration instructions, Remove-incorrect-DS 30.9%, …");
+    println!(
+        "paper: Sign-the-zone 41.7% of 1st-iteration instructions, Remove-incorrect-DS 30.9%, …"
+    );
 }
 
 fn fig8() {
@@ -522,7 +539,10 @@ fn fig8() {
     };
     let rep = replicate(&request, 1_000_000, 0xF18).expect("replicates");
     let (report, resolution, commands) = suggest(&rep.sandbox, &rep.probe, ServerFlavor::Bind);
-    println!("status: {}; root cause: {:?}", report.status, resolution.addressed);
+    println!(
+        "status: {}; root cause: {:?}",
+        report.status, resolution.addressed
+    );
     for (i, instr) in resolution.plan.iter().enumerate() {
         println!("  ({}) {}", i + 1, instr.describe());
     }
@@ -570,7 +590,11 @@ fn llm_baseline() {
             ],
             true,
         ),
-        ("broken NSEC3 chain", vec![ErrorCode::Nsec3CoverageBroken], true),
+        (
+            "broken NSEC3 chain",
+            vec![ErrorCode::Nsec3CoverageBroken],
+            true,
+        ),
     ];
     println!(
         "{:<32} {:>8} {:>8} {:>10} {:>10}",

@@ -99,7 +99,11 @@ fn main() -> ExitCode {
                 "{:<32} {:<36} {} {}",
                 c.ident(),
                 c.subcategory().label(),
-                if c.is_critical() { "critical" } else { "tolerated" },
+                if c.is_critical() {
+                    "critical"
+                } else {
+                    "tolerated"
+                },
                 if c.replicable() { "" } else { "(unreplicable)" }
             );
         }

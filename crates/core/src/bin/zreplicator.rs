@@ -175,8 +175,7 @@ fn main() -> ExitCode {
                 };
                 let file = format!(
                     "{dir}/{}",
-                    format!("{}-{}.zone", zone_info.apex, sid)
-                        .replace(['/', '#'], "_")
+                    format!("{}-{}.zone", zone_info.apex, sid).replace(['/', '#'], "_")
                 );
                 if let Err(e) = std::fs::write(&file, zone_to_master(zone)) {
                     eprintln!("error: cannot write {file}: {e}");

@@ -43,7 +43,9 @@ pub mod prelude {
     pub use ddx_dataset::{generate, Corpus, CorpusConfig, Level, Snapshot};
     pub use ddx_dns::{name, Name, RData, RRset, Record, RrType, Zone};
     pub use ddx_dnssec::{Algorithm, DigestType, KeyPair, KeyRing, KeyRole, Nsec3Config};
-    pub use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus, Subcategory};
+    pub use ddx_dnsviz::{
+        grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus, Subcategory,
+    };
     pub use ddx_fixer::{
         run_fixer, run_naive, suggest, FixRun, FixerOptions, Instruction, InstructionKind,
         ServerFlavor,
@@ -79,6 +81,10 @@ mod tests {
             assert!(summary.s1.rr() > 0.9, "s1 rr {}", summary.s1.rr());
         }
         assert!(summary.max_iterations <= 4);
+        // Every addressed cause came out of grok with a structured (typed)
+        // payload — nothing fell back to the free-form Note escape hatch.
+        assert!(summary.total_details > 0);
+        assert_eq!(summary.typed_details, summary.total_details);
     }
 
     #[test]
@@ -100,5 +106,7 @@ mod tests {
         assert_eq!(seq.instruction_histogram, par.instruction_histogram);
         assert_eq!(seq.histogram_overflow, par.histogram_overflow);
         assert_eq!(seq.max_iterations, par.max_iterations);
+        assert_eq!(seq.typed_details, par.typed_details);
+        assert_eq!(seq.total_details, par.total_details);
     }
 }

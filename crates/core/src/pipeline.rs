@@ -6,7 +6,7 @@
 use std::collections::BTreeSet;
 
 use ddx_dataset::{Corpus, Snapshot};
-use ddx_dnsviz::{grok, probe, ErrorCode};
+use ddx_dnsviz::{grok, probe, ErrorCode, ErrorDetail};
 use ddx_fixer::{run_fixer, FixerOptions, InstructionKind};
 use ddx_replicator::{parent_apex, replicate, ReplicationRequest};
 
@@ -48,6 +48,11 @@ pub struct SnapshotEval {
     pub iterations: usize,
     /// (iteration, instruction kind) pairs issued.
     pub instructions: Vec<(usize, InstructionKind)>,
+    /// Addressed-cause detail payloads carrying a structured (non-Note)
+    /// variant, across all iterations.
+    pub typed_details: u64,
+    /// All addressed-cause detail payloads seen across all iterations.
+    pub total_details: u64,
 }
 
 /// Table 6 row: one dataset slice.
@@ -89,6 +94,12 @@ pub struct EvalSummary {
     pub histogram_overflow: u64,
     /// Maximum iterations any fixed zone needed.
     pub max_iterations: usize,
+    /// Addressed-cause detail payloads that carried a structured variant
+    /// (everything except `ErrorDetail::Note`), summed over all runs — a
+    /// coverage measure for the typed diagnostic model.
+    pub typed_details: u64,
+    /// All addressed-cause detail payloads DFixer consumed.
+    pub total_details: u64,
 }
 
 impl EvalSummary {
@@ -122,6 +133,8 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
             s1,
             iterations: 0,
             instructions: Vec::new(),
+            typed_details: 0,
+            total_details: 0,
         };
     };
     // The rare parent-bogus condition (paper §5.4): DS present upstream but
@@ -145,6 +158,8 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
             s1,
             iterations: 0,
             instructions: Vec::new(),
+            typed_details: 0,
+            total_details: 0,
         };
     }
     let mut fixer_opts = cfg.fixer.clone();
@@ -155,6 +170,11 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
         .iter()
         .flat_map(|it| it.plan.iter().map(move |i| (it.iteration, i.kind())))
         .collect();
+    let details = || run.iterations.iter().flat_map(|it| &it.addressed_details);
+    let total_details = details().count() as u64;
+    let typed_details = details()
+        .filter(|d| !matches!(d, ErrorDetail::Note(_)))
+        .count() as u64;
     SnapshotEval {
         intended,
         generated,
@@ -163,6 +183,8 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
         s1,
         iterations: run.iterations.len(),
         instructions,
+        typed_details,
+        total_details,
     }
 }
 
@@ -238,12 +260,15 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
         label: "Remaining (S2)",
         ..Default::default()
     };
-    let mut histogram: std::collections::BTreeMap<InstructionKind, [u64; 6]> =
-        Default::default();
+    let mut histogram: std::collections::BTreeMap<InstructionKind, [u64; 6]> = Default::default();
     let mut histogram_overflow = 0u64;
     let mut max_iterations = 0usize;
+    let mut typed_details = 0u64;
+    let mut total_details = 0u64;
 
     for eval in evals {
+        typed_details += eval.typed_details;
+        total_details += eval.total_details;
         let row = if eval.s1 { &mut s1 } else { &mut s2 };
         row.snapshots += 1;
         if !eval.generated.is_empty() {
@@ -251,7 +276,12 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
         }
         if eval.replicated {
             row.replicated += 1;
-            if eval.after_fix.as_ref().map(|a| a.is_empty()).unwrap_or(false) {
+            if eval
+                .after_fix
+                .as_ref()
+                .map(|a| a.is_empty())
+                .unwrap_or(false)
+            {
                 row.fixed += 1;
                 max_iterations = max_iterations.max(eval.iterations);
             }
@@ -286,5 +316,7 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
         instruction_histogram: histogram.into_iter().collect(),
         histogram_overflow,
         max_iterations,
+        typed_details,
+        total_details,
     }
 }

@@ -51,11 +51,8 @@ pub fn table1(corpus: &Corpus) -> Vec<Table1Row> {
         (Level::Tld, "TLD"),
         (Level::SldPlus, "SLD+"),
     ] {
-        let domains: Vec<&DomainRecord> = corpus
-            .domains
-            .iter()
-            .filter(|d| d.level == level)
-            .collect();
+        let domains: Vec<&DomainRecord> =
+            corpus.domains.iter().filter(|d| d.level == level).collect();
         rows.push(Table1Row {
             level: label,
             snapshots: domains.iter().map(|d| d.snapshots.len() as u64).sum(),
@@ -535,7 +532,11 @@ mod tests {
         for r in &prev.rows {
             assert!(r.snapshots <= nzic.snapshots, "{} > NZIC", r.subcategory);
         }
-        assert!((15.0..45.0).contains(&nzic.snapshot_pct), "{}", nzic.snapshot_pct);
+        assert!(
+            (15.0..45.0).contains(&nzic.snapshot_pct),
+            "{}",
+            nzic.snapshot_pct
+        );
         let share = prev.erroneous_snapshots as f64 / prev.total_snapshots as f64;
         assert!((0.28..0.52).contains(&share), "{share}");
     }

@@ -57,8 +57,7 @@ impl Snapshot {
 
     /// True when NZIC is the only error (paper's S1 subset).
     pub fn is_nzic_only(&self) -> bool {
-        self.errors.len() == 1
-            && self.errors.contains(&ErrorCode::Nsec3IterationsNonzero)
+        self.errors.len() == 1 && self.errors.contains(&ErrorCode::Nsec3IterationsNonzero)
     }
 }
 
@@ -75,9 +74,10 @@ impl DomainRecord {
     /// status or error codes.
     pub fn is_cd(&self) -> bool {
         self.snapshots.len() >= 2
-            && self.snapshots.windows(2).any(|w| {
-                w[0].status != w[1].status || w[0].errors != w[1].errors
-            })
+            && self
+                .snapshots
+                .windows(2)
+                .any(|w| w[0].status != w[1].status || w[0].errors != w[1].errors)
     }
 
     /// Stable Domain: multi-snapshot but never changing.
@@ -177,14 +177,23 @@ enum DenialAffinity {
 fn affinity_of(code: ErrorCode) -> DenialAffinity {
     use ErrorCode::*;
     match code {
-        NsecProofMissing | NsecBitmapAssertsType | NsecCoverageBroken
-        | NsecMissingWildcardProof | LastNsecNotApex => DenialAffinity::Nsec,
-        Nsec3ProofMissing | Nsec3BitmapAssertsType | Nsec3CoverageBroken
-        | Nsec3MissingWildcardProof | Nsec3ParamMismatch | Nsec3IterationsNonzero
-        | Nsec3OptOutViolation | Nsec3UnsupportedAlgorithm | Nsec3NoClosestEncloser
-        | Nsec3InconsistentAncestor | Nsec3HashInvalidLength | Nsec3OwnerNotBase32 => {
-            DenialAffinity::Nsec3
-        }
+        NsecProofMissing
+        | NsecBitmapAssertsType
+        | NsecCoverageBroken
+        | NsecMissingWildcardProof
+        | LastNsecNotApex => DenialAffinity::Nsec,
+        Nsec3ProofMissing
+        | Nsec3BitmapAssertsType
+        | Nsec3CoverageBroken
+        | Nsec3MissingWildcardProof
+        | Nsec3ParamMismatch
+        | Nsec3IterationsNonzero
+        | Nsec3OptOutViolation
+        | Nsec3UnsupportedAlgorithm
+        | Nsec3NoClosestEncloser
+        | Nsec3InconsistentAncestor
+        | Nsec3HashInvalidLength
+        | Nsec3OwnerNotBase32 => DenialAffinity::Nsec3,
         _ => DenialAffinity::Unknown,
     }
 }
@@ -196,46 +205,70 @@ fn code_for_subcategory(rng: &mut StdRng, sub: Subcategory, mode: DenialAffinity
     use ErrorCode::*;
     use Subcategory as S;
     match sub {
-        S::MissingKskForAlgorithm => *pick(rng, &[
-            (DsMissingKeyForAlgorithm, 70),
-            (NoSecureEntryPoint, 15),
-            (DnskeyMissingForDs, 10),
-            (NoSepForDsAlgorithm, 5),
-        ]),
-        S::InvalidDigest => *pick(rng, &[
-            (DsDigestInvalid, 80),
-            (DsAlgorithmMismatch, 15),
-            (DsUnknownDigestType, 5),
-        ]),
-        S::InconsistentDnskey => *pick(rng, &[
-            (DnskeyMissingFromServers, 70),
-            (DnskeyInconsistentRrset, 30),
-        ]),
-        S::RevokedKey => *pick(rng, &[
-            (DsReferencesRevokedKey, 45),
-            (RevokedKeyInUse, 35),
-            (DnskeyRevokedNoOtherSep, 20),
-        ]),
-        S::BadKeyLength => *pick(rng, &[
-            (KeyLengthTooShort, 55),
-            (KeyLengthInvalidForAlgorithm, 45), // unreplicable variant
-        ]),
-        S::IncompleteAlgorithmSetup => *pick(rng, &[
-            (DsAlgorithmWithoutRrsig, 40),
-            (DnskeyAlgorithmWithoutRrsig, 40),
-            (RrsigAlgorithmWithoutDnskey, 20),
-        ]),
-        S::MissingSignature => *pick(rng, &[
-            (RrsigMissing, 70),
-            (RrsigMissingFromServers, 20),
-            (RrsigMissingForDnskey, 10),
-        ]),
+        S::MissingKskForAlgorithm => *pick(
+            rng,
+            &[
+                (DsMissingKeyForAlgorithm, 70),
+                (NoSecureEntryPoint, 15),
+                (DnskeyMissingForDs, 10),
+                (NoSepForDsAlgorithm, 5),
+            ],
+        ),
+        S::InvalidDigest => *pick(
+            rng,
+            &[
+                (DsDigestInvalid, 80),
+                (DsAlgorithmMismatch, 15),
+                (DsUnknownDigestType, 5),
+            ],
+        ),
+        S::InconsistentDnskey => *pick(
+            rng,
+            &[
+                (DnskeyMissingFromServers, 70),
+                (DnskeyInconsistentRrset, 30),
+            ],
+        ),
+        S::RevokedKey => *pick(
+            rng,
+            &[
+                (DsReferencesRevokedKey, 45),
+                (RevokedKeyInUse, 35),
+                (DnskeyRevokedNoOtherSep, 20),
+            ],
+        ),
+        S::BadKeyLength => *pick(
+            rng,
+            &[
+                (KeyLengthTooShort, 55),
+                (KeyLengthInvalidForAlgorithm, 45), // unreplicable variant
+            ],
+        ),
+        S::IncompleteAlgorithmSetup => *pick(
+            rng,
+            &[
+                (DsAlgorithmWithoutRrsig, 40),
+                (DnskeyAlgorithmWithoutRrsig, 40),
+                (RrsigAlgorithmWithoutDnskey, 20),
+            ],
+        ),
+        S::MissingSignature => *pick(
+            rng,
+            &[
+                (RrsigMissing, 70),
+                (RrsigMissingFromServers, 20),
+                (RrsigMissingForDnskey, 10),
+            ],
+        ),
         S::ExpiredSignature => RrsigExpired,
-        S::InvalidSignature => *pick(rng, &[
-            (RrsigInvalid, 70),
-            (RrsigUnknownKeyTag, 20),
-            (RrsigInvalidRdata, 10),
-        ]),
+        S::InvalidSignature => *pick(
+            rng,
+            &[
+                (RrsigInvalid, 70),
+                (RrsigUnknownKeyTag, 20),
+                (RrsigInvalidRdata, 10),
+            ],
+        ),
         S::IncorrectSigner => RrsigSignerMismatch,
         S::NotYetValidSignature => RrsigNotYetValid,
         S::IncorrectSignatureLabels => RrsigLabelsExceedOwner,
@@ -245,36 +278,41 @@ fn code_for_subcategory(rng: &mut StdRng, sub: Subcategory, mode: DenialAffinity
         S::MissingNonexistenceProof => match mode {
             DenialAffinity::Nsec => NsecProofMissing,
             DenialAffinity::Nsec3 => Nsec3ProofMissing,
-            DenialAffinity::Unknown => *pick(rng, &[
-                (NsecProofMissing, 45),
-                (Nsec3ProofMissing, 55),
-            ]),
+            DenialAffinity::Unknown => {
+                *pick(rng, &[(NsecProofMissing, 45), (Nsec3ProofMissing, 55)])
+            }
         },
         S::IncorrectTypeBitmap => match mode {
             DenialAffinity::Nsec => NsecBitmapAssertsType,
             DenialAffinity::Nsec3 => Nsec3BitmapAssertsType,
-            DenialAffinity::Unknown => *pick(rng, &[
-                (NsecBitmapAssertsType, 45),
-                (Nsec3BitmapAssertsType, 55),
-            ]),
+            DenialAffinity::Unknown => *pick(
+                rng,
+                &[(NsecBitmapAssertsType, 45), (Nsec3BitmapAssertsType, 55)],
+            ),
         },
         S::BadNonexistenceProof => match mode {
-            DenialAffinity::Nsec => *pick(rng, &[
-                (NsecCoverageBroken, 60),
-                (NsecMissingWildcardProof, 40),
-            ]),
-            DenialAffinity::Nsec3 => *pick(rng, &[
-                (Nsec3CoverageBroken, 50),
-                (Nsec3MissingWildcardProof, 30),
-                (Nsec3ParamMismatch, 20),
-            ]),
-            DenialAffinity::Unknown => *pick(rng, &[
-                (NsecCoverageBroken, 30),
-                (Nsec3CoverageBroken, 30),
-                (NsecMissingWildcardProof, 15),
-                (Nsec3MissingWildcardProof, 15),
-                (Nsec3ParamMismatch, 10),
-            ]),
+            DenialAffinity::Nsec => *pick(
+                rng,
+                &[(NsecCoverageBroken, 60), (NsecMissingWildcardProof, 40)],
+            ),
+            DenialAffinity::Nsec3 => *pick(
+                rng,
+                &[
+                    (Nsec3CoverageBroken, 50),
+                    (Nsec3MissingWildcardProof, 30),
+                    (Nsec3ParamMismatch, 20),
+                ],
+            ),
+            DenialAffinity::Unknown => *pick(
+                rng,
+                &[
+                    (NsecCoverageBroken, 30),
+                    (Nsec3CoverageBroken, 30),
+                    (NsecMissingWildcardProof, 15),
+                    (Nsec3MissingWildcardProof, 15),
+                    (Nsec3ParamMismatch, 10),
+                ],
+            ),
         },
         S::IncorrectLastNsec => LastNsecNotApex,
         S::NonzeroIterationCount => Nsec3IterationsNonzero,
@@ -323,9 +361,10 @@ pub fn sample_error_set(rng: &mut StdRng, force_critical: Option<bool>) -> BTree
         let sub = weights[dist.sample(rng)].0;
         let code = code_for_subcategory(rng, sub, mode);
         match force_critical {
-            Some(true) if out.iter().all(|c: &ErrorCode| !c.is_critical())
-                && !code.is_critical()
-                && guard < 48 =>
+            Some(true)
+                if out.iter().all(|c: &ErrorCode| !c.is_critical())
+                    && !code.is_critical()
+                    && guard < 48 =>
             {
                 continue
             }
@@ -434,9 +473,21 @@ pub fn sample_meta(rng: &mut StdRng, errors: &BTreeSet<ErrorCode>) -> ZoneMeta {
     // A few zones exhaust all substitutable algorithms (paper §5.5.1).
     if rng.gen_bool(params::ALGO_EXHAUSTED_SHARE) {
         keys = vec![
-            KeySpec { role: ddx_dnssec::KeyRole::Ksk, algorithm: 8, bits: 2048 },
-            KeySpec { role: ddx_dnssec::KeyRole::Ksk, algorithm: 13, bits: 256 },
-            KeySpec { role: ddx_dnssec::KeyRole::Zsk, algorithm: 3, bits: 1024 },
+            KeySpec {
+                role: ddx_dnssec::KeyRole::Ksk,
+                algorithm: 8,
+                bits: 2048,
+            },
+            KeySpec {
+                role: ddx_dnssec::KeyRole::Ksk,
+                algorithm: 13,
+                bits: 256,
+            },
+            KeySpec {
+                role: ddx_dnssec::KeyRole::Zsk,
+                algorithm: 3,
+                bits: 1024,
+            },
         ];
     }
     ZoneMeta {
@@ -591,19 +642,27 @@ fn single_snapshot(rng: &mut StdRng, t: f64) -> Snapshot {
     // Singles mix: calibrated so erroneous singles ≈ 24.6% (Table 5's
     // multi-domain universe accounts for the rest of the 81,805 erroneous
     // domains).
-    let status = *pick(rng, &[
-        (SnapshotStatus::Sv, 510u32),
-        (SnapshotStatus::Svm, 190),
-        (SnapshotStatus::Sb, 80),
-        (SnapshotStatus::Is, 170),
-        (SnapshotStatus::Lm, 25),
-        (SnapshotStatus::Ic, 5),
-    ]);
-    make_snapshot(rng, t, status, &mut DomainState {
-        ns_set: 0,
-        key_set: 0,
-        algorithms: vec![13],
-    })
+    let status = *pick(
+        rng,
+        &[
+            (SnapshotStatus::Sv, 510u32),
+            (SnapshotStatus::Svm, 190),
+            (SnapshotStatus::Sb, 80),
+            (SnapshotStatus::Is, 170),
+            (SnapshotStatus::Lm, 25),
+            (SnapshotStatus::Ic, 5),
+        ],
+    );
+    make_snapshot(
+        rng,
+        t,
+        status,
+        &mut DomainState {
+            ns_set: 0,
+            key_set: 0,
+            algorithms: vec![13],
+        },
+    )
 }
 
 fn make_snapshot(
@@ -647,14 +706,17 @@ fn sd_trajectory(rng: &mut StdRng) -> Vec<Snapshot> {
     // the Table 5 never-resolved shares land near the paper's 18% (sb),
     // 62% (svm), 36.5% (is): stable sb/svm/is domains are, by definition,
     // never resolved.
-    let status = *pick(rng, &[
-        (SnapshotStatus::Sv, 736u32),
-        (SnapshotStatus::Svm, 34),
-        (SnapshotStatus::Sb, 20),
-        (SnapshotStatus::Is, 25),
-        (SnapshotStatus::Lm, 15),
-        (SnapshotStatus::Ic, 5),
-    ]);
+    let status = *pick(
+        rng,
+        &[
+            (SnapshotStatus::Sv, 736u32),
+            (SnapshotStatus::Svm, 34),
+            (SnapshotStatus::Sb, 20),
+            (SnapshotStatus::Is, 25),
+            (SnapshotStatus::Lm, 15),
+            (SnapshotStatus::Ic, 5),
+        ],
+    );
     // Broken-but-tolerated zones (svm/NZIC) accumulate the longest scan
     // histories; hard-broken zones get fixed or abandoned sooner.
     let mean = match status {
@@ -701,12 +763,15 @@ fn sample_snapshot_count(rng: &mut StdRng, mean: f64) -> usize {
 /// as ns/key/algorithm set changes (Table 2).
 fn cd_trajectory(rng: &mut StdRng) -> Vec<Snapshot> {
     // First-snapshot state mix from Fig 2's CD population.
-    let start = *pick(rng, &[
-        (SnapshotStatus::Sv, 4_633u32),
-        (SnapshotStatus::Svm, 2_292),
-        (SnapshotStatus::Sb, 10_668),
-        (SnapshotStatus::Is, 3_907),
-    ]);
+    let start = *pick(
+        rng,
+        &[
+            (SnapshotStatus::Sv, 4_633u32),
+            (SnapshotStatus::Svm, 2_292),
+            (SnapshotStatus::Sb, 10_668),
+            (SnapshotStatus::Is, 3_907),
+        ],
+    );
     let n = sample_snapshot_count(rng, 9.0);
     let mut st = DomainState {
         ns_set: 0,
@@ -757,9 +822,17 @@ fn cd_trajectory(rng: &mut StdRng) -> Vec<Snapshot> {
             && matches!(new_status, SnapshotStatus::Sb | SnapshotStatus::Is)
         {
             let (ns_p, key_p, algo_p) = if new_status == SnapshotStatus::Sb {
-                (params::table2::SV_SB_NS, params::table2::SV_SB_KEY, params::table2::SV_SB_ALGO)
+                (
+                    params::table2::SV_SB_NS,
+                    params::table2::SV_SB_KEY,
+                    params::table2::SV_SB_ALGO,
+                )
             } else {
-                (params::table2::SV_IS_NS, params::table2::SV_IS_KEY, params::table2::SV_IS_ALGO)
+                (
+                    params::table2::SV_IS_NS,
+                    params::table2::SV_IS_KEY,
+                    params::table2::SV_IS_ALGO,
+                )
             };
             let roll: f64 = rng.gen();
             if roll < ns_p {
@@ -776,19 +849,17 @@ fn cd_trajectory(rng: &mut StdRng) -> Vec<Snapshot> {
     }
     // Ending calibration against Fig 2 / Table 5:
     let last_status = snaps.last().map(|s| s.status);
-    let append = |rng: &mut StdRng, st: &mut DomainState, snaps: &mut Vec<Snapshot>, status, median| {
-        let t = snaps.last().map(|s| s.t_hours).unwrap_or(0.0)
-            + lognormal_hours(rng, median, 1.2);
-        let snap = make_snapshot(rng, t, status, st);
-        snaps.push(snap);
-    };
+    let append =
+        |rng: &mut StdRng, st: &mut DomainState, snaps: &mut Vec<Snapshot>, status, median| {
+            let t =
+                snaps.last().map(|s| s.t_hours).unwrap_or(0.0) + lognormal_hours(rng, median, 1.2);
+            let snap = make_snapshot(rng, t, status, st);
+            snaps.push(snap);
+        };
     match last_status {
         // 38% of is-starting CD domains never (re-)enable DNSSEC (§3.4
         // "Switching to Insecure"): operators try signing and give up.
-        Some(s) if start == SnapshotStatus::Is
-            && s != SnapshotStatus::Is
-            && rng.gen_bool(0.30) =>
-        {
+        Some(s) if start == SnapshotStatus::Is && s != SnapshotStatus::Is && rng.gen_bool(0.30) => {
             append(rng, &mut st, &mut snaps, SnapshotStatus::Is, 48.0);
         }
         // Admins react promptly to breakage (Table 4: sb→sv median 0.7h);
@@ -809,8 +880,7 @@ fn cd_trajectory(rng: &mut StdRng) -> Vec<Snapshot> {
         // NZIC-style misconfigurations linger or return (61.9% of
         // svm-touching domains end svm).
         Some(SnapshotStatus::Sv)
-            if snaps.iter().any(|s| s.status == SnapshotStatus::Svm)
-                && rng.gen_bool(0.35) =>
+            if snaps.iter().any(|s| s.status == SnapshotStatus::Svm) && rng.gen_bool(0.35) =>
         {
             append(rng, &mut st, &mut snaps, SnapshotStatus::Svm, 400.0);
         }
@@ -832,8 +902,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate(&CorpusConfig { scale: 0.005, seed: 7 });
-        let b = generate(&CorpusConfig { scale: 0.005, seed: 7 });
+        let a = generate(&CorpusConfig {
+            scale: 0.005,
+            seed: 7,
+        });
+        let b = generate(&CorpusConfig {
+            scale: 0.005,
+            seed: 7,
+        });
         assert_eq!(a.domains.len(), b.domains.len());
         assert_eq!(
             a.snapshot_count(Level::SldPlus),
@@ -845,17 +921,17 @@ mod tests {
     fn scale_matches_table1_shape() {
         let c = small();
         let sld_domains = c.sld_domains().count() as f64;
-        assert!((sld_domains - 3_192.0).abs() / 3_192.0 < 0.02, "{sld_domains}");
+        assert!(
+            (sld_domains - 3_192.0).abs() / 3_192.0 < 0.02,
+            "{sld_domains}"
+        );
         let sld_snaps = c.snapshot_count(Level::SldPlus) as f64;
         // 747,455 × 0.01 ≈ 7,475 within 25% (trajectory-length variance).
         assert!(
             (sld_snaps - 7_474.0).abs() / 7_474.0 < 0.25,
             "snapshots {sld_snaps}"
         );
-        let multi = c
-            .sld_domains()
-            .filter(|d| d.snapshots.len() >= 2)
-            .count() as f64;
+        let multi = c.sld_domains().filter(|d| d.snapshots.len() >= 2).count() as f64;
         assert!((multi - 850.0).abs() / 850.0 < 0.05, "{multi}");
     }
 
@@ -901,7 +977,11 @@ mod tests {
         let total = c.erroneous_snapshots().count() as f64;
         let s1 = c.erroneous_snapshots().filter(|s| s.is_nzic_only()).count() as f64;
         // Paper: 168,482 / 296,813 ≈ 56.8%.
-        assert!((0.42..0.68).contains(&(s1 / total)), "s1 share {}", s1 / total);
+        assert!(
+            (0.42..0.68).contains(&(s1 / total)),
+            "s1 share {}",
+            s1 / total
+        );
     }
 
     #[test]
@@ -931,7 +1011,12 @@ mod tests {
         for s in c.erroneous_snapshots() {
             if s.errors.contains(&ErrorCode::Nsec3IterationsNonzero) {
                 total += 1;
-                if s.meta.nsec3.as_ref().map(|m| m.iterations > 0).unwrap_or(false) {
+                if s.meta
+                    .nsec3
+                    .as_ref()
+                    .map(|m| m.iterations > 0)
+                    .unwrap_or(false)
+                {
                     consistent += 1;
                 }
             }

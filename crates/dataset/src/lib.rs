@@ -13,4 +13,6 @@ pub mod corpus;
 pub mod params;
 pub mod tranco;
 
-pub use corpus::{generate, sample_error_set, sample_meta, Corpus, CorpusConfig, DomainRecord, Level, Snapshot};
+pub use corpus::{
+    generate, sample_error_set, sample_meta, Corpus, CorpusConfig, DomainRecord, Level, Snapshot,
+};

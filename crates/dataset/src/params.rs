@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn subcategory_weights_sum_plausibly() {
-        let total: u64 = Subcategory::ALL.iter().map(|s| subcategory_snapshots(*s)).sum();
+        let total: u64 = Subcategory::ALL
+            .iter()
+            .map(|s| subcategory_snapshots(*s))
+            .sum();
         // Error mentions exceed erroneous snapshots (multi-error snapshots),
         // as in the paper's Table 3.
         assert!(total > ERROR_SNAPSHOTS);

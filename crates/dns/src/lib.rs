@@ -15,6 +15,7 @@ pub mod message;
 pub mod name;
 pub mod rdata;
 pub mod rrset;
+pub mod trace;
 pub mod types;
 pub mod wire;
 pub mod zone;
@@ -23,7 +24,7 @@ pub use master::{parse_master, parse_record_line, record_to_line, zone_to_master
 pub use message::{Edns, Flags, Message, Question};
 pub use name::{name, Label, Name, NameError};
 pub use rdata::{
-    Ds, Dnskey, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa, DNSKEY_FLAG_REVOKE, DNSKEY_FLAG_SEP,
+    Dnskey, Ds, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa, DNSKEY_FLAG_REVOKE, DNSKEY_FLAG_SEP,
     DNSKEY_FLAG_ZONE, NSEC3_FLAG_OPT_OUT,
 };
 pub use rrset::{CanonicalScratch, RRset, Record};

@@ -5,12 +5,12 @@
 
 use std::fmt::Write as _;
 
+use crate::base32;
 use crate::name::Name;
 use crate::rdata::{Dnskey, Ds, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa};
 use crate::rrset::Record;
 use crate::types::{RrType, TypeBitmap};
 use crate::zone::Zone;
-use crate::base32;
 
 /// Parse errors with line context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,7 +115,13 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
 /// Renders one record in presentation format.
 pub fn record_to_line(rec: &Record) -> String {
     let rdata = rdata_to_text(&rec.rdata);
-    format!("{} {} IN {} {}", rec.name, rec.ttl, rec.rtype().mnemonic(), rdata)
+    format!(
+        "{} {} IN {} {}",
+        rec.name,
+        rec.ttl,
+        rec.rtype().mnemonic(),
+        rdata
+    )
 }
 
 fn rdata_to_text(rd: &RData) -> String {
@@ -416,8 +422,7 @@ fn parse_rdata(rtype: RrType, f: &mut Fields) -> Result<RData, ParseError> {
                 inception: f.num("inception")?,
                 key_tag: f.num("key tag")?,
                 signer_name: f.name("signer name")?,
-                signature: base64_decode(f.next()?)
-                    .ok_or_else(|| err(line, "bad RRSIG base64"))?,
+                signature: base64_decode(f.next()?).ok_or_else(|| err(line, "bad RRSIG base64"))?,
             })
         }
         RrType::Ds | RrType::Cds => {
@@ -452,8 +457,8 @@ fn parse_rdata(rtype: RrType, f: &mut Fields) -> Result<RData, ParseError> {
             let flags = f.num("flags")?;
             let iterations = f.num("iterations")?;
             let salt = hex_decode(f.next()?).ok_or_else(|| err(line, "bad salt"))?;
-            let next = base32::decode(f.next()?)
-                .ok_or_else(|| err(line, "bad next-hash base32"))?;
+            let next =
+                base32::decode(f.next()?).ok_or_else(|| err(line, "bad next-hash base32"))?;
             let mut bitmap = TypeBitmap::new();
             for t in f.rest() {
                 bitmap.insert(
@@ -477,7 +482,10 @@ fn parse_rdata(rtype: RrType, f: &mut Fields) -> Result<RData, ParseError> {
             salt: hex_decode(f.next()?).ok_or_else(|| err(line, "bad salt"))?,
         }),
         other => {
-            return Err(err(line, format!("type {other} not supported in master files")))
+            return Err(err(
+                line,
+                format!("type {other} not supported in master files"),
+            ))
         }
     })
 }
@@ -558,7 +566,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
         z.add(Record::new(
             name("ns1.example.com"),
             3600,

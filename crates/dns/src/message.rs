@@ -156,8 +156,7 @@ impl Message {
         records
             .iter()
             .filter(|r| {
-                &r.name == name
-                    && matches!(&r.rdata, RData::Rrsig(s) if s.type_covered == rtype)
+                &r.name == name && matches!(&r.rdata, RData::Rrsig(s) if s.type_covered == rtype)
             })
             .cloned()
             .collect()

@@ -423,16 +423,7 @@ mod tests {
         let wire = n.canonical_wire();
         assert_eq!(
             wire,
-            [
-                &[3u8][..],
-                b"www",
-                &[7],
-                b"example",
-                &[3],
-                b"com",
-                &[0]
-            ]
-            .concat()
+            [&[3u8][..], b"www", &[7], b"example", &[3], b"com", &[0]].concat()
         );
     }
 

@@ -191,7 +191,10 @@ pub enum RData {
     Ns(Name),
     Cname(Name),
     Soa(Soa),
-    Mx { preference: u16, exchange: Name },
+    Mx {
+        preference: u16,
+        exchange: Name,
+    },
     Txt(Vec<String>),
     Dnskey(Dnskey),
     Rrsig(Rrsig),
@@ -204,7 +207,10 @@ pub enum RData {
     /// Child DNSKEY (RFC 7344 §3.2): same RDATA layout as DNSKEY.
     Cdnskey(Dnskey),
     /// Opaque RDATA for types we do not model.
-    Unknown { rtype: u16, data: Vec<u8> },
+    Unknown {
+        rtype: u16,
+        data: Vec<u8>,
+    },
 }
 
 impl RData {

@@ -131,7 +131,11 @@ impl RRset {
         scratch: &mut CanonicalScratch,
         out: &mut Vec<u8>,
     ) {
-        let CanonicalScratch { owner, arena, ranges } = scratch;
+        let CanonicalScratch {
+            owner,
+            arena,
+            ranges,
+        } = scratch;
         owner.clear();
         self.name.canonical_wire_into(owner);
         // Encode every RDATA once into a shared arena and sort index ranges
@@ -223,7 +227,10 @@ mod tests {
     #[test]
     fn from_records_rejects_mixed_sets() {
         assert!(RRset::from_records(&[]).is_none());
-        let mixed_names = [a("a.example.com", 60, [1, 1, 1, 1]), a("b.example.com", 60, [1, 1, 1, 2])];
+        let mixed_names = [
+            a("a.example.com", 60, [1, 1, 1, 1]),
+            a("b.example.com", 60, [1, 1, 1, 2]),
+        ];
         assert!(RRset::from_records(&mixed_names).is_none());
         let mixed_types = [
             a("a.example.com", 60, [1, 1, 1, 1]),
@@ -254,7 +261,10 @@ mod tests {
     #[test]
     fn canonical_signing_form_uses_original_ttl() {
         let rs = RRset::from_records(&[a("x.example.com", 60, [1, 1, 1, 1])]).unwrap();
-        assert_ne!(rs.canonical_signing_form(60), rs.canonical_signing_form(300));
+        assert_ne!(
+            rs.canonical_signing_form(60),
+            rs.canonical_signing_form(300)
+        );
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Feature-gated tracing shim: spans and events for the diagnostic
+//! pipeline (probe walk, grok analysis passes, DFixer iterations).
+//!
+//! The workspace's dependency whitelist excludes the `tracing` crate, so
+//! this module provides the minimal subset the pipeline needs — structured
+//! events with key/value fields, and scoped spans — behind the same kind of
+//! compile-time gate. With the `trace` feature off (the default) every
+//! `trace_event!`/`trace_span!` expansion is an `if false` around its
+//! arguments: nothing is formatted, nothing is stored.
+//!
+//! The gate is a `const` evaluated *in this crate*, not a `#[cfg]` in the
+//! macro body: a `cfg!` inside a macro would expand against the calling
+//! crate's features, silently disabling tracing for downstream crates that
+//! forward their `trace` feature here. Downstream crates declare
+//! `trace = ["ddx-dns/trace"]`, so enabling any crate's `trace` flips this
+//! one constant for the whole workspace.
+//!
+//! Events land in a bounded thread-local buffer; tests and tools drain it
+//! with [`take_events`]. This keeps the shim deterministic and free of
+//! global subscribers or I/O.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// True when the `trace` feature of `ddx-dns` is enabled (directly or via a
+/// downstream crate's forwarded feature).
+pub const ENABLED: bool = cfg!(feature = "trace");
+
+/// Cap on buffered events per thread; the oldest are dropped past this.
+const BUFFER_CAP: usize = 8_192;
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Subsystem that emitted the event (e.g. `"dnsviz::probe"`).
+    pub target: &'static str,
+    /// Human-readable message (span events use `"enter"`/`"exit"`).
+    pub message: String,
+    /// Structured key/value fields (e.g. `("zone", "par.a.com.")`).
+    pub fields: Vec<(&'static str, String)>,
+}
+
+thread_local! {
+    static EVENTS: RefCell<VecDeque<TraceEvent>> = const { RefCell::new(VecDeque::new()) };
+}
+
+/// Appends an event to the thread-local buffer (bounded; oldest dropped).
+pub fn emit(event: TraceEvent) {
+    EVENTS.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.len() >= BUFFER_CAP {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    });
+}
+
+/// Drains and returns every event recorded on this thread so far.
+pub fn take_events() -> Vec<TraceEvent> {
+    EVENTS.with(|buf| buf.borrow_mut().drain(..).collect())
+}
+
+/// RAII guard emitting an `exit` event for its span when dropped.
+pub struct SpanGuard {
+    target: &'static str,
+    name: &'static str,
+    armed: bool,
+}
+
+/// Opens a span: emits an `enter` event now and an `exit` event when the
+/// returned guard drops. Prefer the [`trace_span!`](crate::trace_span)
+/// macro, which skips field formatting entirely when tracing is off.
+pub fn span(
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+) -> SpanGuard {
+    if ENABLED {
+        let mut all = vec![("span", name.to_string())];
+        all.extend(fields);
+        emit(TraceEvent {
+            target,
+            message: "enter".into(),
+            fields: all,
+        });
+    }
+    SpanGuard {
+        target,
+        name,
+        armed: ENABLED,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            emit(TraceEvent {
+                target: self.target,
+                message: "exit".into(),
+                fields: vec![("span", self.name.to_string())],
+            });
+        }
+    }
+}
+
+/// Emits a structured event: `trace_event!(target: "dnsviz::grok",
+/// "pass done", zone = zp.zone, errors = count)`. Arguments are not
+/// evaluated when the `trace` feature is off.
+#[macro_export]
+macro_rules! trace_event {
+    (target: $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::trace::ENABLED {
+            $crate::trace::emit($crate::trace::TraceEvent {
+                target: $target,
+                message: ($msg).to_string(),
+                fields: vec![$((stringify!($key), format!("{}", $value))),*],
+            });
+        }
+    };
+}
+
+/// Opens a span with structured fields; binds the guard to the given
+/// identifier. Field expressions are not evaluated when tracing is off.
+#[macro_export]
+macro_rules! trace_span {
+    ($guard:ident, target: $target:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        let $guard = if $crate::trace::ENABLED {
+            Some($crate::trace::span(
+                $target,
+                $name,
+                vec![$((stringify!($key), format!("{}", $value))),*],
+            ))
+        } else {
+            None
+        };
+        let _ = &$guard;
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_buffers_nothing() {
+        // This test compiles under both feature states; the assertions
+        // branch on the same constant the macros use.
+        trace_event!(target: "dns::test", "hello", answer = 42);
+        let events = take_events();
+        if ENABLED {
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].fields, vec![("answer", "42".to_string())]);
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+
+    #[test]
+    fn span_guard_emits_enter_and_exit_when_enabled() {
+        {
+            trace_span!(_g, target: "dns::test", "walk", zone = "a.com.");
+        }
+        let events = take_events();
+        if ENABLED {
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[0].message, "enter");
+            assert_eq!(events[1].message, "exit");
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+}

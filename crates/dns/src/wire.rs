@@ -7,7 +7,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 
 use crate::message::{Edns, Flags, Message, Question};
 use crate::name::{Label, Name};
-use crate::rdata::{Ds, Dnskey, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa};
+use crate::rdata::{Dnskey, Ds, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa};
 use crate::rrset::Record;
 use crate::types::{Rcode, RrClass, RrType, TypeBitmap};
 
@@ -187,7 +187,12 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         e.u16(q.qtype.code());
         e.u16(q.qclass.code());
     }
-    for rec in msg.answers.iter().chain(&msg.authorities).chain(&msg.additionals) {
+    for rec in msg
+        .answers
+        .iter()
+        .chain(&msg.authorities)
+        .chain(&msg.additionals)
+    {
         e.record(rec);
     }
     if let Some(edns) = &msg.edns {
@@ -304,11 +309,10 @@ fn decode_rdata(
     rd_len: usize,
 ) -> Result<RData, WireError> {
     let bad = || WireError::BadRdata(rtype.code());
-    let slice = buf.get(rd_start..rd_start + rd_len).ok_or(WireError::Truncated)?;
-    let mut d = Decoder {
-        buf,
-        pos: rd_start,
-    };
+    let slice = buf
+        .get(rd_start..rd_start + rd_len)
+        .ok_or(WireError::Truncated)?;
+    let mut d = Decoder { buf, pos: rd_start };
     let end = rd_start + rd_len;
     let rd = match rtype {
         RrType::A => {
@@ -484,34 +488,35 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
         });
     }
 
-    let read_section = |d: &mut Decoder, n: usize| -> Result<(Vec<Record>, Option<Edns>), WireError> {
-        let mut recs = Vec::with_capacity(n);
-        let mut edns = None;
-        for _ in 0..n {
-            let name = d.name()?;
-            let rtype = RrType::from_code(d.u16()?);
-            let class_code = d.u16()?;
-            let ttl = d.u32()?;
-            let rd_len = d.u16()? as usize;
-            if rtype == RrType::Opt {
-                edns = Some(Edns {
-                    udp_size: class_code,
-                    dnssec_ok: ttl & 0x0000_8000 != 0,
-                });
+    let read_section =
+        |d: &mut Decoder, n: usize| -> Result<(Vec<Record>, Option<Edns>), WireError> {
+            let mut recs = Vec::with_capacity(n);
+            let mut edns = None;
+            for _ in 0..n {
+                let name = d.name()?;
+                let rtype = RrType::from_code(d.u16()?);
+                let class_code = d.u16()?;
+                let ttl = d.u32()?;
+                let rd_len = d.u16()? as usize;
+                if rtype == RrType::Opt {
+                    edns = Some(Edns {
+                        udp_size: class_code,
+                        dnssec_ok: ttl & 0x0000_8000 != 0,
+                    });
+                    d.take(rd_len)?;
+                    continue;
+                }
+                let rdata = decode_rdata(rtype, d.buf, d.pos, rd_len)?;
                 d.take(rd_len)?;
-                continue;
+                recs.push(Record {
+                    name,
+                    class: RrClass::from_code(class_code),
+                    ttl,
+                    rdata,
+                });
             }
-            let rdata = decode_rdata(rtype, d.buf, d.pos, rd_len)?;
-            d.take(rd_len)?;
-            recs.push(Record {
-                name,
-                class: RrClass::from_code(class_code),
-                ttl,
-                rdata,
-            });
-        }
-        Ok((recs, edns))
-    };
+            Ok((recs, edns))
+        };
 
     let (answers, _) = read_section(&mut d, ancount)?;
     let (authorities, _) = read_section(&mut d, nscount)?;
@@ -599,11 +604,8 @@ mod tests {
         let wire = encode(&r);
         // Uncompressed "example.com" appears 4+ times; compression should
         // keep the message well under the naive size.
-        let naive: usize = 12
-            + r.answers.len() * 64
-            + r.authorities.len() * 64
-            + r.additionals.len() * 64
-            + 32;
+        let naive: usize =
+            12 + r.answers.len() * 64 + r.authorities.len() * 64 + r.additionals.len() * 64 + 32;
         assert!(wire.len() < naive, "wire {} >= naive {}", wire.len(), naive);
         // And pointers must resolve on decode.
         assert_eq!(decode(&wire).unwrap(), r);

@@ -160,9 +160,7 @@ impl Zone {
     pub fn delegation_names(&self) -> Vec<Name> {
         self.nodes
             .iter()
-            .filter(|(name, node)| {
-                *name != &self.apex && node.contains_key(&RrType::Ns.code())
-            })
+            .filter(|(name, node)| *name != &self.apex && node.contains_key(&RrType::Ns.code()))
             .map(|(name, _)| name.clone())
             .collect()
     }
@@ -201,7 +199,12 @@ impl Zone {
     /// returning the zone to its unsigned form. DNSKEY and DS records are
     /// kept: they are operator-managed inputs, not signer outputs.
     pub fn strip_dnssec(&mut self) {
-        for t in [RrType::Rrsig, RrType::Nsec, RrType::Nsec3, RrType::Nsec3Param] {
+        for t in [
+            RrType::Rrsig,
+            RrType::Nsec,
+            RrType::Nsec3,
+            RrType::Nsec3Param,
+        ] {
             self.strip_type(t);
         }
     }
@@ -275,7 +278,11 @@ mod tests {
     #[test]
     fn add_merges_and_dedups() {
         let mut z = apex_zone();
-        let rec = Record::new(name("w.example.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1)));
+        let rec = Record::new(
+            name("w.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+        );
         z.add(rec.clone());
         z.add(rec);
         assert_eq!(z.get(&name("w.example.com"), RrType::A).unwrap().len(), 1);
@@ -285,7 +292,11 @@ mod tests {
     #[should_panic(expected = "outside zone")]
     fn add_outside_zone_panics() {
         let mut z = apex_zone();
-        z.add(Record::new(name("other.org"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
+        z.add(Record::new(
+            name("other.org"),
+            60,
+            RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+        ));
     }
 
     #[test]
@@ -327,8 +338,16 @@ mod tests {
     #[test]
     fn names_iterate_canonically() {
         let mut z = apex_zone();
-        z.add(Record::new(name("z.example.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
-        z.add(Record::new(name("a.example.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 2))));
+        z.add(Record::new(
+            name("z.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+        ));
+        z.add(Record::new(
+            name("a.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 1, 1, 2)),
+        ));
         let names: Vec<_> = z.names().cloned().collect();
         // Apex first, then a, then ns1, then z (canonical order).
         assert_eq!(names[0], name("example.com"));

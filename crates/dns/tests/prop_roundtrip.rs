@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use ddx_dns::{
-    wire, Dnskey, Ds, Edns, Message, Name, Nsec, Nsec3, Nsec3Param, RData, Rcode, Record, Rrsig,
-    RrType, Soa, TypeBitmap,
+    wire, Dnskey, Ds, Edns, Message, Name, Nsec, Nsec3, Nsec3Param, RData, Rcode, Record, RrType,
+    Rrsig, Soa, TypeBitmap,
 };
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -28,26 +28,73 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+                RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
             }),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec("[a-zA-Z0-9 ]{0,40}", 1..4).prop_map(RData::Txt),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64))
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
             .prop_map(|(flags, protocol, algorithm, public_key)| {
-                RData::Dnskey(Dnskey { flags, protocol, algorithm, public_key })
+                RData::Dnskey(Dnskey {
+                    flags,
+                    protocol,
+                    algorithm,
+                    public_key,
+                })
             }),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..48))
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..48)
+        )
             .prop_map(|(key_tag, algorithm, digest_type, digest)| {
-                RData::Ds(Ds { key_tag, algorithm, digest_type, digest })
+                RData::Ds(Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                })
             }),
-        (0u16..=300, any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u16>(), arb_name(),
-         proptest::collection::vec(any::<u8>(), 1..80))
-            .prop_map(|(tc, algorithm, labels, original_ttl, expiration, inception, key_tag, signer_name, signature)| {
-                RData::Rrsig(Rrsig {
-                    type_covered: RrType::from_code(tc),
+        (
+            0u16..=300,
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            arb_name(),
+            proptest::collection::vec(any::<u8>(), 1..80)
+        )
+            .prop_map(
+                |(
+                    tc,
                     algorithm,
                     labels,
                     original_ttl,
@@ -56,26 +103,71 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
                     key_tag,
                     signer_name,
                     signature,
-                })
-            }),
-        (arb_name(), arb_bitmap())
-            .prop_map(|(next_name, type_bitmap)| RData::Nsec(Nsec { next_name, type_bitmap })),
-        (any::<u8>(), any::<u8>(), any::<u16>(),
-         proptest::collection::vec(any::<u8>(), 0..16),
-         proptest::collection::vec(any::<u8>(), 1..33),
-         arb_bitmap())
-            .prop_map(|(hash_algorithm, flags, iterations, salt, next_hashed_owner, type_bitmap)| {
-                RData::Nsec3(Nsec3 {
-                    hash_algorithm, flags, iterations, salt, next_hashed_owner, type_bitmap,
-                })
-            }),
-        (any::<u8>(), any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16))
+                )| {
+                    RData::Rrsig(Rrsig {
+                        type_covered: RrType::from_code(tc),
+                        algorithm,
+                        labels,
+                        original_ttl,
+                        expiration,
+                        inception,
+                        key_tag,
+                        signer_name,
+                        signature,
+                    })
+                }
+            ),
+        (arb_name(), arb_bitmap()).prop_map(|(next_name, type_bitmap)| RData::Nsec(Nsec {
+            next_name,
+            type_bitmap
+        })),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            proptest::collection::vec(any::<u8>(), 1..33),
+            arb_bitmap()
+        )
+            .prop_map(
+                |(hash_algorithm, flags, iterations, salt, next_hashed_owner, type_bitmap)| {
+                    RData::Nsec3(Nsec3 {
+                        hash_algorithm,
+                        flags,
+                        iterations,
+                        salt,
+                        next_hashed_owner,
+                        type_bitmap,
+                    })
+                }
+            ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16)
+        )
             .prop_map(|(hash_algorithm, flags, iterations, salt)| {
-                RData::Nsec3Param(Nsec3Param { hash_algorithm, flags, iterations, salt })
+                RData::Nsec3Param(Nsec3Param {
+                    hash_algorithm,
+                    flags,
+                    iterations,
+                    salt,
+                })
             }),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..48))
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..48)
+        )
             .prop_map(|(key_tag, algorithm, digest_type, digest)| {
-                RData::Cds(Ds { key_tag, algorithm, digest_type, digest })
+                RData::Cds(Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                })
             }),
     ]
 }
@@ -106,7 +198,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     r.answers = answers;
                     r.authorities = authorities;
                     r.additionals = additionals;
-                    r.edns = edns.map(|(udp_size, dnssec_ok)| Edns { udp_size, dnssec_ok });
+                    r.edns = edns.map(|(udp_size, dnssec_ok)| Edns {
+                        udp_size,
+                        dnssec_ok,
+                    });
                     std::mem::swap(&mut m, &mut r);
                     m
                 };

@@ -234,7 +234,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        zone.add(Record::new(apex.clone(), 3600, RData::Ns(apex.child("ns1").unwrap())));
+        zone.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Ns(apex.child("ns1").unwrap()),
+        ));
         sign_zone(&mut zone, &ring, &SignerConfig::nsec_at(NOW), NOW).unwrap();
         (zone, ring)
     }

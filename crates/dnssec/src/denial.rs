@@ -4,6 +4,8 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
+
 use ddx_dns::{
     Name, Nsec, Nsec3, Nsec3Param, RData, Record, RrType, TypeBitmap, Zone, NSEC3_FLAG_OPT_OUT,
 };
@@ -18,7 +20,7 @@ pub enum DenialMode {
 }
 
 /// What kind of negative answer a proof must establish.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DenialKind {
     /// The name does not exist at all.
     NxDomain,
@@ -197,9 +199,7 @@ pub type Nsec3View<'a> = (&'a Name, &'a Nsec3);
 pub fn nsec_covers(owner: &Name, next: &Name, name: &Name, apex: &Name) -> bool {
     use std::cmp::Ordering::*;
     match owner.canonical_cmp(next) {
-        Less => {
-            owner.canonical_cmp(name) == Less && name.canonical_cmp(next) == Less
-        }
+        Less => owner.canonical_cmp(name) == Less && name.canonical_cmp(next) == Less,
         Greater | Equal => {
             // Wrap-around record (next should be the apex).
             let _ = apex;
@@ -251,9 +251,9 @@ pub fn verify_nsec_denial(
             // covering NSEC's owner; the wildcard child must also be denied.
             let ce = closest_common_ancestor(qname, ce_owner, apex);
             let wildcard = ce.child("*").expect("wildcard label fits");
-            let wildcard_denied = records.iter().any(|(o, n)| {
-                nsec_covers(o, &n.next_name, &wildcard, apex) || *o == &wildcard
-            });
+            let wildcard_denied = records
+                .iter()
+                .any(|(o, n)| nsec_covers(o, &n.next_name, &wildcard, apex) || *o == &wildcard);
             if !wildcard_denied && &wildcard != qname {
                 return Err(DenialFailure::MissingWildcardProof);
             }
@@ -277,7 +277,11 @@ fn closest_common_ancestor(a: &Name, b: &Name, apex: &Name) -> Name {
 
 /// Structural sanity checks on a single NSEC3 record (owner label decodes to
 /// a hash of the right length, hash field length, supported algorithm).
-pub fn check_nsec3_structure(owner: &Name, nsec3: &Nsec3, apex: &Name) -> Result<(), DenialFailure> {
+pub fn check_nsec3_structure(
+    owner: &Name,
+    nsec3: &Nsec3,
+    apex: &Name,
+) -> Result<(), DenialFailure> {
     if nsec3.hash_algorithm != crate::nsec3::NSEC3_HASH_SHA1 {
         return Err(DenialFailure::UnsupportedAlgorithm(nsec3.hash_algorithm));
     }
@@ -325,7 +329,9 @@ pub fn verify_nsec3_denial(
     let hash_of = |n: &Name| nsec3_hash(n, &salt, iterations);
     let matches = |target: &Name| -> Option<&Nsec3View<'_>> {
         let th = hash_of(target);
-        records.iter().find(|(o, _)| owner_hash(o).as_deref() == Some(&th[..]))
+        records
+            .iter()
+            .find(|(o, _)| owner_hash(o).as_deref() == Some(&th[..]))
     };
     let covers = |target: &Name| -> bool {
         let th = hash_of(target);
@@ -370,20 +376,14 @@ pub fn verify_nsec3_denial(
             // Next-closer name must be covered (or opted out).
             let depth = ce.label_count() + 1;
             let labels = qname.labels();
-            let next_closer = Name::from_labels(
-                labels[labels.len() - depth..].to_vec(),
-            )
-            .expect("next closer fits");
+            let next_closer = Name::from_labels(labels[labels.len() - depth..].to_vec())
+                .expect("next closer fits");
             let next_closer_ok = covers(&next_closer)
                 || records.iter().any(|(o, n3)| {
                     n3.opt_out()
                         && owner_hash(o)
                             .map(|oh| {
-                                hash_covered(
-                                    &oh,
-                                    &n3.next_hashed_owner,
-                                    &hash_of(&next_closer),
-                                )
+                                hash_covered(&oh, &n3.next_hashed_owner, &hash_of(&next_closer))
                             })
                             .unwrap_or(false)
                 });
@@ -422,9 +422,21 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
-        z.add(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
-        z.add(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
+        z.add(Record::new(
+            name("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z.add(Record::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
         z.add(Record::new(
             name("a.deep.example.com"),
             300,
@@ -469,7 +481,7 @@ mod tests {
         build_nsec_chain(&mut zone);
         let views = nsec_views(&zone);
         assert_eq!(views.len(), 4); // apex, a.deep, ns1, www
-        // The record at the canonically-last name wraps to the apex.
+                                    // The record at the canonically-last name wraps to the apex.
         let last = views
             .iter()
             .find(|(_, n)| n.next_name == name("example.com"))

@@ -89,7 +89,10 @@ mod tests {
         for dt in [DigestType::Sha1, DigestType::Sha256, DigestType::Sha384] {
             let ds = make_ds(&name("example.com"), &k.dnskey, dt);
             assert_eq!(ds.digest.len(), dt.digest_len());
-            assert_eq!(check_ds(&name("example.com"), &ds, &k.dnskey), DsMatch::Match);
+            assert_eq!(
+                check_ds(&name("example.com"), &ds, &k.dnskey),
+                DsMatch::Match
+            );
         }
     }
 
@@ -107,7 +110,10 @@ mod tests {
     fn owner_case_is_canonicalized() {
         let k = ksk();
         let ds = make_ds(&name("EXAMPLE.com"), &k.dnskey, DigestType::Sha256);
-        assert_eq!(check_ds(&name("example.COM"), &ds, &k.dnskey), DsMatch::Match);
+        assert_eq!(
+            check_ds(&name("example.COM"), &ds, &k.dnskey),
+            DsMatch::Match
+        );
     }
 
     #[test]
@@ -115,7 +121,10 @@ mod tests {
         let k = ksk();
         let mut ds = make_ds(&name("example.com"), &k.dnskey, DigestType::Sha256);
         ds.key_tag = ds.key_tag.wrapping_add(1);
-        assert_eq!(check_ds(&name("example.com"), &ds, &k.dnskey), DsMatch::TagMismatch);
+        assert_eq!(
+            check_ds(&name("example.com"), &ds, &k.dnskey),
+            DsMatch::TagMismatch
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use sha1::{Digest, Sha1};
 use serde::{Deserialize, Serialize};
+use sha1::{Digest, Sha1};
 
 use ddx_dns::{base32, Name};
 

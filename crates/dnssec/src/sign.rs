@@ -9,9 +9,10 @@
 
 use std::cell::RefCell;
 
+use serde::{Deserialize, Serialize};
 use sha2::{Digest, Sha256};
 
-use ddx_dns::{CanonicalScratch, Dnskey, Name, RRset, Rrsig, RrType};
+use ddx_dns::{CanonicalScratch, Dnskey, Name, RRset, RrType, Rrsig};
 
 use crate::algorithm::Algorithm;
 use crate::cache::SigCache;
@@ -21,8 +22,10 @@ use crate::keys::KeyPair;
 const SIG_TAG: &[u8] = b"ddx-sim-rrsig-v1";
 
 /// Why a signature failed to verify. The variants deliberately mirror the
-/// distinctions DNSViz error codes draw.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// distinctions DNSViz error codes draw. Serialized as part of the grok
+/// report's typed `ErrorDetail` payloads (defined downstream in
+/// `ddx-dnsviz`, which this crate cannot link to).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VerifyError {
     /// `now` is past the expiration field.
     Expired { expiration: u32, now: u32 },
@@ -312,8 +315,16 @@ mod tests {
 
     fn rrset() -> RRset {
         RRset::from_records(&[
-            Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))),
-            Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2))),
+            Record::new(
+                name("www.example.com"),
+                300,
+                RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+            ),
+            Record::new(
+                name("www.example.com"),
+                300,
+                RData::A(Ipv4Addr::new(192, 0, 2, 2)),
+            ),
         ])
         .unwrap()
     }
@@ -430,7 +441,10 @@ mod tests {
         sig.signature.truncate(10);
         assert!(matches!(
             verify_rrset(&rs, &sig, &k.dnskey, &name("example.com"), 5000),
-            Err(VerifyError::BadSignatureLength { expected: 256, actual: 10 })
+            Err(VerifyError::BadSignatureLength {
+                expected: 256,
+                actual: 10
+            })
         ));
     }
 
@@ -444,7 +458,10 @@ mod tests {
         // fail before crypto anyway because labels is checked first.
         assert!(matches!(
             verify_rrset(&rs, &sig, &k.dnskey, &name("example.com"), 5000),
-            Err(VerifyError::BadLabelCount { labels: 9, owner_labels: 3 })
+            Err(VerifyError::BadLabelCount {
+                labels: 9,
+                owner_labels: 3
+            })
         ));
     }
 
@@ -464,11 +481,8 @@ mod tests {
     fn revoked_key_may_self_sign_dnskey_rrset() {
         let mut k = key(1);
         k.revoke();
-        let dnskey_set = RRset::singleton(
-            name("example.com"),
-            3600,
-            RData::Dnskey(k.dnskey.clone()),
-        );
+        let dnskey_set =
+            RRset::singleton(name("example.com"), 3600, RData::Dnskey(k.dnskey.clone()));
         let sig = sign_rrset(&dnskey_set, &k, OPTS);
         verify_rrset(&dnskey_set, &sig, &k.dnskey, &name("example.com"), 5000).unwrap();
     }

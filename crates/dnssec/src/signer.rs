@@ -101,7 +101,12 @@ fn key_signer(ring: &KeyRing, algorithm: u8, now: u32) -> Option<&KeyPair> {
 /// Existing DNSSEC material is stripped first; the DNSKEY RRset is rebuilt
 /// from the ring's published keys. This mirrors running
 /// `dnssec-signzone -S -o <zone>` over the unsigned zone file.
-pub fn sign_zone(zone: &mut Zone, ring: &KeyRing, cfg: &SignerConfig, now: u32) -> Result<(), SignError> {
+pub fn sign_zone(
+    zone: &mut Zone,
+    ring: &KeyRing,
+    cfg: &SignerConfig,
+    now: u32,
+) -> Result<(), SignError> {
     sign_zone_impl(zone, ring, cfg, now, None)
 }
 
@@ -157,11 +162,11 @@ fn sign_zone_impl(
     algorithms.dedup();
 
     let opts = cfg.options();
-    let sign_one = |set: &RRset, key: &KeyPair, cache: &mut Option<&mut SigCache>| {
-        match cache.as_deref_mut() {
-            Some(c) => sign_rrset_cached(set, key, opts, c),
-            None => sign_rrset(set, key, opts),
-        }
+    let sign_one = |set: &RRset, key: &KeyPair, cache: &mut Option<&mut SigCache>| match cache
+        .as_deref_mut()
+    {
+        Some(c) => sign_rrset_cached(set, key, opts, c),
+        None => sign_rrset(set, key, opts),
     };
     // Signatures are collected over an immutable pass and added afterwards,
     // so no RRset is cloned; addition order matches the previous per-set
@@ -276,9 +281,21 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
-        z.add(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
-        z.add(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
+        z.add(Record::new(
+            name("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z.add(Record::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
         // A delegation with glue.
         z.add(Record::new(
             name("sub.example.com"),
@@ -332,7 +349,12 @@ mod tests {
         for set in zone.rrsets().filter(|s| s.rtype != RrType::Rrsig) {
             let sigs = sigs_covering(&zone, &set.name, set.rtype);
             if !is_signable(&zone, set) {
-                assert!(sigs.is_empty(), "{} {} must be unsigned", set.name, set.rtype);
+                assert!(
+                    sigs.is_empty(),
+                    "{} {} must be unsigned",
+                    set.name,
+                    set.rtype
+                );
                 continue;
             }
             assert!(!sigs.is_empty(), "{} {} missing RRSIG", set.name, set.rtype);
@@ -454,13 +476,26 @@ mod tests {
             inception: 0,
             expiration: NOW - 1,
         };
-        resign_rrset(&mut zone, &name("www.example.com"), RrType::A, zsk_keys[0], expired);
+        resign_rrset(
+            &mut zone,
+            &name("www.example.com"),
+            RrType::A,
+            zsk_keys[0],
+            expired,
+        );
         let sigs = sigs_covering(&zone, &name("www.example.com"), RrType::A);
         assert_eq!(sigs.len(), 1);
         assert!(!sigs[0].is_current(NOW));
         // Cryptographically still valid at a time inside the window.
         let set = zone.get(&name("www.example.com"), RrType::A).unwrap();
-        verify_rrset(set, &sigs[0], &zsk_keys[0].dnskey, &name("example.com"), NOW - 10).unwrap();
+        verify_rrset(
+            set,
+            &sigs[0],
+            &zsk_keys[0].dnskey,
+            &name("example.com"),
+            NOW - 10,
+        )
+        .unwrap();
     }
 
     #[test]

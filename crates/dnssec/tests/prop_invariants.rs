@@ -33,7 +33,11 @@ fn build_zone(labels: &[String]) -> Zone {
             minimum: 300,
         }),
     ));
-    z.add(Record::new(apex.clone(), 3600, RData::Ns(apex.child("ns1").unwrap())));
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        RData::Ns(apex.child("ns1").unwrap()),
+    ));
     z.add(Record::new(
         apex.child("ns1").unwrap(),
         3600,

@@ -29,8 +29,22 @@ fn build_ring(apex: &Name, algs: &[usize], seed: u64) -> KeyRing {
     let mut rng = StdRng::seed_from_u64(seed);
     for &i in algs {
         let (alg, bits) = ALGS[i];
-        ring.add(KeyPair::generate(&mut rng, apex.clone(), alg, bits, KeyRole::Ksk, NOW));
-        ring.add(KeyPair::generate(&mut rng, apex.clone(), alg, bits, KeyRole::Zsk, NOW));
+        ring.add(KeyPair::generate(
+            &mut rng,
+            apex.clone(),
+            alg,
+            bits,
+            KeyRole::Ksk,
+            NOW,
+        ));
+        ring.add(KeyPair::generate(
+            &mut rng,
+            apex.clone(),
+            alg,
+            bits,
+            KeyRole::Zsk,
+            NOW,
+        ));
     }
     ring
 }
@@ -50,7 +64,11 @@ fn build_zone(apex: &Name, hosts: &[String]) -> Zone {
             minimum: 300,
         }),
     ));
-    zone.add(Record::new(apex.clone(), 3600, RData::Ns(apex.child("ns1").unwrap())));
+    zone.add(Record::new(
+        apex.clone(),
+        3600,
+        RData::Ns(apex.child("ns1").unwrap()),
+    ));
     zone.add(Record::new(
         apex.child("ns1").unwrap(),
         3600,

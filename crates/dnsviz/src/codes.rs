@@ -132,10 +132,13 @@ impl Subcategory {
             MissingKskForAlgorithm | InvalidDigest => Category::Delegation,
             InconsistentDnskey | RevokedKey | BadKeyLength => Category::Key,
             IncompleteAlgorithmSetup => Category::Algorithm,
-            MissingSignature | ExpiredSignature | InvalidSignature | IncorrectSigner
-            | NotYetValidSignature | IncorrectSignatureLabels | BadSignatureLength => {
-                Category::Signature
-            }
+            MissingSignature
+            | ExpiredSignature
+            | InvalidSignature
+            | IncorrectSigner
+            | NotYetValidSignature
+            | IncorrectSignatureLabels
+            | BadSignatureLength => Category::Signature,
             OriginalTtlExceedsRrsetTtl | TtlBeyondExpiration => Category::Ttl,
             MissingNonexistenceProof | IncorrectTypeBitmap | BadNonexistenceProof => {
                 Category::Nsec3Shared
@@ -370,7 +373,9 @@ impl ErrorCode {
     pub fn subcategory(self) -> Subcategory {
         use ErrorCode::*;
         match self {
-            DsMissingKeyForAlgorithm | NoSepForDsAlgorithm | DnskeyMissingForDs
+            DsMissingKeyForAlgorithm
+            | NoSepForDsAlgorithm
+            | DnskeyMissingForDs
             | NoSecureEntryPoint => Subcategory::MissingKskForAlgorithm,
             DsDigestInvalid | DsAlgorithmMismatch | DsUnknownDigestType => {
                 Subcategory::InvalidDigest
@@ -396,8 +401,11 @@ impl ErrorCode {
             TtlBeyondSignatureExpiry => Subcategory::TtlBeyondExpiration,
             NsecProofMissing | Nsec3ProofMissing => Subcategory::MissingNonexistenceProof,
             NsecBitmapAssertsType | Nsec3BitmapAssertsType => Subcategory::IncorrectTypeBitmap,
-            NsecCoverageBroken | Nsec3CoverageBroken | NsecMissingWildcardProof
-            | Nsec3MissingWildcardProof | Nsec3ParamMismatch => Subcategory::BadNonexistenceProof,
+            NsecCoverageBroken
+            | Nsec3CoverageBroken
+            | NsecMissingWildcardProof
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch => Subcategory::BadNonexistenceProof,
             LastNsecNotApex => Subcategory::IncorrectLastNsec,
             Nsec3IterationsNonzero => Subcategory::NonzeroIterationCount,
             Nsec3InconsistentAncestor => Subcategory::InconsistentAncestorForNxdomain,
@@ -420,26 +428,56 @@ impl ErrorCode {
         use ErrorCode::*;
         match self {
             // Chain-of-trust breakers.
-            DsMissingKeyForAlgorithm | DnskeyMissingForDs | NoSecureEntryPoint
-            | DsDigestInvalid | DsAlgorithmMismatch | DnskeyRevokedNoOtherSep => true,
+            DsMissingKeyForAlgorithm
+            | DnskeyMissingForDs
+            | NoSecureEntryPoint
+            | DsDigestInvalid
+            | DsAlgorithmMismatch
+            | DnskeyRevokedNoOtherSep => true,
             // Signature breakers.
-            RrsigMissing | RrsigMissingForDnskey | RrsigExpired | RrsigInvalid
-            | RrsigSignerMismatch | RrsigNotYetValid | RrsigBadLength | RrsigUnknownKeyTag
-            | RrsigInvalidRdata | RevokedKeyInUse => true,
+            RrsigMissing
+            | RrsigMissingForDnskey
+            | RrsigExpired
+            | RrsigInvalid
+            | RrsigSignerMismatch
+            | RrsigNotYetValid
+            | RrsigBadLength
+            | RrsigUnknownKeyTag
+            | RrsigInvalidRdata
+            | RevokedKeyInUse => true,
             // Denial breakers: a validator cannot prove the negative.
-            NsecProofMissing | Nsec3ProofMissing | NsecCoverageBroken | Nsec3CoverageBroken
-            | Nsec3NoClosestEncloser | Nsec3UnsupportedAlgorithm => true,
+            NsecProofMissing
+            | Nsec3ProofMissing
+            | NsecCoverageBroken
+            | Nsec3CoverageBroken
+            | Nsec3NoClosestEncloser
+            | Nsec3UnsupportedAlgorithm => true,
             // Key inconsistency causes intermittent SERVFAIL, counted sb.
             DnskeyInconsistentRrset => true,
             // Everything else is tolerated (implementation-dependent).
-            NoSepForDsAlgorithm | DsUnknownDigestType | DnskeyMissingFromServers
-            | DsReferencesRevokedKey | KeyLengthTooShort | KeyLengthInvalidForAlgorithm
-            | DsAlgorithmWithoutRrsig | DnskeyAlgorithmWithoutRrsig
-            | RrsigAlgorithmWithoutDnskey | RrsigMissingFromServers | RrsigLabelsExceedOwner
-            | OriginalTtlExceeded | TtlBeyondSignatureExpiry | NsecBitmapAssertsType
-            | Nsec3BitmapAssertsType | NsecMissingWildcardProof | Nsec3MissingWildcardProof
-            | Nsec3ParamMismatch | LastNsecNotApex | Nsec3IterationsNonzero
-            | Nsec3InconsistentAncestor | Nsec3HashInvalidLength | Nsec3OwnerNotBase32
+            NoSepForDsAlgorithm
+            | DsUnknownDigestType
+            | DnskeyMissingFromServers
+            | DsReferencesRevokedKey
+            | KeyLengthTooShort
+            | KeyLengthInvalidForAlgorithm
+            | DsAlgorithmWithoutRrsig
+            | DnskeyAlgorithmWithoutRrsig
+            | RrsigAlgorithmWithoutDnskey
+            | RrsigMissingFromServers
+            | RrsigLabelsExceedOwner
+            | OriginalTtlExceeded
+            | TtlBeyondSignatureExpiry
+            | NsecBitmapAssertsType
+            | Nsec3BitmapAssertsType
+            | NsecMissingWildcardProof
+            | Nsec3MissingWildcardProof
+            | Nsec3ParamMismatch
+            | LastNsecNotApex
+            | Nsec3IterationsNonzero
+            | Nsec3InconsistentAncestor
+            | Nsec3HashInvalidLength
+            | Nsec3OwnerNotBase32
             | Nsec3OptOutViolation => false,
         }
     }
@@ -593,8 +631,7 @@ mod tests {
 
     #[test]
     fn exactly_26_subcategories_all_used() {
-        let used: BTreeSet<Subcategory> =
-            ErrorCode::ALL.iter().map(|c| c.subcategory()).collect();
+        let used: BTreeSet<Subcategory> = ErrorCode::ALL.iter().map(|c| c.subcategory()).collect();
         assert_eq!(used.len(), 26);
         assert_eq!(Subcategory::ALL.len(), 26);
         for s in Subcategory::ALL {

@@ -75,11 +75,19 @@ pub fn ede_for(code: ErrorCode) -> Ede {
         DnskeyMissingForDs | DnskeyMissingFromServers | DnskeyInconsistentRrset => {
             Ede::DnskeyMissing
         }
-        RrsigMissing | RrsigMissingFromServers | RrsigMissingForDnskey
-        | DnskeyAlgorithmWithoutRrsig | DsAlgorithmWithoutRrsig => Ede::RrsigsMissing,
+        RrsigMissing
+        | RrsigMissingFromServers
+        | RrsigMissingForDnskey
+        | DnskeyAlgorithmWithoutRrsig
+        | DsAlgorithmWithoutRrsig => Ede::RrsigsMissing,
         RrsigInvalidRdata => Ede::NoZoneKeyBitSet,
-        NsecProofMissing | Nsec3ProofMissing | NsecCoverageBroken | Nsec3CoverageBroken
-        | NsecMissingWildcardProof | Nsec3MissingWildcardProof | Nsec3NoClosestEncloser
+        NsecProofMissing
+        | Nsec3ProofMissing
+        | NsecCoverageBroken
+        | Nsec3CoverageBroken
+        | NsecMissingWildcardProof
+        | Nsec3MissingWildcardProof
+        | Nsec3NoClosestEncloser
         | LastNsecNotApex => Ede::NsecMissing,
         Nsec3IterationsNonzero => Ede::UnsupportedNsec3Iterations,
         Nsec3UnsupportedAlgorithm => Ede::UnsupportedDnskeyAlgorithm,

@@ -1,0 +1,64 @@
+//! Algorithm-completeness pass: RFC 6840 §5.11 checks relating the
+//! algorithm sets of DNSKEY, DS and RRSIG records.
+
+use std::collections::BTreeSet;
+
+use super::{AlgorithmScope, AnalysisPass, ErrorDetail, ZoneAnalysis};
+use crate::codes::ErrorCode;
+
+pub(crate) struct AlgorithmCompletenessPass;
+
+impl AnalysisPass for AlgorithmCompletenessPass {
+    fn name(&self) -> &'static str {
+        "algorithms"
+    }
+
+    fn run(&self, za: &mut ZoneAnalysis) {
+        if za.algorithms_in_sigs.is_empty() && za.dnskeys.is_empty() {
+            return;
+        }
+        let key_algorithms: BTreeSet<u8> = za.dnskeys.iter().map(|k| k.algorithm).collect();
+        let sig_algorithms = za.algorithms_in_sigs.clone();
+        let ds_algorithms: BTreeSet<u8> = za.ds_set.iter().map(|d| d.algorithm).collect();
+
+        for alg in &key_algorithms {
+            if !sig_algorithms.contains(alg) {
+                za.push(
+                    ErrorCode::DnskeyAlgorithmWithoutRrsig,
+                    None,
+                    ErrorDetail::AlgorithmUnused {
+                        algorithm: *alg,
+                        scope: AlgorithmScope::Dnskey,
+                    },
+                );
+            }
+        }
+        for alg in &ds_algorithms {
+            if key_algorithms.contains(alg) && !sig_algorithms.contains(alg) {
+                za.push(
+                    ErrorCode::DsAlgorithmWithoutRrsig,
+                    None,
+                    ErrorDetail::AlgorithmUnused {
+                        algorithm: *alg,
+                        scope: AlgorithmScope::Ds,
+                    },
+                );
+            }
+        }
+        // RRSIG algorithms with no DNSKEY at all (when not already reported
+        // at the signature level — e.g. all sigs of that algorithm were
+        // skipped).
+        for alg in &sig_algorithms {
+            if !key_algorithms.contains(alg) && !za.has(ErrorCode::RrsigAlgorithmWithoutDnskey) {
+                za.push(
+                    ErrorCode::RrsigAlgorithmWithoutDnskey,
+                    None,
+                    ErrorDetail::AlgorithmUnused {
+                        algorithm: *alg,
+                        scope: AlgorithmScope::Rrsig,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Snapshot classification (`sv/svm/sb/is/lm/ic`, paper §3.2.1) and
+//! advisory warnings.
+
+use ddx_dns::RData;
+
+use super::{ZoneAnalysis, ZoneReport};
+use crate::codes::WarningCode;
+use crate::status::SnapshotStatus;
+
+/// Status resolution, walking the chain top-down the way a validator does:
+/// a broken (bogus) zone above makes the answer SERVFAIL before any
+/// insecurity below could be proven, while a DS-less delegation switches the
+/// rest of the chain to plain DNS (insecure) and masks errors below it.
+pub(crate) fn classify(zones: &[ZoneReport], any_lame: bool, any_orphaned: bool) -> SnapshotStatus {
+    if any_orphaned {
+        return SnapshotStatus::Ic;
+    }
+    if any_lame {
+        return SnapshotStatus::Lm;
+    }
+    let mut any_error = false;
+    let mut any_critical = false;
+    for z in zones {
+        if !z.is_anchor && !z.has_ds {
+            // Insecure delegation: validation stops here. Errors found
+            // above this break decide between sb/svm; errors below cannot
+            // cause SERVFAIL.
+            return if any_critical {
+                SnapshotStatus::Sb
+            } else {
+                SnapshotStatus::Is
+            };
+        }
+        for e in &z.errors {
+            any_error = true;
+            any_critical |= e.critical;
+        }
+    }
+    let query_signed = zones.last().map(|z| z.signed).unwrap_or(false);
+    if !query_signed {
+        return SnapshotStatus::Is;
+    }
+    if any_critical {
+        SnapshotStatus::Sb
+    } else if any_error {
+        SnapshotStatus::Svm
+    } else {
+        SnapshotStatus::Sv
+    }
+}
+
+/// Advisory findings (never status-affecting).
+pub(crate) fn collect_warnings(za: &ZoneAnalysis) -> Vec<WarningCode> {
+    let mut out = Vec::new();
+    // NSEC3 salt (RFC 9276 SHOULD).
+    let salted = za.zp.servers.iter().any(|sp| {
+        [&sp.nxdomain, &sp.nodata]
+            .into_iter()
+            .flatten()
+            .flat_map(|m| m.authorities.iter())
+            .any(|r| matches!(&r.rdata, RData::Nsec3(n) if !n.salt.is_empty()))
+    });
+    if salted {
+        out.push(WarningCode::Nsec3SaltPresent);
+    }
+    // Single-key zones.
+    if za.dnskeys.len() == 1 {
+        out.push(WarningCode::SingleKeyZone);
+    }
+    // SHA-1 DS digests.
+    if za.ds_set.iter().any(|d| d.digest_type == 1) {
+        out.push(WarningCode::Sha1DsDigest);
+    }
+    // Very short signature windows: look at the apex SOA signature.
+    let short = za.zp.servers.iter().any(|sp| {
+        sp.soa
+            .as_ref()
+            .map(|m| {
+                m.answers.iter().any(|r| {
+                    matches!(&r.rdata, RData::Rrsig(s)
+                        if s.expiration.saturating_sub(s.inception) < 2 * 86_400)
+                })
+            })
+            .unwrap_or(false)
+    });
+    if short {
+        out.push(WarningCode::ShortSignatureLifetime);
+    }
+    out
+}

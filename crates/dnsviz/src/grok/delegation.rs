@@ -1,0 +1,121 @@
+//! Delegation pass: DS ↔ DNSKEY linkage (paper's "Delegation" category).
+
+use std::collections::BTreeSet;
+
+use ddx_dns::Dnskey;
+use ddx_dnssec::{check_ds, DsMatch};
+
+use super::{AnalysisPass, DsProblem, ErrorDetail, ZoneAnalysis};
+use crate::codes::ErrorCode;
+
+pub(crate) struct DelegationPass;
+
+impl AnalysisPass for DelegationPass {
+    fn name(&self) -> &'static str {
+        "delegation"
+    }
+
+    fn run(&self, za: &mut ZoneAnalysis) {
+        if za.zp.parent.is_none() {
+            return; // local trust anchor
+        }
+        let ds_set = za.ds_set.clone();
+        if ds_set.is_empty() {
+            return; // unsigned delegation → insecure, handled by classify()
+        }
+        if za.dnskeys.is_empty() {
+            za.push(
+                ErrorCode::DnskeyMissingForDs,
+                None,
+                ErrorDetail::NoDnskeyForDs,
+            );
+            return;
+        }
+        let key_algorithms: BTreeSet<u8> = za.dnskeys.iter().map(|k| k.algorithm).collect();
+        let mut any_good_link = false;
+        for ds in &ds_set {
+            let link = |problem: DsProblem| ErrorDetail::DsLink {
+                key_tag: ds.key_tag,
+                algorithm: ds.algorithm,
+                digest_type: ds.digest_type,
+                problem,
+            };
+            let tag_matches: Vec<Dnskey> = za
+                .dnskeys
+                .iter()
+                .filter(|k| k.key_tag() == ds.key_tag)
+                .cloned()
+                .collect();
+            if tag_matches.is_empty() {
+                if key_algorithms.contains(&ds.algorithm) {
+                    // Stale DS pointing at a removed key of a live algorithm.
+                    za.push(
+                        ErrorCode::DsDigestInvalid,
+                        None,
+                        link(DsProblem::NoMatchingKey),
+                    );
+                } else {
+                    za.push(
+                        ErrorCode::DsMissingKeyForAlgorithm,
+                        None,
+                        link(DsProblem::AlgorithmUnmatched),
+                    );
+                }
+                continue;
+            }
+            for key in &tag_matches {
+                match check_ds(&za.zp.zone.clone(), ds, key) {
+                    DsMatch::Match => {
+                        if key.is_revoked() {
+                            za.push(
+                                ErrorCode::DsReferencesRevokedKey,
+                                None,
+                                link(DsProblem::ReferencesRevoked),
+                            );
+                        } else if !key.is_zone_key() {
+                            za.push(
+                                ErrorCode::DsDigestInvalid,
+                                None,
+                                link(DsProblem::NonZoneKey),
+                            );
+                        } else {
+                            if !key.is_sep() {
+                                za.push(
+                                    ErrorCode::NoSepForDsAlgorithm,
+                                    None,
+                                    link(DsProblem::MissingSepFlag),
+                                );
+                            }
+                            any_good_link = true;
+                        }
+                    }
+                    DsMatch::DigestMismatch => za.push(
+                        ErrorCode::DsDigestInvalid,
+                        None,
+                        link(DsProblem::DigestMismatch),
+                    ),
+                    DsMatch::AlgorithmMismatch => za.push(
+                        ErrorCode::DsAlgorithmMismatch,
+                        None,
+                        link(DsProblem::AlgorithmDisagrees),
+                    ),
+                    DsMatch::UnsupportedDigest => za.push(
+                        ErrorCode::DsUnknownDigestType,
+                        None,
+                        link(DsProblem::UnsupportedDigest),
+                    ),
+                    DsMatch::TagMismatch => {
+                        unreachable!("candidate keys are pre-filtered by key tag")
+                    }
+                }
+            }
+        }
+        if !any_good_link {
+            za.push(
+                ErrorCode::NoSecureEntryPoint,
+                None,
+                ErrorDetail::NoUsableSecureEntry,
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Key-material passes: DNSKEY RRset consistency across servers and
+//! per-key sanity (revocation, key length).
+
+use std::collections::BTreeSet;
+
+use ddx_dns::RData;
+use ddx_server::ServerId;
+
+use super::{AnalysisPass, ErrorDetail, ZoneAnalysis};
+use crate::codes::ErrorCode;
+
+/// Key-set consistency across authoritative servers (paper's
+/// "Inconsistent DNSKEY b/w Servers", marker ③).
+pub(crate) struct KeyConsistencyPass;
+
+impl AnalysisPass for KeyConsistencyPass {
+    fn name(&self) -> &'static str {
+        "key-consistency"
+    }
+
+    fn run(&self, za: &mut ZoneAnalysis) {
+        let sets: Vec<(ServerId, BTreeSet<Vec<u8>>)> = za
+            .zp
+            .servers
+            .iter()
+            .filter(|s| s.responsive && s.dnskey.is_some())
+            .map(|s| {
+                (
+                    s.server.clone(),
+                    s.dnskeys()
+                        .iter()
+                        .map(|k| RData::Dnskey(k.clone()).to_wire())
+                        .collect(),
+                )
+            })
+            .collect();
+        if sets.len() < 2 {
+            return;
+        }
+        let first = &sets[0].1;
+        for (server, set) in &sets[1..] {
+            if set == first {
+                continue;
+            }
+            if set.is_subset(first) || first.is_subset(set) {
+                za.push(
+                    ErrorCode::DnskeyMissingFromServers,
+                    None,
+                    ErrorDetail::ServerKeySetDiffers {
+                        server: server.clone(),
+                        disjoint: false,
+                    },
+                );
+            } else {
+                za.push(
+                    ErrorCode::DnskeyInconsistentRrset,
+                    None,
+                    ErrorDetail::ServerKeySetDiffers {
+                        server: server.clone(),
+                        disjoint: true,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Per-key checks: revocation and key-length sanity.
+pub(crate) struct KeysPass;
+
+impl AnalysisPass for KeysPass {
+    fn name(&self) -> &'static str {
+        "keys"
+    }
+
+    fn run(&self, za: &mut ZoneAnalysis) {
+        let keys = za.dnskeys.clone();
+        let usable_sep_exists = keys
+            .iter()
+            .any(|k| k.is_sep() && !k.is_revoked() && k.is_zone_key());
+        for key in &keys {
+            let tag = key.key_tag();
+            if key.is_revoked() && key.is_sep() && !usable_sep_exists {
+                za.push(
+                    ErrorCode::DnskeyRevokedNoOtherSep,
+                    None,
+                    ErrorDetail::RevokedSoleSep { key_tag: tag },
+                );
+            }
+            if let Some(alg) = ddx_dnssec::Algorithm::from_code(key.algorithm) {
+                let bits = key.key_bits() as u16;
+                let code = if alg.is_rsa() && bits < 512 {
+                    Some(ErrorCode::KeyLengthTooShort)
+                } else if !alg.key_bits_valid(bits) {
+                    Some(ErrorCode::KeyLengthInvalidForAlgorithm)
+                } else {
+                    None
+                };
+                if let Some(code) = code {
+                    za.push(
+                        code,
+                        None,
+                        ErrorDetail::KeyLength {
+                            key_tag: tag,
+                            bits,
+                            algorithm: key.algorithm,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}

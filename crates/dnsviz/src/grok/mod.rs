@@ -1,0 +1,375 @@
+//! The `dnsviz grok` analogue: interprets a [`ProbeResult`], attempts to
+//! build the chain of trust from the local anchor down to the query domain,
+//! and annotates every violation with one of the 47 [`ErrorCode`]s. Finally
+//! classifies the snapshot into `sv/svm/sb/is/lm/ic` (paper §3.2.1).
+//!
+//! The analysis is organized as a sequence of `AnalysisPass`es (an internal
+//! trait), one per paper-§3 check family, each operating on a shared
+//! `ZoneAnalysis` context:
+//!
+//! | pass | module | concern |
+//! |------|--------|---------|
+//! | `key-consistency` | `keys` | DNSKEY RRset agreement across servers |
+//! | `keys` | `keys` | per-key revocation and length sanity |
+//! | `delegation` | `delegation` | DS ↔ DNSKEY linkage |
+//! | `signatures` | `signatures` | RRSIG validation over every RRset |
+//! | `denial` | `denial` | NSEC/NSEC3 denial-of-existence proofs |
+//! | `algorithms` | `algorithms` | RFC 6840 §5.11 completeness |
+//!
+//! Every finding carries a typed [`ErrorDetail`] payload (see [`detail`]);
+//! downstream consumers (DResolver, the resolver's NSEC3 policy) match on
+//! the variants instead of parsing strings.
+
+pub mod detail;
+
+mod algorithms;
+mod classify;
+mod delegation;
+mod denial;
+mod keys;
+mod signatures;
+
+#[cfg(test)]
+mod report_tests;
+#[cfg(test)]
+mod tests;
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use ddx_dns::{Dnskey, Ds, Message, Name, Nsec, Nsec3, RData, RRset, Record, RrType};
+
+use crate::codes::{ErrorCode, WarningCode};
+use crate::probe::{ProbeResult, ServerProbe, ZoneProbe};
+use crate::status::SnapshotStatus;
+
+pub use detail::{AlgorithmScope, DsProblem, ErrorDetail};
+
+/// One detected violation.
+///
+/// Serialization note: the JSON shape keeps the legacy string field
+/// (`detail`, rendered via [`ErrorDetail`]'s `Display`) alongside the typed
+/// payload (`detail_data`); see the serde impls in [`detail`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorInstance {
+    pub code: ErrorCode,
+    /// The zone the error is attributed to.
+    pub zone: Name,
+    /// Whether, in this context, the error breaks all authentication paths
+    /// (drives `sb` vs `svm`). Starts from [`ErrorCode::is_critical`] but is
+    /// downgraded when a fully valid path for the affected RRset exists.
+    pub critical: bool,
+    /// Typed specifics (key tags, names, algorithms, TTLs).
+    pub detail: ErrorDetail,
+}
+
+/// Per-zone findings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneReport {
+    pub zone: Name,
+    /// Whether the zone presents as signed (DNSKEY/DS/RRSIG material seen).
+    pub signed: bool,
+    /// Whether the parent served a DS RRset for this zone.
+    pub has_ds: bool,
+    /// True for the local trust anchor (no parent in the walk).
+    pub is_anchor: bool,
+    pub errors: Vec<ErrorInstance>,
+    /// Advisory findings; never counted toward the snapshot status
+    /// (paper §3.1 excludes SHOULD-level warnings).
+    #[serde(default)]
+    pub warnings: Vec<WarningCode>,
+}
+
+/// The full grok output for one snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrokReport {
+    pub query_domain: Name,
+    pub time: u32,
+    pub status: SnapshotStatus,
+    pub zones: Vec<ZoneReport>,
+}
+
+impl GrokReport {
+    /// All error instances, chain order.
+    pub fn errors(&self) -> impl Iterator<Item = &ErrorInstance> {
+        self.zones.iter().flat_map(|z| z.errors.iter())
+    }
+
+    /// Distinct codes across the whole chain.
+    pub fn codes(&self) -> BTreeSet<ErrorCode> {
+        self.errors().map(|e| e.code).collect()
+    }
+
+    /// Distinct codes attributed to the query (leaf) zone and its
+    /// delegation — what the paper's pipeline extracts for replication.
+    pub fn target_zone_codes(&self) -> BTreeSet<ErrorCode> {
+        self.zones
+            .last()
+            .map(|z| z.errors.iter().map(|e| e.code).collect())
+            .unwrap_or_default()
+    }
+
+    /// True when no DNSSEC error was found anywhere.
+    pub fn clean(&self) -> bool {
+        self.zones.iter().all(|z| z.errors.is_empty())
+    }
+
+    /// Serialized report, like the JSON files the paper's pipeline parses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible: no non-string map keys, no fallible Serialize impls")
+    }
+
+    /// Parses a serialized report.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Renders the report as the indented, per-zone text DNSViz-style
+    /// output operators read (`dnsviz print` analogue).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} @{}: status {}",
+            self.query_domain, self.time, self.status
+        );
+        for z in &self.zones {
+            let role = if z.is_anchor {
+                "trust anchor"
+            } else if z.signed && z.has_ds {
+                "signed, delegated"
+            } else if z.signed {
+                "signed, NO DS"
+            } else {
+                "unsigned"
+            };
+            let _ = writeln!(out, "  zone {} [{role}]", z.zone);
+            for e in &z.errors {
+                let _ = writeln!(
+                    out,
+                    "    E{} {}: {}",
+                    if e.critical { "!" } else { " " },
+                    e.code,
+                    e.detail
+                );
+            }
+            for w in &z.warnings {
+                let _ = writeln!(out, "    W  {}: {}", w, w.message());
+            }
+            if z.errors.is_empty() && z.warnings.is_empty() {
+                let _ = writeln!(out, "    ok");
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------ helpers
+
+/// Extracts `(rrset, covering sigs)` pairs from a message section.
+pub(crate) fn sets_with_sigs(records: &[Record]) -> Vec<(RRset, Vec<ddx_dns::Rrsig>)> {
+    let sets = Message::rrsets_in(records);
+    sets.iter()
+        .filter(|s| s.rtype != RrType::Rrsig)
+        .map(|s| {
+            let sigs = records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Rrsig(sig) if r.name == s.name && sig.type_covered == s.rtype => {
+                        Some(sig.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            (s.clone(), sigs)
+        })
+        .collect()
+}
+
+pub(crate) fn nsec_views(records: &[Record]) -> Vec<(Name, Nsec)> {
+    records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Nsec(n) => Some((r.name.clone(), n.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+pub(crate) fn nsec3_views(records: &[Record]) -> Vec<(Name, Nsec3)> {
+    records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Nsec3(n) => Some((r.name.clone(), n.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The working state shared by all analysis passes for one zone.
+pub(crate) struct ZoneAnalysis<'a> {
+    pub(crate) zp: &'a ZoneProbe,
+    pub(crate) now: u32,
+    pub(crate) errors: Vec<ErrorInstance>,
+    /// Union of DNSKEYs over servers.
+    pub(crate) dnskeys: Vec<Dnskey>,
+    /// DS records the parent served (empty at the anchor).
+    pub(crate) ds_set: Vec<Ds>,
+    pub(crate) signed: bool,
+    /// Algorithms covered by at least one *valid* RRSIG somewhere.
+    pub(crate) algorithms_seen_valid: BTreeSet<u8>,
+    /// Algorithms appearing in any RRSIG.
+    pub(crate) algorithms_in_sigs: BTreeSet<u8>,
+}
+
+impl<'a> ZoneAnalysis<'a> {
+    pub(crate) fn push(
+        &mut self,
+        code: ErrorCode,
+        critical_override: Option<bool>,
+        detail: ErrorDetail,
+    ) {
+        let critical = critical_override.unwrap_or_else(|| code.is_critical());
+        self.errors.push(ErrorInstance {
+            code,
+            zone: self.zp.zone.clone(),
+            critical,
+            detail,
+        });
+    }
+
+    pub(crate) fn has(&self, code: ErrorCode) -> bool {
+        self.errors.iter().any(|e| e.code == code)
+    }
+}
+
+/// One check family from paper §3. Passes run in a fixed order over the
+/// shared [`ZoneAnalysis`]; later passes may consult earlier findings (e.g.
+/// the algorithm pass suppresses codes the signature pass already raised).
+pub(crate) trait AnalysisPass: Sync {
+    /// Stable identifier, used in trace events.
+    fn name(&self) -> &'static str;
+    fn run(&self, za: &mut ZoneAnalysis);
+}
+
+/// The fixed pass order. Signature analysis must precede the algorithm
+/// completeness pass (it feeds `algorithms_in_sigs`).
+static PASSES: [&dyn AnalysisPass; 6] = [
+    &keys::KeyConsistencyPass,
+    &keys::KeysPass,
+    &delegation::DelegationPass,
+    &signatures::SignaturesPass,
+    &denial::DenialPass,
+    &algorithms::AlgorithmCompletenessPass,
+];
+
+/// Runs the full analysis.
+pub fn grok(probe: &ProbeResult) -> GrokReport {
+    let now = probe.time;
+    let mut zone_reports = Vec::new();
+    let mut any_lame = false;
+    let mut any_orphaned = false;
+
+    for zp in &probe.zones {
+        ddx_dns::trace_span!(_zone_span, target: "dnsviz::grok", "zone", zone = zp.zone);
+        if zp.is_lame() {
+            any_lame = true;
+        }
+        if zp.orphaned && !zp.is_lame() {
+            any_orphaned = true;
+        }
+        let mut za = ZoneAnalysis {
+            zp,
+            now,
+            errors: Vec::new(),
+            dnskeys: collect_dnskeys(zp),
+            ds_set: collect_ds(zp),
+            signed: false,
+            algorithms_seen_valid: BTreeSet::new(),
+            algorithms_in_sigs: BTreeSet::new(),
+        };
+        za.signed = !za.dnskeys.is_empty()
+            || !za.ds_set.is_empty()
+            || zp.servers.iter().any(server_has_sigs);
+
+        if za.signed && !zp.is_lame() {
+            for pass in PASSES {
+                let before = za.errors.len();
+                pass.run(&mut za);
+                ddx_dns::trace_event!(
+                    target: "dnsviz::grok",
+                    "pass complete",
+                    zone = zp.zone,
+                    pass = pass.name(),
+                    new_errors = za.errors.len() - before,
+                );
+            }
+        }
+
+        let warnings = if za.signed && !zp.is_lame() {
+            classify::collect_warnings(&za)
+        } else {
+            Vec::new()
+        };
+        zone_reports.push(ZoneReport {
+            zone: zp.zone.clone(),
+            signed: za.signed,
+            has_ds: !za.ds_set.is_empty(),
+            is_anchor: zp.parent.is_none(),
+            errors: za.errors,
+            warnings,
+        });
+    }
+
+    let status = classify::classify(&zone_reports, any_lame, any_orphaned);
+    GrokReport {
+        query_domain: probe.query_domain.clone(),
+        time: now,
+        status,
+        zones: zone_reports,
+    }
+}
+
+fn collect_dnskeys(zp: &ZoneProbe) -> Vec<Dnskey> {
+    let mut keys: Vec<Dnskey> = Vec::new();
+    for sp in &zp.servers {
+        for k in sp.dnskeys() {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys
+}
+
+fn collect_ds(zp: &ZoneProbe) -> Vec<Ds> {
+    let mut out: Vec<Ds> = Vec::new();
+    for (_, resp) in &zp.ds_responses {
+        if let Some(msg) = resp {
+            for rec in &msg.answers {
+                if let RData::Ds(ds) = &rec.rdata {
+                    if rec.name == zp.zone && !out.contains(ds) {
+                        out.push(ds.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn server_has_sigs(sp: &ServerProbe) -> bool {
+    let msgs = [&sp.soa, &sp.ns, &sp.dnskey, &sp.nxdomain, &sp.nodata];
+    msgs.iter().any(|m| {
+        m.as_ref()
+            .map(|m| {
+                m.answers
+                    .iter()
+                    .chain(&m.authorities)
+                    .any(|r| r.rtype() == RrType::Rrsig)
+            })
+            .unwrap_or(false)
+    })
+}

@@ -15,7 +15,11 @@ pub mod status;
 
 pub use codes::{Category, ErrorCode, Subcategory, WarningCode};
 pub use ede::{ede_for, Ede};
-pub use grok::{grok, ErrorInstance, GrokReport, ZoneReport};
+pub use grok::{
+    grok, AlgorithmScope, DsProblem, ErrorDetail, ErrorInstance, GrokReport, ZoneReport,
+};
 pub use probe::{probe, ProbeConfig, ProbeResult, ServerProbe, ZoneProbe, NX_PROBE_LABEL};
-pub use resolver::{resolve_validating, Nsec3IterationPolicy, Resolution, ResolverConfig, ValidationState};
+pub use resolver::{
+    resolve_validating, Nsec3IterationPolicy, Resolution, ResolverConfig, ValidationState,
+};
 pub use status::SnapshotStatus;

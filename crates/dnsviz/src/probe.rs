@@ -120,7 +120,13 @@ impl ProbeResult {
     }
 }
 
-fn ask(net: &dyn Network, server: &ServerId, id: u16, qname: &Name, qtype: RrType) -> Option<Message> {
+fn ask(
+    net: &dyn Network,
+    server: &ServerId,
+    id: u16,
+    qname: &Name,
+    qtype: RrType,
+) -> Option<Message> {
     net.query(server, &Message::query(id, qname.clone(), qtype))
 }
 
@@ -134,10 +140,17 @@ fn probe_server(
     let soa = ask(net, server, 1, zone, RrType::Soa);
     let ns = ask(net, server, 2, zone, RrType::Ns);
     let dnskey = ask(net, server, 3, zone, RrType::Dnskey);
-    let nx_name = zone.child(NX_PROBE_LABEL).expect("probe label fits");
-    let nxdomain = ask(net, server, 4, &nx_name, RrType::A);
-    let nx_hi = zone.child(NX_PROBE_LABEL_HI).expect("probe label fits");
-    let nxdomain_hi = ask(net, server, 9, &nx_hi, RrType::A);
+    // Zone names come off the wire (referrals), so one near the 255-octet
+    // limit may not take another label; such zones just skip the denial
+    // probes instead of panicking.
+    let nxdomain = zone
+        .child(NX_PROBE_LABEL)
+        .ok()
+        .and_then(|nx| ask(net, server, 4, &nx, RrType::A));
+    let nxdomain_hi = zone
+        .child(NX_PROBE_LABEL_HI)
+        .ok()
+        .and_then(|nx| ask(net, server, 9, &nx, RrType::A));
     let nodata = ask(net, server, 5, zone, NODATA_PROBE_TYPE);
     let nsec3param = ask(net, server, 8, zone, RrType::Nsec3Param);
     let mut answers = Vec::new();
@@ -164,7 +177,12 @@ fn probe_server(
 
 /// Finds the next delegation cut between `zone` and `qname` by asking the
 /// zone's servers for the query domain and reading the referral.
-fn next_cut(net: &dyn Network, servers: &[ServerId], qname: &Name, zone: &Name) -> Option<(Name, Vec<Name>)> {
+fn next_cut(
+    net: &dyn Network,
+    servers: &[ServerId],
+    qname: &Name,
+    zone: &Name,
+) -> Option<(Name, Vec<Name>)> {
     for server in servers {
         let Some(resp) = ask(net, server, 6, qname, RrType::A) else {
             continue;
@@ -190,6 +208,13 @@ fn next_cut(net: &dyn Network, servers: &[ServerId], qname: &Name, zone: &Name) 
 
 /// Runs the full probe walk.
 pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
+    ddx_dns::trace_span!(
+        _walk_span,
+        target: "dnsviz::probe",
+        "walk",
+        query_domain = cfg.query_domain,
+        anchor = cfg.anchor_zone,
+    );
     let mut zones = Vec::new();
     let mut zone = cfg.anchor_zone.clone();
     let mut servers = cfg.anchor_servers.clone();
@@ -211,6 +236,13 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             .iter()
             .map(|s| probe_server(net, s, &zone, targets))
             .collect();
+        ddx_dns::trace_event!(
+            target: "dnsviz::probe",
+            "zone probed",
+            zone = zone,
+            servers = server_probes.len(),
+            is_query_zone = is_query_zone,
+        );
         zones.push(ZoneProbe {
             zone: zone.clone(),
             parent: parent.clone(),
@@ -275,7 +307,9 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             .collect();
         missing.sort_by_key(|a| a.0.label_count());
         for (z, hint_servers) in missing {
-            let is_query_zone = zones.iter().all(|zp| !cfg.query_domain.is_subdomain_of(&zp.zone))
+            let is_query_zone = zones
+                .iter()
+                .all(|zp| !cfg.query_domain.is_subdomain_of(&zp.zone))
                 || z.label_count() >= deepest.label_count();
             let targets = if is_query_zone {
                 Some((&cfg.query_domain, &cfg.target_types[..]))
@@ -286,6 +320,12 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
                 .iter()
                 .map(|s| probe_server(net, s, z, targets))
                 .collect();
+            ddx_dns::trace_event!(
+                target: "dnsviz::probe",
+                "orphaned zone probed",
+                zone = z,
+                servers = server_probes.len(),
+            );
             zones.push(ZoneProbe {
                 zone: z.clone(),
                 parent: Some(deepest.clone()),
@@ -309,7 +349,9 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
 mod tests {
     use super::*;
     use ddx_dns::{name, Record, Soa, Zone};
-    use ddx_dnssec::{make_ds, sign_zone, Algorithm, DigestType, KeyPair, KeyRing, KeyRole, SignerConfig};
+    use ddx_dnssec::{
+        make_ds, sign_zone, Algorithm, DigestType, KeyPair, KeyRing, KeyRole, SignerConfig,
+    };
     use ddx_server::{Server, Testbed};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -38,8 +38,7 @@ pub struct Resolution {
 /// implementation-dependent behaviour the paper's footnote 2 highlights
 /// (RFC 9276 §3.2 allows returning insecure; "a minority of resolvers
 /// treat nonzero NSEC3 iteration counts as fatal").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Nsec3IterationPolicy {
     /// Validate regardless of the iteration count (most resolvers).
     #[default]
@@ -50,7 +49,6 @@ pub enum Nsec3IterationPolicy {
     /// Above `limit`, fail validation outright (the strict minority).
     FatalAbove(u16),
 }
-
 
 /// Resolver configuration: the local trust anchor.
 #[derive(Debug, Clone)]
@@ -82,16 +80,14 @@ pub fn resolve_validating(
     let result = probe(net, &probe_cfg);
     let report = grok(&result);
 
-    // NSEC3 iteration policy (footnote 2): parse the observed iteration
-    // count out of the NZIC finding, if any.
+    // NSEC3 iteration policy (footnote 2): the observed iteration count
+    // comes straight out of the NZIC finding's typed payload.
     let nzic_iterations: Option<u16> = report
         .errors()
         .find(|e| e.code == crate::codes::ErrorCode::Nsec3IterationsNonzero)
-        .and_then(|e| {
-            e.detail
-                .rsplit('=')
-                .next()
-                .and_then(|v| v.trim().parse().ok())
+        .and_then(|e| match e.detail {
+            crate::grok::ErrorDetail::Nsec3Iterations { iterations } => Some(iterations),
+            _ => None,
         });
 
     // Extract the answers from the first responsive query-zone server.

@@ -1,0 +1,162 @@
+//! Golden-file regression tests pinning the `GrokReport` JSON schema.
+//!
+//! Two deterministic erroneous sandboxes — one NSEC (expired leaf RRSIG)
+//! and one NSEC3 (non-zero iteration count) — are probed and grokked, and
+//! the pretty-printed report JSON is compared byte-for-byte against a
+//! checked-in golden file. Any change to the serialized shape of
+//! [`GrokReport`], [`ddx_dnsviz::ErrorInstance`], or the typed
+//! `detail_data` payloads shows up as a diff here before it silently
+//! breaks downstream consumers of the JSON.
+//!
+//! The goldens are self-bootstrapping: when a golden file is absent (or
+//! `UPDATE_GOLDEN` is set in the environment) the test regenerates it from
+//! the deterministic sandbox instead of failing, prints the path, and
+//! passes. Commit the regenerated file to re-pin the schema.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ddx_dns::{name, RrType};
+use ddx_dnssec::{resign_rrset, KeyRole, Nsec3Config, SignOptions};
+use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus};
+use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+const NOW: u32 = 1_000_000;
+const SEED: u64 = 0x601D;
+
+fn probe_cfg(sb: &Sandbox) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name("www.chd.par.a.com"),
+        target_types: vec![RrType::A],
+        time: NOW,
+        hints: sb
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+fn three_level(leaf_nsec3: Option<Nsec3Config>) -> Sandbox {
+    let mut leaf = ZoneSpec::conventional(name("chd.par.a.com"));
+    leaf.nsec3 = leaf_nsec3;
+    build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+            leaf,
+        ],
+        NOW,
+        SEED,
+    )
+}
+
+/// NSEC sandbox whose leaf `www` RRSIG expired five seconds ago.
+fn nsec_report() -> GrokReport {
+    let mut sb = three_level(None);
+    let apex = name("chd.par.a.com");
+    let zsk = sb
+        .zone(&apex)
+        .expect("leaf zone exists")
+        .ring
+        .active(KeyRole::Zsk, NOW)[0]
+        .clone();
+    let www = name("www.chd.par.a.com");
+    sb.testbed.mutate_zone_everywhere(&apex, |zone| {
+        resign_rrset(
+            zone,
+            &www,
+            RrType::A,
+            &zsk,
+            SignOptions {
+                inception: 0,
+                expiration: NOW - 5,
+            },
+        );
+    });
+    let cfg = probe_cfg(&sb);
+    grok(&probe(&sb.testbed, &cfg))
+}
+
+/// NSEC3 sandbox whose leaf violates RFC 9276 (ten extra iterations).
+fn nsec3_report() -> GrokReport {
+    let sb = three_level(Some(Nsec3Config {
+        iterations: 10,
+        ..Nsec3Config::default()
+    }));
+    let cfg = probe_cfg(&sb);
+    grok(&probe(&sb.testbed, &cfg))
+}
+
+fn golden_path(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{tag}.json"))
+}
+
+fn check_golden(tag: &str, report: &GrokReport, expect: ErrorCode) {
+    // The sandbox must actually exhibit the intended error, or the golden
+    // would pin a report of the wrong shape.
+    assert!(
+        report.codes().contains(&expect),
+        "{tag}: expected {expect}, got {:?}",
+        report.codes()
+    );
+    assert_ne!(report.status, SnapshotStatus::Sv, "{tag}: sandbox is valid");
+
+    let json = report.to_json();
+    // Independent of the golden: the JSON must parse back, and the legacy
+    // `detail` string must accompany every typed `detail_data` payload.
+    let value: serde_json::Value =
+        serde_json::from_str(&json).expect("report JSON parses back into a Value");
+    for zone in value["zones"].as_array().expect("zones is an array") {
+        for err in zone["errors"].as_array().expect("errors is an array") {
+            assert!(err["detail"].is_string(), "{tag}: legacy detail missing");
+        }
+    }
+
+    let path = golden_path(tag);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() || !path.exists() {
+        fs::create_dir_all(path.parent().expect("golden path has a parent"))
+            .expect("golden dir is creatable");
+        fs::write(&path, &json).expect("golden file is writable");
+        eprintln!("golden: (re)wrote {} — commit it to pin", path.display());
+        return;
+    }
+    let golden = fs::read_to_string(&path).expect("golden file is readable");
+    assert_eq!(
+        json,
+        golden,
+        "{tag}: GrokReport JSON diverged from {}; \
+         re-run with UPDATE_GOLDEN=1 and commit the result if intended",
+        path.display()
+    );
+}
+
+#[test]
+fn nsec_erroneous_report_matches_golden() {
+    check_golden(
+        "nsec_rrsig_expired",
+        &nsec_report(),
+        ErrorCode::RrsigExpired,
+    );
+}
+
+#[test]
+fn nsec3_erroneous_report_matches_golden() {
+    check_golden(
+        "nsec3_iterations_nonzero",
+        &nsec3_report(),
+        ErrorCode::Nsec3IterationsNonzero,
+    );
+}
+
+/// The probe→grok path is deterministic for a fixed seed and clock — the
+/// precondition for golden comparison to be meaningful across machines.
+#[test]
+fn reports_are_deterministic() {
+    assert_eq!(nsec_report().to_json(), nsec_report().to_json());
+    assert_eq!(nsec3_report().to_json(), nsec3_report().to_json());
+}

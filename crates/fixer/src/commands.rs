@@ -266,15 +266,16 @@ fn render_nsd(instr: &Instruction, ctx: &ZoneContext) -> Vec<ShellCommand> {
             ShellCommand::manual("upload the DS record via your registrar"),
         ],
         Instruction::RemoveRevokedKey { key_tag } | Instruction::RemoveInvalidKey { key_tag } => {
-            vec![
-                ShellCommand::run(
-                    format!("rm {}/{}.*", ctx.key_dir, ctx.key_file(*key_tag)),
-                    "delete the key files; the next ldns-signzone run drops the key",
-                ),
-            ]
+            vec![ShellCommand::run(
+                format!("rm {}/{}.*", ctx.key_dir, ctx.key_file(*key_tag)),
+                "delete the key files; the next ldns-signzone run drops the key",
+            )]
         }
         Instruction::SyncAuthServers => vec![ShellCommand::run(
-            format!("nsd-control write {zone} && rsync -a {} secondary:", ctx.zone_file),
+            format!(
+                "nsd-control write {zone} && rsync -a {} secondary:",
+                ctx.zone_file
+            ),
             "distribute the zone and reload secondaries",
         )],
         Instruction::PublishCds { digest_type } => vec![
@@ -282,7 +283,11 @@ fn render_nsd(instr: &Instruction, ctx: &ZoneContext) -> Vec<ShellCommand> {
                 format!(
                     "cd {} && ldns-key2ds -n {} <key_file> >> {}",
                     ctx.key_dir,
-                    if *digest_type == ddx_dnssec::DigestType::Sha1 { "-1" } else { "-2" },
+                    if *digest_type == ddx_dnssec::DigestType::Sha1 {
+                        "-1"
+                    } else {
+                        "-2"
+                    },
                     ctx.zone_file
                 ),
                 "append CDS records to the zone file (edit type to CDS)",
@@ -419,7 +424,9 @@ mod tests {
             ServerFlavor::Bind,
         );
         assert_eq!(cmds.len(), 1);
-        assert!(cmds[0].line.contains("dnssec-keygen -f KSK -a ECDSAP256SHA256 -b 256 -n ZONE"));
+        assert!(cmds[0]
+            .line
+            .contains("dnssec-keygen -f KSK -a ECDSAP256SHA256 -b 256 -n ZONE"));
     }
 
     #[test]
@@ -431,7 +438,9 @@ mod tests {
             &ctx(),
             ServerFlavor::Bind,
         );
-        assert!(cmds[0].line.contains("dnssec-signzone -N INCREMENT -S -3 - -H 0"));
+        assert!(cmds[0]
+            .line
+            .contains("dnssec-signzone -N INCREMENT -S -3 - -H 0"));
         assert!(cmds[1].line.starts_with("rndc reload"));
     }
 
@@ -501,7 +510,11 @@ mod tests {
 
     #[test]
     fn pdns_signzone_uses_import_workaround() {
-        let cmds = render(&Instruction::SignZone { nsec3: None }, &ctx(), ServerFlavor::PowerDns);
+        let cmds = render(
+            &Instruction::SignZone { nsec3: None },
+            &ctx(),
+            ServerFlavor::PowerDns,
+        );
         assert!(cmds[0].manual);
         assert!(cmds.iter().any(|c| c.line.contains("pdnsutil load-zone")));
     }

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 
 use ddx_dns::{Dnskey, Ds, Name, RrType};
 use ddx_dnssec::{check_ds, Algorithm, DigestType, DsMatch, KeyRole, Nsec3Config};
-use ddx_dnsviz::{Category, ErrorCode, GrokReport};
+use ddx_dnsviz::{Category, ErrorCode, ErrorDetail, GrokReport};
 
 use crate::graph::root_causes;
 use crate::instructions::Instruction;
@@ -51,8 +51,16 @@ impl FixContext {
                 k.key_bits,
             )
         };
-        let active_ksk = ring.active(KeyRole::Ksk, now).into_iter().map(key_info).collect();
-        let active_zsk = ring.active(KeyRole::Zsk, now).into_iter().map(key_info).collect();
+        let active_ksk = ring
+            .active(KeyRole::Ksk, now)
+            .into_iter()
+            .map(key_info)
+            .collect();
+        let active_zsk = ring
+            .active(KeyRole::Zsk, now)
+            .into_iter()
+            .map(key_info)
+            .collect();
         let revoked_tags = ring
             .keys()
             .iter()
@@ -217,6 +225,9 @@ pub struct Resolution {
     pub root_causes: Vec<ErrorCode>,
     /// The cause the plan addresses (first of `root_causes`).
     pub addressed: Option<ErrorCode>,
+    /// The typed details of every report error carrying the addressed
+    /// code — the structured evidence the plan was built from.
+    pub addressed_details: Vec<ErrorDetail>,
     /// Ordered instructions.
     pub plan: Vec<Instruction>,
 }
@@ -259,13 +270,20 @@ pub fn resolve(report: &GrokReport, ctx: &FixContext) -> Resolution {
         return Resolution {
             root_causes: roots,
             addressed: None,
+            addressed_details: Vec::new(),
             plan: Vec::new(),
         };
     };
     let plan = plan_for_cause(first, report, ctx);
+    let addressed_details = report
+        .errors()
+        .filter(|e| e.code == first)
+        .map(|e| e.detail.clone())
+        .collect();
     Resolution {
         root_causes: roots,
         addressed: Some(first),
+        addressed_details,
         plan,
     }
 }
@@ -303,16 +321,15 @@ impl PlanBuilder {
         }
         // CDS mode: one publication replaces the whole registrar round trip
         // (the parent installs the advertised set and drops the rest).
-        let (upload_ds, remove_ds) = if self.use_cds
-            && (self.upload_ds.is_some() || !self.remove_ds.is_empty())
-        {
-            out.push(Instruction::PublishCds {
-                digest_type: self.upload_ds.unwrap_or(ddx_dnssec::DigestType::Sha256),
-            });
-            (None, Vec::new())
-        } else {
-            (self.upload_ds, self.remove_ds)
-        };
+        let (upload_ds, remove_ds) =
+            if self.use_cds && (self.upload_ds.is_some() || !self.remove_ds.is_empty()) {
+                out.push(Instruction::PublishCds {
+                    digest_type: self.upload_ds.unwrap_or(ddx_dnssec::DigestType::Sha256),
+                });
+                (None, Vec::new())
+            } else {
+                (self.upload_ds, self.remove_ds)
+            };
         if let Some(digest_type) = upload_ds {
             out.push(Instruction::UploadDs { digest_type });
         }
@@ -408,8 +425,12 @@ fn plan_for_cause(cause: ErrorCode, report: &GrokReport, ctx: &FixContext) -> Ve
     let denial = target_denial(ctx, false);
     match cause {
         // ------------------------------------------------- delegation
-        DsMissingKeyForAlgorithm | DsDigestInvalid | DsAlgorithmMismatch | DsUnknownDigestType
-        | NoSecureEntryPoint | NoSepForDsAlgorithm => {
+        DsMissingKeyForAlgorithm
+        | DsDigestInvalid
+        | DsAlgorithmMismatch
+        | DsUnknownDigestType
+        | NoSecureEntryPoint
+        | NoSepForDsAlgorithm => {
             pb.remove_ds = bad_ds_records(ctx);
             if !good_link_exists(ctx) {
                 if ctx.active_ksk.is_empty() {
@@ -492,15 +513,25 @@ fn plan_for_cause(cause: ErrorCode, report: &GrokReport, ctx: &FixContext) -> Ve
             pb.remove_ds = ctx
                 .ds_set
                 .iter()
-                .filter(|ds| !ring_algos.contains(&ds.algorithm) || bad_ds_records(ctx).contains(ds))
+                .filter(|ds| {
+                    !ring_algos.contains(&ds.algorithm) || bad_ds_records(ctx).contains(ds)
+                })
                 .cloned()
                 .collect();
             pb.sign = Some(denial.clone());
         }
         // ------------------------------------------------- signature
-        RrsigMissing | RrsigMissingFromServers | RrsigMissingForDnskey | RrsigExpired
-        | RrsigInvalid | RrsigInvalidRdata | RrsigUnknownKeyTag | RrsigSignerMismatch
-        | RrsigNotYetValid | RrsigLabelsExceedOwner | RrsigBadLength => {
+        RrsigMissing
+        | RrsigMissingFromServers
+        | RrsigMissingForDnskey
+        | RrsigExpired
+        | RrsigInvalid
+        | RrsigInvalidRdata
+        | RrsigUnknownKeyTag
+        | RrsigSignerMismatch
+        | RrsigNotYetValid
+        | RrsigLabelsExceedOwner
+        | RrsigBadLength => {
             if ctx.active_zsk.is_empty() && ctx.active_ksk.is_empty() {
                 pb.gen_zsk = Some(new_key_params(ctx));
             }
@@ -515,11 +546,10 @@ fn plan_for_cause(cause: ErrorCode, report: &GrokReport, ctx: &FixContext) -> Ve
         }
         // ------------------------------------------------------- TTL
         OriginalTtlExceeded => {
-            // Parse the affected RRsets out of the error details
-            // ("<name> <type> TTL <n> exceeds RRSIG original TTL <m>");
-            // lowering the TTL back to the signed original is the minimal
-            // fix — no re-sign required.
-            pb.reduce_ttl = parse_ttl_details(report);
+            // The typed details name the affected RRsets directly; lowering
+            // each TTL back to the signed original is the minimal fix — no
+            // re-sign required.
+            pb.reduce_ttl = ttl_reductions(report);
             if pb.reduce_ttl.is_empty() {
                 pb.sign = Some(denial.clone());
             }
@@ -528,52 +558,51 @@ fn plan_for_cause(cause: ErrorCode, report: &GrokReport, ctx: &FixContext) -> Ve
             pb.sign = Some(denial.clone());
         }
         // ---------------------------------------------------- denial
-        Nsec3IterationsNonzero | Nsec3ParamMismatch | Nsec3UnsupportedAlgorithm
+        Nsec3IterationsNonzero
+        | Nsec3ParamMismatch
+        | Nsec3UnsupportedAlgorithm
         | Nsec3OptOutViolation => {
             pb.sign = Some(target_denial(ctx, true));
         }
-        NsecProofMissing | Nsec3ProofMissing | NsecBitmapAssertsType | Nsec3BitmapAssertsType
-        | NsecCoverageBroken | Nsec3CoverageBroken | NsecMissingWildcardProof
-        | Nsec3MissingWildcardProof | LastNsecNotApex | Nsec3NoClosestEncloser
-        | Nsec3InconsistentAncestor | Nsec3HashInvalidLength | Nsec3OwnerNotBase32 => {
+        NsecProofMissing
+        | Nsec3ProofMissing
+        | NsecBitmapAssertsType
+        | Nsec3BitmapAssertsType
+        | NsecCoverageBroken
+        | Nsec3CoverageBroken
+        | NsecMissingWildcardProof
+        | Nsec3MissingWildcardProof
+        | LastNsecNotApex
+        | Nsec3NoClosestEncloser
+        | Nsec3InconsistentAncestor
+        | Nsec3HashInvalidLength
+        | Nsec3OwnerNotBase32 => {
             pb.sign = Some(denial.clone());
         }
     }
     pb.build()
 }
 
-/// Extracts `(name, type, original_ttl)` triples from OriginalTtlExceeded
-/// error details. The grok detail format is
-/// `"<name> <type> TTL <n> exceeds RRSIG original TTL <m>"`.
-fn parse_ttl_details(report: &GrokReport) -> Vec<(Name, RrType, u32)> {
-    let mut out = Vec::new();
+/// Collects `(name, type, original_ttl)` triples from the typed
+/// [`ErrorDetail::TtlExceedsOriginal`] payloads of OriginalTtlExceeded
+/// errors, one per affected RRset.
+fn ttl_reductions(report: &GrokReport) -> Vec<(Name, RrType, u32)> {
+    let mut out: Vec<(Name, RrType, u32)> = Vec::new();
     for e in report.errors() {
         if e.code != ErrorCode::OriginalTtlExceeded {
             continue;
         }
-        let words: Vec<&str> = e.detail.split_whitespace().collect();
-        if words.len() < 4 {
-            continue;
-        }
-        let Ok(name) = words[0].parse::<Name>() else {
-            continue;
-        };
-        let rtype = match words[1] {
-            "A" => RrType::A,
-            "AAAA" => RrType::Aaaa,
-            "NS" => RrType::Ns,
-            "SOA" => RrType::Soa,
-            "MX" => RrType::Mx,
-            "TXT" => RrType::Txt,
-            "DNSKEY" => RrType::Dnskey,
-            "CNAME" => RrType::Cname,
-            _ => continue,
-        };
-        let Some(orig) = words.last().and_then(|w| w.parse::<u32>().ok()) else {
+        let ErrorDetail::TtlExceedsOriginal {
+            name,
+            rtype,
+            original_ttl,
+            ..
+        } = &e.detail
+        else {
             continue;
         };
-        if !out.iter().any(|(n, t, _)| n == &name && *t == rtype) {
-            out.push((name, rtype, orig));
+        if !out.iter().any(|(n, t, _)| n == name && t == rtype) {
+            out.push((name.clone(), *rtype, *original_ttl));
         }
     }
     out

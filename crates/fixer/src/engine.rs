@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use ddx_dns::RData;
 use ddx_dnssec::{make_ds, KeyPair, KeyRole, SignerConfig};
-use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus};
+use ddx_dnsviz::{grok, probe, ErrorCode, ErrorDetail, GrokReport, ProbeConfig, SnapshotStatus};
 use ddx_server::Sandbox;
 
 use crate::commands::{render_plan, ServerFlavor, ShellCommand};
@@ -50,6 +50,9 @@ pub struct IterationLog {
     pub errors_before: BTreeSet<ErrorCode>,
     pub root_causes: Vec<ErrorCode>,
     pub addressed: Option<ErrorCode>,
+    /// Typed details of the errors behind the addressed cause (empty for
+    /// the naive baseline, which never attributes causes).
+    pub addressed_details: Vec<ErrorDetail>,
     pub plan: Vec<Instruction>,
     pub commands: Vec<ShellCommand>,
 }
@@ -90,7 +93,11 @@ fn zone_context(sb: &Sandbox) -> ZoneContext {
 
 /// Produces a suggest-only plan for the current state: one probe, one
 /// resolution, rendered commands — nothing applied.
-pub fn suggest(sb: &Sandbox, cfg: &ProbeConfig, flavor: ServerFlavor) -> (GrokReport, Resolution, Vec<ShellCommand>) {
+pub fn suggest(
+    sb: &Sandbox,
+    cfg: &ProbeConfig,
+    flavor: ServerFlavor,
+) -> (GrokReport, Resolution, Vec<ShellCommand>) {
     let report = grok(&probe(&sb.testbed, cfg));
     let ctx = FixContext::from_sandbox(sb, &report, cfg.time);
     let resolution = resolve(&report, &ctx);
@@ -136,6 +143,14 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
         let mut ctx = FixContext::from_sandbox(sb, &report, now);
         ctx.use_cds = opts.use_cds;
         let resolution = resolve(&report, &ctx);
+        ddx_dns::trace_span!(
+            _iter_span,
+            target: "fixer::engine",
+            "iteration",
+            zone = ctx.zone,
+            iteration = iteration,
+            addressed = format!("{:?}", resolution.addressed),
+        );
         let zc = zone_context(sb);
         let commands = render_plan(&resolution.plan, &zc, opts.flavor);
         let log = IterationLog {
@@ -144,9 +159,17 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             errors_before: errors,
             root_causes: resolution.root_causes.clone(),
             addressed: resolution.addressed,
+            addressed_details: resolution.addressed_details.clone(),
             plan: resolution.plan.clone(),
             commands,
         };
+        ddx_dns::trace_event!(
+            target: "fixer::engine",
+            "plan built",
+            zone = ctx.zone,
+            iteration = iteration,
+            instructions = log.plan.len(),
+        );
         let empty_plan = resolution.plan.is_empty();
         now = apply_plan(sb, &resolution.plan, now, &mut rng);
         iterations.push(log);
@@ -198,6 +221,7 @@ pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             errors_before: errors,
             root_causes: Vec::new(),
             addressed: None,
+            addressed_details: Vec::new(),
             plan: plan.clone(),
             commands,
         };
@@ -237,16 +261,28 @@ pub fn apply_plan(sb: &mut Sandbox, plan: &[Instruction], mut now: u32, rng: &mu
     for instr in plan {
         match instr {
             Instruction::GenerateKsk { algorithm, bits } => {
-                let key = KeyPair::generate(rng, apex.clone(), *algorithm, *bits, KeyRole::Ksk, now);
-                sb.zone_mut(&apex).expect("leaf").ring.add(key);
+                let key =
+                    KeyPair::generate(rng, apex.clone(), *algorithm, *bits, KeyRole::Ksk, now);
+                sb.zone_mut(&apex)
+                    .expect("apex comes from sb.leaf() above; sandbox zones are never removed")
+                    .ring
+                    .add(key);
             }
             Instruction::GenerateZsk { algorithm, bits } => {
-                let key = KeyPair::generate(rng, apex.clone(), *algorithm, *bits, KeyRole::Zsk, now);
-                sb.zone_mut(&apex).expect("leaf").ring.add(key);
+                let key =
+                    KeyPair::generate(rng, apex.clone(), *algorithm, *bits, KeyRole::Zsk, now);
+                sb.zone_mut(&apex)
+                    .expect("apex comes from sb.leaf() above; sandbox zones are never removed")
+                    .ring
+                    .add(key);
             }
-            Instruction::RemoveInvalidKey { key_tag } | Instruction::RemoveRevokedKey { key_tag } => {
+            Instruction::RemoveInvalidKey { key_tag }
+            | Instruction::RemoveRevokedKey { key_tag } => {
                 let tag = *key_tag;
-                sb.zone_mut(&apex).expect("leaf").ring.retain(|k| k.key_tag() != tag);
+                sb.zone_mut(&apex)
+                    .expect("apex comes from sb.leaf() above; sandbox zones are never removed")
+                    .ring
+                    .retain(|k| k.key_tag() != tag);
                 // Also drop the published record so a later sign is not
                 // required just to purge it from responses.
                 sb.testbed.mutate_zone_everywhere(&apex, |zone| {
@@ -269,7 +305,7 @@ pub fn apply_plan(sb: &mut Sandbox, plan: &[Instruction], mut now: u32, rng: &mu
                 let mut ds_set = current_parent_ds(sb, &apex);
                 let ksks: Vec<KeyPair> = sb
                     .zone(&apex)
-                    .expect("leaf")
+                    .expect("apex comes from sb.leaf() above; sandbox zones are never removed")
                     .ring
                     .active(KeyRole::Ksk, now)
                     .into_iter()
@@ -301,7 +337,9 @@ pub fn apply_plan(sb: &mut Sandbox, plan: &[Instruction], mut now: u32, rng: &mu
             }
             Instruction::SignZone { nsec3 } => {
                 {
-                    let leaf = sb.zone_mut(&apex).expect("leaf");
+                    let leaf = sb
+                        .zone_mut(&apex)
+                        .expect("apex comes from sb.leaf() above; sandbox zones are never removed");
                     leaf.signer_config = match nsec3 {
                         Some(cfg) => SignerConfig::nsec3_at(now, cfg.clone()),
                         None => SignerConfig::nsec_at(now),
@@ -320,7 +358,11 @@ pub fn apply_plan(sb: &mut Sandbox, plan: &[Instruction], mut now: u32, rng: &mu
             }
             Instruction::PublishCds { digest_type } => {
                 // Child side: publish signed CDS/CDNSKEY on every server.
-                let ring = sb.zone(&apex).expect("leaf").ring.clone();
+                let ring = sb
+                    .zone(&apex)
+                    .expect("apex comes from sb.leaf() above; sandbox zones are never removed")
+                    .ring
+                    .clone();
                 let opts_sign = ddx_dnssec::SignOptions {
                     inception: now.saturating_sub(3600),
                     expiration: now + 30 * 86_400,
@@ -334,16 +376,9 @@ pub fn apply_plan(sb: &mut Sandbox, plan: &[Instruction], mut now: u32, rng: &mu
                 let child_zone = sb
                     .zone(&apex)
                     .and_then(|z| z.servers.first().cloned())
-                    .and_then(|sid| {
-                        sb.testbed
-                            .server(&sid)
-                            .and_then(|s| s.zone(&apex))
-                            .cloned()
-                    });
+                    .and_then(|sid| sb.testbed.server(&sid).and_then(|s| s.zone(&apex)).cloned());
                 if let Some(child_zone) = child_zone {
-                    if let Ok(result) =
-                        ddx_dnssec::scan_child_cds(&child_zone, &current, now)
-                    {
+                    if let Ok(result) = ddx_dnssec::scan_child_cds(&child_zone, &current, now) {
                         sb.set_ds(&apex, result.new_ds, now);
                     }
                 }

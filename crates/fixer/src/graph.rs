@@ -48,7 +48,11 @@ pub fn cascades_of(cause: ErrorCode) -> &'static [ErrorCode] {
         Nsec3CoverageBroken => &[Nsec3MissingWildcardProof],
         NsecCoverageBroken => &[NsecMissingWildcardProof],
         // A fully missing chain implies every coverage-level code.
-        NsecProofMissing => &[NsecCoverageBroken, NsecMissingWildcardProof, LastNsecNotApex],
+        NsecProofMissing => &[
+            NsecCoverageBroken,
+            NsecMissingWildcardProof,
+            LastNsecNotApex,
+        ],
         Nsec3ProofMissing => &[
             Nsec3CoverageBroken,
             Nsec3MissingWildcardProof,

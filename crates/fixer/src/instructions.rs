@@ -231,7 +231,8 @@ mod tests {
         assert!(ctx.key_dir.contains("inv-chd_par_a_com"));
         assert!(ctx.key_file(12345).contains("12345"));
         let mut ctx = ctx;
-        ctx.key_files.push((7, "Kinv-chd.par.a.com.+013+00007".into()));
+        ctx.key_files
+            .push((7, "Kinv-chd.par.a.com.+013+00007".into()));
         assert_eq!(ctx.key_file(7), "Kinv-chd.par.a.com.+013+00007");
     }
 }

@@ -17,7 +17,9 @@ pub mod naive;
 
 pub use commands::{render, render_plan, ServerFlavor, ShellCommand};
 pub use dresolver::{resolve, FixContext, Resolution};
-pub use engine::{apply_plan, run_fixer, run_naive, suggest, suggest_remote, FixRun, FixerOptions, IterationLog};
+pub use engine::{
+    apply_plan, run_fixer, run_naive, suggest, suggest_remote, FixRun, FixerOptions, IterationLog,
+};
 pub use graph::{cascades_of, root_causes, topological_order};
 pub use instructions::{Instruction, InstructionKind, ZoneContext};
 pub use naive::naive_plan;

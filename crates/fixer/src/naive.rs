@@ -31,9 +31,14 @@ pub fn naive_plan(report: &GrokReport) -> Vec<Instruction> {
     for code in codes {
         match code {
             // "Verify/replace your DS record" — uploads, never removes.
-            DsMissingKeyForAlgorithm | DsDigestInvalid | DsAlgorithmMismatch
-            | DsUnknownDigestType | NoSecureEntryPoint | NoSepForDsAlgorithm
-            | DsReferencesRevokedKey | DsAlgorithmWithoutRrsig => push(
+            DsMissingKeyForAlgorithm
+            | DsDigestInvalid
+            | DsAlgorithmMismatch
+            | DsUnknownDigestType
+            | NoSecureEntryPoint
+            | NoSepForDsAlgorithm
+            | DsReferencesRevokedKey
+            | DsAlgorithmWithoutRrsig => push(
                 Instruction::UploadDs {
                     digest_type: ddx_dnssec::DigestType::Sha256,
                 },
@@ -43,7 +48,7 @@ pub fn naive_plan(report: &GrokReport) -> Vec<Instruction> {
             RevokedKeyInUse | DnskeyRevokedNoOtherSep => {
                 for zone in &report.zones {
                     for e in &zone.errors {
-                        if let Some(tag) = extract_tag(&e.detail) {
+                        if let Some(tag) = e.detail.key_tag() {
                             push(Instruction::RemoveRevokedKey { key_tag: tag }, &mut plan);
                         }
                     }
@@ -57,29 +62,12 @@ pub fn naive_plan(report: &GrokReport) -> Vec<Instruction> {
     plan
 }
 
-/// Pulls a `key_tag=N` out of an error detail string.
-fn extract_tag(detail: &str) -> Option<u16> {
-    let idx = detail.find("key_tag=")?;
-    let rest = &detail[idx + "key_tag=".len()..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::instructions::InstructionKind;
     use ddx_dns::name;
-    use ddx_dnsviz::{ErrorInstance, GrokReport, SnapshotStatus, ZoneReport};
-
-    #[test]
-    fn tag_extraction() {
-        assert_eq!(extract_tag("revoked SEP key_tag=12345 is bad"), Some(12345));
-        assert_eq!(extract_tag("key_tag=7"), Some(7));
-        assert_eq!(extract_tag("no tag here"), None);
-    }
+    use ddx_dnsviz::{ErrorDetail, ErrorInstance, GrokReport, SnapshotStatus, ZoneReport};
 
     fn report_with(codes: &[ErrorCode]) -> GrokReport {
         GrokReport {
@@ -97,7 +85,7 @@ mod tests {
                         code,
                         zone: name("t.example"),
                         critical: code.is_critical(),
-                        detail: "key_tag=42".into(),
+                        detail: ErrorDetail::RevokedSoleSep { key_tag: 42 },
                     })
                     .collect(),
                 warnings: Vec::new(),

@@ -79,8 +79,7 @@ fn fig8_revoked_ksk_with_linked_ds() {
     let cfg = rep.probe.clone();
 
     // Suggest-only first: the plan should follow the Fig 8 shape.
-    let (_report, resolution, commands) =
-        suggest(&rep.sandbox, &cfg, ServerFlavor::Bind);
+    let (_report, resolution, commands) = suggest(&rep.sandbox, &cfg, ServerFlavor::Bind);
     let kinds: Vec<InstructionKind> = resolution.plan.iter().map(|i| i.kind()).collect();
     assert!(kinds.contains(&InstructionKind::GenerateKsk), "{kinds:?}");
     assert!(kinds.contains(&InstructionKind::UploadDs));
@@ -97,7 +96,9 @@ fn fig8_revoked_ksk_with_linked_ds() {
     assert!(pos(InstructionKind::WaitTtl) < pos(InstructionKind::RemoveRevokedKey));
     assert!(pos(InstructionKind::RemoveRevokedKey) < pos(InstructionKind::SignZone));
     // Commands include the dnssec-keygen invocation with -f KSK.
-    assert!(commands.iter().any(|c| c.line.contains("dnssec-keygen -f KSK")));
+    assert!(commands
+        .iter()
+        .any(|c| c.line.contains("dnssec-keygen -f KSK")));
 
     // Auto-apply: converges.
     let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
@@ -263,7 +264,10 @@ fn multi_error_stress_combinations() {
             ErrorCode::DnskeyAlgorithmWithoutRrsig,
             ErrorCode::RrsigExpired,
         ],
-        vec![ErrorCode::KeyLengthTooShort, ErrorCode::RrsigMissingFromServers],
+        vec![
+            ErrorCode::KeyLengthTooShort,
+            ErrorCode::RrsigMissingFromServers,
+        ],
         vec![
             ErrorCode::Nsec3IterationsNonzero,
             ErrorCode::Nsec3ParamMismatch,
@@ -273,7 +277,7 @@ fn multi_error_stress_combinations() {
         let nsec3 = combo.iter().any(|c| needs_nsec3(*c));
         let req = request(combo, nsec3);
         let mut rep = replicate(&req, NOW, 0x5000 + i as u64).unwrap();
-        let intended: BTreeSet<ErrorCode> = rep.injected.iter().copied().collect();
+        let intended: BTreeSet<ErrorCode> = rep.injected.iter().map(|(c, _)| *c).collect();
         let cfg = rep.probe.clone();
         // Verify replication first (IE ⊆ GE).
         let report = grok(&probe(&rep.sandbox.testbed, &cfg));
@@ -287,7 +291,11 @@ fn multi_error_stress_combinations() {
             "combo {i} {combo:?} not fixed: {:?}",
             run.final_errors
         );
-        assert!(run.iterations.len() <= 4, "combo {i} took {} iterations", run.iterations.len());
+        assert!(
+            run.iterations.len() <= 4,
+            "combo {i} took {} iterations",
+            run.iterations.len()
+        );
     }
 }
 
@@ -358,8 +366,7 @@ fn suggest_remote_plans_without_sandbox_knowledge() {
         assert_eq!(remote.addressed, local.addressed, "codes {codes:?}");
         let remote_kinds: BTreeSet<InstructionKind> =
             remote.plan.iter().map(|i| i.kind()).collect();
-        let local_kinds: BTreeSet<InstructionKind> =
-            local.plan.iter().map(|i| i.kind()).collect();
+        let local_kinds: BTreeSet<InstructionKind> = local.plan.iter().map(|i| i.kind()).collect();
         assert_eq!(remote_kinds, local_kinds, "codes {codes:?}: {report:?}");
     }
 }
@@ -371,8 +378,7 @@ fn suggest_remote_infers_nsec3_parameters() {
     // (mechanism inferred from the NSEC3PARAM answer, not from a ring).
     let req = request(&[ErrorCode::Nsec3IterationsNonzero], true);
     let rep = replicate(&req, NOW, 0x4E41).unwrap();
-    let (_, resolution, _) =
-        suggest_remote(&rep.sandbox.testbed, &rep.probe, ServerFlavor::Bind);
+    let (_, resolution, _) = suggest_remote(&rep.sandbox.testbed, &rep.probe, ServerFlavor::Bind);
     let sign = resolution
         .plan
         .iter()

@@ -10,9 +10,9 @@ use rand::SeedableRng;
 use ddx_dns::{base32, Name, RData, Record, RrType};
 use ddx_dnssec::{
     make_ds, nsec3_hash, resign_rrset, sigs_covering, Algorithm, DigestType, KeyPair, KeyRole,
-    SignOptions, DNSKEY_TTL,
+    SignOptions, VerifyError, DNSKEY_TTL,
 };
-use ddx_dnsviz::ErrorCode;
+use ddx_dnsviz::{AlgorithmScope, DsProblem, ErrorCode, ErrorDetail};
 use ddx_server::Sandbox;
 
 /// Why an intended error could not be injected.
@@ -47,17 +47,36 @@ pub fn injection_phase(code: ErrorCode) -> u8 {
         // surgical tampering they would otherwise erase.
         Nsec3IterationsNonzero => 0,
         // Key-set surgery (may re-sign the DNSKEY RRset).
-        RevokedKeyInUse | DsReferencesRevokedKey | DnskeyRevokedNoOtherSep | KeyLengthTooShort
-        | DnskeyAlgorithmWithoutRrsig | RrsigAlgorithmWithoutDnskey | DsAlgorithmWithoutRrsig => 1,
+        RevokedKeyInUse
+        | DsReferencesRevokedKey
+        | DnskeyRevokedNoOtherSep
+        | KeyLengthTooShort
+        | DnskeyAlgorithmWithoutRrsig
+        | RrsigAlgorithmWithoutDnskey
+        | DsAlgorithmWithoutRrsig => 1,
         // Parent-side DS manipulation.
-        DsMissingKeyForAlgorithm | NoSepForDsAlgorithm | DnskeyMissingForDs
-        | NoSecureEntryPoint | DsDigestInvalid | DsAlgorithmMismatch | DsUnknownDigestType => 2,
+        DsMissingKeyForAlgorithm
+        | NoSepForDsAlgorithm
+        | DnskeyMissingForDs
+        | NoSecureEntryPoint
+        | DsDigestInvalid
+        | DsAlgorithmMismatch
+        | DsUnknownDigestType => 2,
         // Per-server divergence.
         DnskeyMissingFromServers | DnskeyInconsistentRrset | RrsigMissingFromServers => 3,
         // Signature tampering.
-        RrsigMissing | RrsigMissingForDnskey | RrsigExpired | RrsigInvalid | RrsigInvalidRdata
-        | RrsigUnknownKeyTag | RrsigSignerMismatch | RrsigNotYetValid | RrsigLabelsExceedOwner
-        | RrsigBadLength | OriginalTtlExceeded | TtlBeyondSignatureExpiry => 4,
+        RrsigMissing
+        | RrsigMissingForDnskey
+        | RrsigExpired
+        | RrsigInvalid
+        | RrsigInvalidRdata
+        | RrsigUnknownKeyTag
+        | RrsigSignerMismatch
+        | RrsigNotYetValid
+        | RrsigLabelsExceedOwner
+        | RrsigBadLength
+        | OriginalTtlExceeded
+        | TtlBeyondSignatureExpiry => 4,
         // Denial-chain tampering last.
         _ => 5,
     }
@@ -115,10 +134,15 @@ fn other_algorithm(sb: &Sandbox, apex: &Name, now: u32) -> Algorithm {
         .zone(apex)
         .map(|z| z.ring.algorithms(now))
         .unwrap_or_default();
-    [Algorithm::RsaSha256, Algorithm::EcdsaP256Sha256, Algorithm::RsaSha512, Algorithm::Ed25519]
-        .into_iter()
-        .find(|a| !used.contains(&a.code()))
-        .unwrap_or(Algorithm::RsaSha512)
+    [
+        Algorithm::RsaSha256,
+        Algorithm::EcdsaP256Sha256,
+        Algorithm::RsaSha512,
+        Algorithm::Ed25519,
+    ]
+    .into_iter()
+    .find(|a| !used.contains(&a.code()))
+    .unwrap_or(Algorithm::RsaSha512)
 }
 
 /// Whether the leaf zone currently runs NSEC3.
@@ -130,26 +154,37 @@ fn leaf_uses_nsec3(sb: &Sandbox, apex: &Name) -> bool {
 
 /// Injects `code` into the leaf zone of the sandbox.
 ///
-/// On success the sandbox's servers exhibit the misconfiguration; a
-/// subsequent probe+grok run should list `code` among the leaf-zone errors
-/// (possibly alongside benign companion errors, per the paper's footnote 4).
-pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipReason> {
+/// On success the sandbox's servers exhibit the misconfiguration and the
+/// returned [`ErrorDetail`] describes the *intended* finding — the typed
+/// payload grok is expected to reproduce (or [`ErrorDetail::None`] when the
+/// injection has no single natural payload). A subsequent probe+grok run
+/// should list `code` among the leaf-zone errors (possibly alongside benign
+/// companion errors, per the paper's footnote 4).
+pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<ErrorDetail, SkipReason> {
     use ErrorCode::*;
     if !code.replicable() {
         return Err(SkipReason::Unreplicable);
     }
     let apex = sb.leaf().apex.clone();
     let www = apex.child("www").expect("label fits");
-    match code {
+    let detail = match code {
         // ----------------------------------------------------- delegation
         DsMissingKeyForAlgorithm => {
             // Extra DS referencing an algorithm absent from the zone (the
             // paper's footnote-4 construction).
             let alg = other_algorithm(sb, &apex, now);
             let ghost = foreign_key(&apex, alg, KeyRole::Ksk, now, 0xD5_01);
+            let ds = make_ds(&apex, &ghost.dnskey, DigestType::Sha256);
+            let detail = ErrorDetail::DsLink {
+                key_tag: ds.key_tag,
+                algorithm: ds.algorithm,
+                digest_type: ds.digest_type,
+                problem: DsProblem::AlgorithmUnmatched,
+            };
             let mut ds_set = current_ds(sb, &apex);
-            ds_set.push(make_ds(&apex, &ghost.dnskey, DigestType::Sha256));
+            ds_set.push(ds);
             sb.set_ds(&apex, ds_set, now);
+            detail
         }
         NoSepForDsAlgorithm => {
             // DS generated from the ZSK instead of the KSK.
@@ -158,12 +193,20 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 return Err(SkipReason::MissingKeyMaterial);
             }
             let ds = make_ds(&apex, &key.dnskey, DigestType::Sha256);
+            let detail = ErrorDetail::DsLink {
+                key_tag: ds.key_tag,
+                algorithm: ds.algorithm,
+                digest_type: ds.digest_type,
+                problem: DsProblem::MissingSepFlag,
+            };
             sb.set_ds(&apex, vec![ds], now);
+            detail
         }
         DnskeyMissingForDs => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 zone.strip_type(RrType::Dnskey);
             });
+            ErrorDetail::NoDnskeyForDs
         }
         NoSecureEntryPoint | DsDigestInvalid => {
             // Corrupt the digest of every DS: tag+algorithm still match, the
@@ -177,7 +220,14 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     *b ^= 0xFF;
                 }
             }
+            let detail = ErrorDetail::DsLink {
+                key_tag: ds_set[0].key_tag,
+                algorithm: ds_set[0].algorithm,
+                digest_type: ds_set[0].digest_type,
+                problem: DsProblem::DigestMismatch,
+            };
             sb.set_ds(&apex, ds_set, now);
+            detail
         }
         DsAlgorithmMismatch => {
             let mut ds_set = current_ds(sb, &apex);
@@ -188,7 +238,14 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             for ds in &mut ds_set {
                 ds.algorithm = if ds.algorithm == 8 { 13 } else { 8 };
             }
+            let detail = ErrorDetail::DsLink {
+                key_tag: ds_set[0].key_tag,
+                algorithm: ds_set[0].algorithm,
+                digest_type: ds_set[0].digest_type,
+                problem: DsProblem::AlgorithmDisagrees,
+            };
             sb.set_ds(&apex, ds_set, now);
+            detail
         }
         DsUnknownDigestType => {
             let mut ds_set = current_ds(sb, &apex);
@@ -198,32 +255,63 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             for ds in &mut ds_set {
                 ds.digest_type = 250;
             }
+            let detail = ErrorDetail::DsLink {
+                key_tag: ds_set[0].key_tag,
+                algorithm: ds_set[0].algorithm,
+                digest_type: 250,
+                problem: DsProblem::UnsupportedDigest,
+            };
             sb.set_ds(&apex, ds_set, now);
+            detail
         }
         // ------------------------------------------------------------ key
         DnskeyMissingFromServers => {
             let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
-            let server = sb.leaf().servers.first().cloned().ok_or(SkipReason::MissingKeyMaterial)?;
+            let server = sb
+                .leaf()
+                .servers
+                .first()
+                .cloned()
+                .ok_or(SkipReason::MissingKeyMaterial)?;
             let zone = sb
                 .testbed
                 .server_mut(&server)
                 .and_then(|s| s.zone_mut(&apex))
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             zone.remove_rdata(&apex, &RData::Dnskey(key.dnskey.clone()));
+            ErrorDetail::ServerKeySetDiffers {
+                server,
+                disjoint: false,
+            }
         }
         DnskeyInconsistentRrset => {
             // Server 0 gets a completely different ZSK published (disjoint
             // key material) while keeping its signatures intact.
-            let rogue = foreign_key(&apex, Algorithm::EcdsaP256Sha256, KeyRole::Zsk, now, 0xD5_02);
+            let rogue = foreign_key(
+                &apex,
+                Algorithm::EcdsaP256Sha256,
+                KeyRole::Zsk,
+                now,
+                0xD5_02,
+            );
             let old = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
-            let server = sb.leaf().servers.first().cloned().ok_or(SkipReason::MissingKeyMaterial)?;
+            let server = sb
+                .leaf()
+                .servers
+                .first()
+                .cloned()
+                .ok_or(SkipReason::MissingKeyMaterial)?;
             let zone = sb
                 .testbed
                 .server_mut(&server)
                 .and_then(|s| s.zone_mut(&apex))
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             zone.remove_rdata(&apex, &RData::Dnskey(old.dnskey.clone()));
-            zone.add(Record::new(apex.clone(), DNSKEY_TTL, RData::Dnskey(rogue.dnskey.clone())));
+            zone.add(Record::new(
+                apex.clone(),
+                DNSKEY_TTL,
+                RData::Dnskey(rogue.dnskey.clone()),
+            ));
             // Also perturb the KSK on that server so neither set contains
             // the other.
             let ksk_key = ksk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
@@ -233,13 +321,22 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 .and_then(|s| s.zone_mut(&apex))
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             let _ = ksk_key;
-            let rogue_ksk =
-                foreign_key(&apex, Algorithm::EcdsaP256Sha256, KeyRole::Ksk, now, 0xD5_03);
+            let rogue_ksk = foreign_key(
+                &apex,
+                Algorithm::EcdsaP256Sha256,
+                KeyRole::Ksk,
+                now,
+                0xD5_03,
+            );
             zone.add(Record::new(
                 apex.clone(),
                 DNSKEY_TTL,
                 RData::Dnskey(rogue_ksk.dnskey.clone()),
             ));
+            ErrorDetail::ServerKeySetDiffers {
+                server,
+                disjoint: true,
+            }
         }
         RevokedKeyInUse => {
             // Publish a revoked variant of the ZSK and sign zone data with
@@ -259,6 +356,10 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 resign_rrset(zone, &www, RrType::A, &revoked, opts);
             });
             resign_dnskey(sb, &apex, now);
+            ErrorDetail::Note(format!(
+                "revoked key_tag={} signs zone data",
+                revoked_dnskey.key_tag()
+            ))
         }
         DsReferencesRevokedKey | DnskeyRevokedNoOtherSep => {
             // Revoke the only KSK in place; the parent DS is rebuilt from
@@ -266,12 +367,20 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             let tag = {
                 let z = sb.zone_mut(&apex).ok_or(SkipReason::MissingKeyMaterial)?;
                 let ksks = z.ring.active(KeyRole::Ksk, now);
-                let tag = ksks.first().map(|k| k.key_tag()).ok_or(SkipReason::MissingKeyMaterial)?;
+                let tag = ksks
+                    .first()
+                    .map(|k| k.key_tag())
+                    .ok_or(SkipReason::MissingKeyMaterial)?;
                 z.ring.by_tag_mut(tag).unwrap().revoke();
-                z.ring.keys().iter().find(|k| k.is_revoked()).unwrap().key_tag()
+                z.ring
+                    .keys()
+                    .iter()
+                    .find(|k| k.is_revoked())
+                    .unwrap()
+                    .key_tag()
             };
-            let _ = tag;
-            sb.resign_zone(&apex, now).map_err(|_| SkipReason::MissingKeyMaterial)?;
+            sb.resign_zone(&apex, now)
+                .map_err(|_| SkipReason::MissingKeyMaterial)?;
             let revoked = sb
                 .zone(&apex)
                 .unwrap()
@@ -283,6 +392,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             let ds = make_ds(&apex, &revoked.dnskey, DigestType::Sha256);
             sb.set_ds(&apex, vec![ds], now);
+            ErrorDetail::RevokedSoleSep { key_tag: tag }
         }
         KeyLengthTooShort => {
             // Publish an extra 384-bit RSA key (below any accepted minimum).
@@ -296,9 +406,18 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             );
             let dnskey = stub.dnskey.clone();
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
-                zone.add(Record::new(apex.clone(), DNSKEY_TTL, RData::Dnskey(dnskey.clone())));
+                zone.add(Record::new(
+                    apex.clone(),
+                    DNSKEY_TTL,
+                    RData::Dnskey(dnskey.clone()),
+                ));
             });
             resign_dnskey(sb, &apex, now);
+            ErrorDetail::KeyLength {
+                key_tag: dnskey.key_tag(),
+                bits: 384,
+                algorithm: Algorithm::RsaSha256.code(),
+            }
         }
         KeyLengthInvalidForAlgorithm => return Err(SkipReason::Unreplicable),
         // ------------------------------------------------------ algorithm
@@ -309,21 +428,37 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             let extra = foreign_key(&apex, alg, KeyRole::Ksk, now, 0xD5_05);
             let dnskey = extra.dnskey.clone();
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
-                zone.add(Record::new(apex.clone(), DNSKEY_TTL, RData::Dnskey(dnskey.clone())));
+                zone.add(Record::new(
+                    apex.clone(),
+                    DNSKEY_TTL,
+                    RData::Dnskey(dnskey.clone()),
+                ));
             });
             resign_dnskey(sb, &apex, now);
             let mut ds_set = current_ds(sb, &apex);
             ds_set.push(make_ds(&apex, &extra.dnskey, DigestType::Sha256));
             sb.set_ds(&apex, ds_set, now);
+            ErrorDetail::AlgorithmUnused {
+                algorithm: alg.code(),
+                scope: AlgorithmScope::Ds,
+            }
         }
         DnskeyAlgorithmWithoutRrsig => {
             let alg = other_algorithm(sb, &apex, now);
             let extra = foreign_key(&apex, alg, KeyRole::Zsk, now, 0xD5_06);
             let dnskey = extra.dnskey.clone();
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
-                zone.add(Record::new(apex.clone(), DNSKEY_TTL, RData::Dnskey(dnskey.clone())));
+                zone.add(Record::new(
+                    apex.clone(),
+                    DNSKEY_TTL,
+                    RData::Dnskey(dnskey.clone()),
+                ));
             });
             resign_dnskey(sb, &apex, now);
+            ErrorDetail::AlgorithmUnused {
+                algorithm: alg.code(),
+                scope: AlgorithmScope::Dnskey,
+            }
         }
         RrsigAlgorithmWithoutDnskey => {
             // Sign data with a key that is never published.
@@ -339,26 +474,47 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     zone.add(Record::new(www.clone(), set.ttl, RData::Rrsig(sig)));
                 }
             });
+            ErrorDetail::AlgorithmUnused {
+                algorithm: alg.code(),
+                scope: AlgorithmScope::Rrsig,
+            }
         }
         // ------------------------------------------------------ signature
         RrsigMissing => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 ddx_dnssec::remove_sigs_covering(zone, &www, RrType::A);
             });
+            ErrorDetail::RrsetUnsigned {
+                name: www.clone(),
+                rtype: RrType::A,
+            }
         }
         RrsigMissingFromServers => {
-            let server = sb.leaf().servers.first().cloned().ok_or(SkipReason::MissingKeyMaterial)?;
+            let server = sb
+                .leaf()
+                .servers
+                .first()
+                .cloned()
+                .ok_or(SkipReason::MissingKeyMaterial)?;
             let zone = sb
                 .testbed
                 .server_mut(&server)
                 .and_then(|s| s.zone_mut(&apex))
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             ddx_dnssec::remove_sigs_covering(zone, &www, RrType::A);
+            ErrorDetail::RrsetUnsigned {
+                name: www.clone(),
+                rtype: RrType::A,
+            }
         }
         RrsigMissingForDnskey => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 ddx_dnssec::remove_sigs_covering(zone, &apex, RrType::Dnskey);
             });
+            ErrorDetail::RrsetUnsigned {
+                name: apex.clone(),
+                rtype: RrType::Dnskey,
+            }
         }
         RrsigExpired => {
             let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
@@ -369,6 +525,14 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 resign_rrset(zone, &www, RrType::A, &key, opts);
             });
+            ErrorDetail::SignatureFailure {
+                name: www.clone(),
+                rtype: RrType::A,
+                error: VerifyError::Expired {
+                    expiration: opts.expiration,
+                    now,
+                },
+            }
         }
         RrsigNotYetValid => {
             let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
@@ -379,6 +543,14 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 resign_rrset(zone, &www, RrType::A, &key, opts);
             });
+            ErrorDetail::SignatureFailure {
+                name: www.clone(),
+                rtype: RrType::A,
+                error: VerifyError::NotYetValid {
+                    inception: opts.inception,
+                    now,
+                },
+            }
         }
         RrsigInvalid => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
@@ -388,6 +560,11 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     }
                 });
             });
+            ErrorDetail::SignatureFailure {
+                name: www.clone(),
+                rtype: RrType::A,
+                error: VerifyError::BadSignature,
+            }
         }
         RrsigInvalidRdata => {
             // A published non-zone key signing data: verifiers reject the
@@ -397,10 +574,19 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             let dnskey = nonzone.dnskey.clone();
             let opts = window(now);
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
-                zone.add(Record::new(apex.clone(), DNSKEY_TTL, RData::Dnskey(dnskey.clone())));
+                zone.add(Record::new(
+                    apex.clone(),
+                    DNSKEY_TTL,
+                    RData::Dnskey(dnskey.clone()),
+                ));
                 resign_rrset(zone, &www, RrType::A, &nonzone, opts);
             });
             resign_dnskey(sb, &apex, now);
+            ErrorDetail::SignatureFailure {
+                name: www.clone(),
+                rtype: RrType::A,
+                error: VerifyError::NotZoneKey,
+            }
         }
         RrsigUnknownKeyTag => {
             // Sign with an unpublished key of an algorithm the zone uses.
@@ -410,17 +596,33 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 .ok_or(SkipReason::MissingKeyMaterial)?;
             let ghost = foreign_key(&apex, used_alg, KeyRole::Zsk, now, 0xD5_08);
             let opts = window(now);
+            let detail = ErrorDetail::SigNoMatchingKey {
+                name: www.clone(),
+                rtype: RrType::A,
+                key_tag: ghost.key_tag(),
+                algorithm: used_alg.code(),
+            };
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 resign_rrset(zone, &www, RrType::A, &ghost, opts);
             });
+            detail
         }
         RrsigSignerMismatch => {
             let mut key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
             key.zone = sb.zones[1].apex.clone(); // the parent zone's name
             let opts = window(now);
+            let detail = ErrorDetail::SignatureFailure {
+                name: www.clone(),
+                rtype: RrType::A,
+                error: VerifyError::SignerMismatch {
+                    signer: key.zone.clone(),
+                    zone: apex.clone(),
+                },
+            };
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 resign_rrset(zone, &www, RrType::A, &key, opts);
             });
+            detail
         }
         RrsigLabelsExceedOwner => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
@@ -428,6 +630,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     sig.labels = sig.labels.saturating_add(3);
                 });
             });
+            ErrorDetail::None
         }
         RrsigBadLength => {
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
@@ -435,15 +638,23 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     sig.signature.truncate(sig.signature.len() / 2);
                 });
             });
+            ErrorDetail::None
         }
         // ------------------------------------------------------------ TTL
         OriginalTtlExceeded => {
             // Serve the RRset with a TTL larger than the signed original.
+            let original_ttl = served_ttl(sb, &apex, &www, RrType::A).unwrap_or(300);
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 if let Some(set) = zone.get_mut(&www, RrType::A) {
                     set.ttl = set.ttl.saturating_mul(10);
                 }
             });
+            ErrorDetail::TtlExceedsOriginal {
+                name: www.clone(),
+                rtype: RrType::A,
+                ttl: original_ttl.saturating_mul(10),
+                original_ttl,
+            }
         }
         TtlBeyondSignatureExpiry => {
             let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
@@ -454,6 +665,11 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 resign_rrset(zone, &www, RrType::A, &key, opts);
             });
+            ErrorDetail::TtlOutlivesSignature {
+                name: www.clone(),
+                rtype: RrType::A,
+                ttl: served_ttl(sb, &apex, &www, RrType::A).unwrap_or(300),
+            }
         }
         // -------------------------------------------------------- denial
         NsecProofMissing => {
@@ -463,6 +679,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 zone.strip_type(RrType::Nsec);
             });
+            ErrorDetail::NoProof { nsec3: false }
         }
         Nsec3ProofMissing => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -471,6 +688,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 zone.strip_type(RrType::Nsec3);
             });
+            ErrorDetail::NoProof { nsec3: true }
         }
         NsecBitmapAssertsType => {
             if leaf_uses_nsec3(sb, &apex) {
@@ -490,6 +708,11 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 }
                 resign_rrset(zone, &target, RrType::Nsec, &key, opts);
             });
+            ErrorDetail::BitmapAssertsType {
+                qname: apex.clone(),
+                rtype: probe_type,
+                nsec3: false,
+            }
         }
         Nsec3BitmapAssertsType => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -509,6 +732,11 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 }
                 resign_rrset(zone, &owner, RrType::Nsec3, &key, opts);
             });
+            ErrorDetail::BitmapAssertsType {
+                qname: apex.clone(),
+                rtype: probe_type,
+                nsec3: true,
+            }
         }
         NsecCoverageBroken => {
             if leaf_uses_nsec3(sb, &apex) {
@@ -529,6 +757,12 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 }
                 resign_rrset(zone, &target, RrType::Nsec, &key, opts);
             });
+            ErrorDetail::NotCovered {
+                qname: apex
+                    .child(ddx_dnsviz::probe::NX_PROBE_LABEL)
+                    .expect("label fits"),
+                nsec3: false,
+            }
         }
         Nsec3CoverageBroken => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -568,6 +802,10 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     zone.remove(&cover, RrType::Nsec3);
                     zone.remove(&cover, RrType::Rrsig);
                 });
+            }
+            ErrorDetail::NotCovered {
+                qname: nx,
+                nsec3: true,
             }
         }
         NsecMissingWildcardProof => {
@@ -620,6 +858,11 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 resign_rrset(zone, &aaaa, RrType::A, &key, opts);
                 resign_rrset(zone, &aaaa, RrType::Nsec, &key, opts);
             });
+            ErrorDetail::WildcardUnproven {
+                qname: apex
+                    .child(ddx_dnsviz::probe::NX_PROBE_LABEL)
+                    .expect("label fits"),
+            }
         }
         Nsec3MissingWildcardProof => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -629,8 +872,8 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             let nx = apex
                 .child(ddx_dnsviz::probe::NX_PROBE_LABEL)
                 .expect("label fits");
-            let wc_cover = nsec3_cover_of(sb, &apex, &wildcard)
-                .ok_or(SkipReason::MissingKeyMaterial)?;
+            let wc_cover =
+                nsec3_cover_of(sb, &apex, &wildcard).ok_or(SkipReason::MissingKeyMaterial)?;
             let nx_cover = nsec3_cover_of(sb, &apex, &nx);
             let apex_match = nsec3_owner_of(sb, &apex, &apex);
             if Some(&wc_cover) == nx_cover.as_ref() || Some(&wc_cover) == apex_match.as_ref() {
@@ -638,8 +881,8 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 // its span to stop just before the wildcard hash.
                 let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
                 let opts = window(now);
-                let wc_hash = leaf_hash(sb, &apex, &wildcard)
-                    .ok_or(SkipReason::MissingKeyMaterial)?;
+                let wc_hash =
+                    leaf_hash(sb, &apex, &wildcard).ok_or(SkipReason::MissingKeyMaterial)?;
                 sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                     if let Some(set) = zone.get_mut(&wc_cover, RrType::Nsec3) {
                         for rd in &mut set.rdatas {
@@ -656,6 +899,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     zone.remove(&wc_cover, RrType::Rrsig);
                 });
             }
+            ErrorDetail::WildcardUnproven { qname: nx }
         }
         Nsec3ParamMismatch => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -663,6 +907,8 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
             }
             let key = zsk(sb, &apex, now).ok_or(SkipReason::MissingKeyMaterial)?;
             let opts = window(now);
+            let (salt, iterations) =
+                leaf_nsec3_params(sb, &apex).ok_or(SkipReason::MissingKeyMaterial)?;
             sb.testbed.mutate_zone_everywhere(&apex, |zone| {
                 let target = apex.clone();
                 if let Some(set) = zone.get_mut(&target, RrType::Nsec3Param) {
@@ -674,6 +920,10 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 }
                 resign_rrset(zone, &target, RrType::Nsec3Param, &key, opts);
             });
+            ErrorDetail::Nsec3ParamDisagrees {
+                iterations: iterations.saturating_add(5),
+                salt_len: salt.len(),
+            }
         }
         LastNsecNotApex => {
             if leaf_uses_nsec3(sb, &apex) {
@@ -706,6 +956,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     resign_rrset(zone, &owner, RrType::Nsec, &key, opts);
                 }
             });
+            ErrorDetail::None
         }
         Nsec3IterationsNonzero => {
             // A build-time parameter, not a tamper: re-sign with nonzero
@@ -726,14 +977,18 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     if let Some(n3) = &mut z.spec.nsec3 {
                         n3.iterations = 10;
                     }
-                    z.signer_config = ddx_dnssec::SignerConfig::nsec3_at(
-                        now,
-                        z.spec.nsec3.clone().unwrap(),
-                    );
+                    z.signer_config =
+                        ddx_dnssec::SignerConfig::nsec3_at(now, z.spec.nsec3.clone().unwrap());
                 }
                 sb.resign_zone(&apex, now)
                     .map_err(|_| SkipReason::MissingKeyMaterial)?;
             }
+            let iterations = sb
+                .zone(&apex)
+                .and_then(|z| z.spec.nsec3.as_ref())
+                .map(|n3| n3.iterations)
+                .unwrap_or(10);
+            ErrorDetail::Nsec3Iterations { iterations }
         }
         Nsec3OptOutViolation => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -752,6 +1007,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 }
                 resign_rrset(zone, &owner, RrType::Nsec3, &key, opts);
             });
+            ErrorDetail::OptOutInconsistent
         }
         Nsec3UnsupportedAlgorithm => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -776,6 +1032,7 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                     resign_rrset(zone, &owner, RrType::Nsec3, &key, opts);
                 }
             });
+            ErrorDetail::Nsec3HashAlgorithm { algorithm: 6 }
         }
         Nsec3NoClosestEncloser => {
             if !leaf_uses_nsec3(sb, &apex) {
@@ -788,16 +1045,31 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<(), SkipRea
                 zone.remove(&owner, RrType::Nsec3);
                 zone.remove(&owner, RrType::Rrsig);
             });
+            ErrorDetail::NoClosestEncloser {
+                qname: apex
+                    .child(ddx_dnsviz::probe::NX_PROBE_LABEL)
+                    .expect("label fits"),
+            }
         }
         // Explicitly unreplicable (also caught by the guard above).
         Nsec3InconsistentAncestor | Nsec3HashInvalidLength | Nsec3OwnerNotBase32 => {
             return Err(SkipReason::Unreplicable)
         }
-    }
-    Ok(())
+    };
+    Ok(detail)
 }
 
 // --------------------------------------------------------------- utilities
+
+/// The TTL the leaf zone's first server currently serves for an RRset.
+fn served_ttl(sb: &Sandbox, apex: &Name, name: &Name, rtype: RrType) -> Option<u32> {
+    let server = sb.zone(apex)?.servers.first()?;
+    sb.testbed
+        .server(server)?
+        .zone(apex)?
+        .get(name, rtype)
+        .map(|set| set.ttl)
+}
 
 /// Current DS RRset for `child` as stored in its parent zone.
 fn current_ds(sb: &Sandbox, child: &Name) -> Vec<ddx_dns::Ds> {
@@ -900,9 +1172,7 @@ fn nsec3_cover_of(sb: &Sandbox, apex: &Name, target: &Name) -> Option<Name> {
                 return false;
             };
             s.rdatas.iter().any(|rd| match rd {
-                RData::Nsec3(n) => {
-                    ddx_dnssec::nsec3::hash_covered(&oh, &n.next_hashed_owner, &h)
-                }
+                RData::Nsec3(n) => ddx_dnssec::nsec3::hash_covered(&oh, &n.next_hashed_owner, &h),
                 _ => false,
             })
         })

@@ -13,7 +13,9 @@ pub mod meta;
 pub mod replicate;
 
 pub use inject::{inject, injection_phase, SkipReason};
-pub use meta::{plan_digests, plan_keys, KeyPlan, KeySpec, MetaError, Nsec3Meta, Substitution, ZoneMeta};
+pub use meta::{
+    plan_digests, plan_keys, KeyPlan, KeySpec, MetaError, Nsec3Meta, Substitution, ZoneMeta,
+};
 pub use replicate::{
     anchor_apex, parent_apex, probe_config_for, replicate, target_apex, Replication,
     ReplicationRequest,

@@ -246,9 +246,21 @@ mod tests {
     fn exhaustion_detected() {
         let meta = ZoneMeta {
             keys: vec![
-                KeySpec { role: KeyRole::Ksk, algorithm: 8, bits: 2048 },
-                KeySpec { role: KeyRole::Ksk, algorithm: 13, bits: 256 },
-                KeySpec { role: KeyRole::Zsk, algorithm: 3, bits: 1024 },
+                KeySpec {
+                    role: KeyRole::Ksk,
+                    algorithm: 8,
+                    bits: 2048,
+                },
+                KeySpec {
+                    role: KeyRole::Ksk,
+                    algorithm: 13,
+                    bits: 256,
+                },
+                KeySpec {
+                    role: KeyRole::Zsk,
+                    algorithm: 3,
+                    bits: 1024,
+                },
             ],
             ds_digest_types: vec![2],
             nsec3: None,
@@ -282,8 +294,13 @@ mod tests {
         };
         let digests = plan_digests(&meta);
         assert_eq!(digests, vec![DigestType::Sha1, DigestType::Sha256]);
-        assert_eq!(plan_digests(&ZoneMeta { ds_digest_types: vec![], ..Default::default() }),
-                   vec![DigestType::Sha256]);
+        assert_eq!(
+            plan_digests(&ZoneMeta {
+                ds_digest_types: vec![],
+                ..Default::default()
+            }),
+            vec![DigestType::Sha256]
+        );
     }
 
     #[test]

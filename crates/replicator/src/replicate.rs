@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use ddx_dns::{name, Name, RrType};
-use ddx_dnsviz::{ErrorCode, ProbeConfig};
+use ddx_dnsviz::{ErrorCode, ErrorDetail, ProbeConfig};
 use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
 
 use crate::inject::{inject, injection_phase, SkipReason};
@@ -23,8 +23,9 @@ pub struct ReplicationRequest {
 /// could not be recreated.
 pub struct Replication {
     pub sandbox: Sandbox,
-    /// Errors whose injectors ran.
-    pub injected: Vec<ErrorCode>,
+    /// Errors whose injectors ran, each with the typed detail payload the
+    /// injector intended grok to reproduce.
+    pub injected: Vec<(ErrorCode, ErrorDetail)>,
     /// Errors that could not be recreated, with reasons.
     pub skipped: Vec<(ErrorCode, SkipReason)>,
     /// Algorithm substitutions applied (paper §5.5.1).
@@ -75,11 +76,7 @@ pub fn probe_config_for(sandbox: &Sandbox, now: u32) -> ProbeConfig {
 /// The sandbox starts fully valid (mirroring the meta parameters, with
 /// algorithm substitution where needed) and then each intended error is
 /// injected in a stable phase order so injections do not undo each other.
-pub fn replicate(
-    req: &ReplicationRequest,
-    now: u32,
-    seed: u64,
-) -> Result<Replication, MetaError> {
+pub fn replicate(req: &ReplicationRequest, now: u32, seed: u64) -> Result<Replication, MetaError> {
     let plan = plan_keys(&req.meta)?;
     let mut leaf = ZoneSpec {
         apex: target_apex(),
@@ -92,12 +89,10 @@ pub fn replicate(
     };
     // NSEC3-only errors demand an NSEC3 zone even if the meta was silent
     // (dataset metas are normally consistent; this is a safety net).
-    let wants_nsec3 = req.intended.iter().any(|c| {
-        matches!(
-            c.category(),
-            ddx_dnsviz::Category::Nsec3Only
-        )
-    });
+    let wants_nsec3 = req
+        .intended
+        .iter()
+        .any(|c| matches!(c.category(), ddx_dnsviz::Category::Nsec3Only));
     if wants_nsec3 && leaf.nsec3.is_none() {
         leaf.nsec3 = Some(ddx_dnssec::Nsec3Config::default());
     }
@@ -119,7 +114,7 @@ pub fn replicate(
     let mut skipped = Vec::new();
     for code in ordered {
         match inject(&mut sandbox, code, now) {
-            Ok(()) => injected.push(code),
+            Ok(detail) => injected.push((code, detail)),
             Err(reason) => skipped.push((code, reason)),
         }
     }
@@ -184,9 +179,19 @@ mod tests {
     #[test]
     fn clean_replication_is_valid() {
         let (_, report) = run(&request(&[], false));
-        assert_eq!(report.status, SnapshotStatus::Sv, "errors: {:?}", report.codes());
+        assert_eq!(
+            report.status,
+            SnapshotStatus::Sv,
+            "errors: {:?}",
+            report.codes()
+        );
         let (_, report) = run(&request(&[], true));
-        assert_eq!(report.status, SnapshotStatus::Sv, "errors: {:?}", report.codes());
+        assert_eq!(
+            report.status,
+            SnapshotStatus::Sv,
+            "errors: {:?}",
+            report.codes()
+        );
     }
 
     #[test]
@@ -210,7 +215,11 @@ mod tests {
                 ));
             }
         }
-        assert!(failures.is_empty(), "replication gaps:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "replication gaps:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
@@ -256,7 +265,12 @@ mod tests {
         };
         let (rep, report) = run(&req);
         assert_eq!(rep.substitutions.len(), 1);
-        assert_eq!(report.status, SnapshotStatus::Sv, "errors: {:?}", report.codes());
+        assert_eq!(
+            report.status,
+            SnapshotStatus::Sv,
+            "errors: {:?}",
+            report.codes()
+        );
     }
 
     #[test]

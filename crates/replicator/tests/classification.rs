@@ -75,10 +75,7 @@ fn criticality_drives_snapshot_status() {
         if !code.is_critical() && report.status == SnapshotStatus::Sb {
             // A tolerated code must not, alone, produce SERVFAIL — unless a
             // critical companion was generated.
-            let companion_critical = report
-                .codes()
-                .iter()
-                .any(|c| *c != code && c.is_critical());
+            let companion_critical = report.codes().iter().any(|c| *c != code && c.is_critical());
             if !companion_critical {
                 failures.push(format!("{code} is tolerated but snapshot is sb"));
             }
@@ -104,7 +101,12 @@ fn clean_zone_is_sv_under_both_denial_modes() {
         };
         let rep = replicate(&req, NOW, 3).unwrap();
         let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
-        assert_eq!(report.status, SnapshotStatus::Sv, "nsec3={nsec3}: {:?}", report.codes());
+        assert_eq!(
+            report.status,
+            SnapshotStatus::Sv,
+            "nsec3={nsec3}: {:?}",
+            report.codes()
+        );
     }
 }
 

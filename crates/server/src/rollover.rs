@@ -56,7 +56,9 @@ impl Rollover {
         new_algorithm: Option<Algorithm>,
         seed: u64,
     ) -> Self {
-        let zone = sandbox.zone(apex).expect("zone exists");
+        let zone = sandbox
+            .zone(apex)
+            .expect("Rollover::start precondition: apex names a zone in this sandbox");
         let current_alg = zone
             .ring
             .keys()
@@ -113,7 +115,9 @@ impl Rollover {
         match self.phase {
             0 => {
                 // Publish the successor, inactive until caches hold it.
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 let alg = self.new_algorithm;
                 let bits = alg.default_key_bits();
                 let mut key =
@@ -136,7 +140,9 @@ impl Rollover {
             }
             1 => {
                 // New key is active by now; retire the old signer.
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 for tag in &self.old_tags {
                     if let Some(k) = zone.ring.by_tag_mut(*tag) {
                         k.schedule_retire(now);
@@ -151,7 +157,9 @@ impl Rollover {
             }
             _ => {
                 // Old signatures have expired from caches: drop the old key.
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 for tag in &self.old_tags {
                     if let Some(k) = zone.ring.by_tag_mut(*tag) {
                         k.schedule_delete(now);
@@ -175,7 +183,9 @@ impl Rollover {
                 let alg = self.new_algorithm;
                 let bits = alg.default_key_bits();
                 let (new_ds, old_ds) = {
-                    let zone = sandbox.zone_mut(&apex).expect("zone");
+                    let zone = sandbox.zone_mut(&apex).expect(
+                        "self.apex named a sandbox zone at start(); zones are never removed",
+                    );
                     let key = KeyPair::generate(
                         &mut self.rng,
                         apex.clone(),
@@ -208,14 +218,17 @@ impl Rollover {
                 sandbox.set_ds(&apex, all_ds, now);
                 RolloverStep {
                     phase: 1,
-                    description: "publish successor KSK and add its DS alongside the old one".into(),
+                    description: "publish successor KSK and add its DS alongside the old one"
+                        .into(),
                     wait_secs: 2 * DNSKEY_TTL,
                 }
             }
             1 => {
                 // Caches have the new DS: retire the old KSK and its DS.
                 let new_ds = {
-                    let zone = sandbox.zone_mut(&apex).expect("zone");
+                    let zone = sandbox.zone_mut(&apex).expect(
+                        "self.apex named a sandbox zone at start(); zones are never removed",
+                    );
                     for tag in self.old_tags.clone() {
                         if let Some(k) = zone.ring.by_tag_mut(tag) {
                             k.schedule_retire(now);
@@ -237,7 +250,9 @@ impl Rollover {
                 }
             }
             _ => {
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 for tag in self.old_tags.clone() {
                     if let Some(k) = zone.ring.by_tag_mut(tag) {
                         k.schedule_delete(now);
@@ -260,13 +275,14 @@ impl Rollover {
                 // Introduce new-algorithm KSK+ZSK: keys and signatures
                 // appear together (every RRset gets dual-algorithm RRSIGs,
                 // RFC 6840 §5.11 compliant at all times).
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 self.old_tags = zone.ring.keys().iter().map(|k| k.key_tag()).collect();
                 let alg = self.new_algorithm;
                 let bits = alg.default_key_bits();
                 for role in [KeyRole::Ksk, KeyRole::Zsk] {
-                    let key =
-                        KeyPair::generate(&mut self.rng, apex.clone(), alg, bits, role, now);
+                    let key = KeyPair::generate(&mut self.rng, apex.clone(), alg, bits, role, now);
                     self.new_tags.push(key.key_tag());
                     zone.ring.add(key);
                 }
@@ -280,7 +296,9 @@ impl Rollover {
             1 => {
                 // Add the new-algorithm DS next to the old one.
                 let new_ds = {
-                    let zone = sandbox.zone(&apex).expect("zone");
+                    let zone = sandbox.zone(&apex).expect(
+                        "self.apex named a sandbox zone at start(); zones are never removed",
+                    );
                     zone.ring
                         .keys()
                         .iter()
@@ -298,13 +316,13 @@ impl Rollover {
             2 => {
                 // Drop the old-algorithm DS.
                 let new_only = {
-                    let zone = sandbox.zone(&apex).expect("zone");
+                    let zone = sandbox.zone(&apex).expect(
+                        "self.apex named a sandbox zone at start(); zones are never removed",
+                    );
                     zone.ring
                         .keys()
                         .iter()
-                        .filter(|k| {
-                            k.role == KeyRole::Ksk && self.new_tags.contains(&k.key_tag())
-                        })
+                        .filter(|k| k.role == KeyRole::Ksk && self.new_tags.contains(&k.key_tag()))
                         .map(|k| make_ds(&apex, &k.dnskey, self.digest))
                         .collect::<Vec<_>>()
                 };
@@ -317,7 +335,9 @@ impl Rollover {
             }
             _ => {
                 // Retire and delete the old-algorithm keys.
-                let zone = sandbox.zone_mut(&apex).expect("zone");
+                let zone = sandbox
+                    .zone_mut(&apex)
+                    .expect("self.apex named a sandbox zone at start(); zones are never removed");
                 for tag in self.old_tags.clone() {
                     if let Some(k) = zone.ring.by_tag_mut(tag) {
                         k.schedule_retire(now);
@@ -340,7 +360,9 @@ impl Rollover {
 /// to update the DS at the registrar** — the delegation now references a
 /// key that no longer exists.
 pub fn botched_ksk_rollover(sandbox: &mut Sandbox, apex: &Name, now: u32, seed: u64) {
-    let zone = sandbox.zone_mut(apex).expect("zone");
+    let zone = sandbox
+        .zone_mut(apex)
+        .expect("self.apex named a sandbox zone at start(); zones are never removed");
     let old_tags: Vec<u16> = zone
         .ring
         .active(KeyRole::Ksk, now)
@@ -558,9 +580,7 @@ mod wildcard_tests {
             .unwrap()
             .clone();
         let ok = keys.rdatas.iter().any(|rd| match rd {
-            RData::Dnskey(k) => {
-                verify_rrset(&set, &sig, k, &name("wild.test"), NOW).is_ok()
-            }
+            RData::Dnskey(k) => verify_rrset(&set, &sig, k, &name("wild.test"), NOW).is_ok(),
             _ => false,
         });
         assert!(ok, "RFC 4035 §5.3.2 wildcard reconstruction must verify");

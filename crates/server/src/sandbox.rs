@@ -83,7 +83,9 @@ impl Sandbox {
 
     /// The leaf (query) zone.
     pub fn leaf(&self) -> &SandboxZone {
-        self.zones.last().expect("non-empty sandbox")
+        self.zones
+            .last()
+            .expect("build_sandbox asserts at least one ZoneSpec, so zones is never empty")
     }
 
     /// Zone lookup by apex.
@@ -108,7 +110,9 @@ impl Sandbox {
     /// them recomputing signatures for the RRsets they agree on.
     pub fn resign_zone(&mut self, apex: &Name, now: u32) -> Result<(), SignError> {
         let (ring, cfg) = {
-            let z = self.zone(apex).expect("zone exists");
+            let z = self
+                .zone(apex)
+                .expect("resign_zone precondition: apex names a zone in this sandbox");
             (z.ring.clone(), z.signer_config.clone())
         };
         let ids = self.testbed.servers_hosting(apex);
@@ -192,8 +196,12 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
             apex.clone(),
             3600,
             RData::Soa(Soa {
-                mname: apex.child("ns1").unwrap(),
-                rname: apex.child("hostmaster").unwrap(),
+                mname: apex
+                    .child("ns1")
+                    .expect("sandbox apexes are short fixed names"),
+                rname: apex
+                    .child("hostmaster")
+                    .expect("sandbox apexes are short fixed names"),
                 serial: 1,
                 refresh: 7200,
                 retry: 900,
@@ -203,7 +211,9 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
         ));
         let mut hosts = Vec::new();
         for i in 0..spec.server_count.max(1) {
-            let host = apex.child(&format!("ns{}", i + 1)).unwrap();
+            let host = apex
+                .child(&format!("ns{}", i + 1))
+                .expect("sandbox apexes are short fixed names");
             zone.add(Record::new(apex.clone(), 3600, RData::Ns(host.clone())));
             zone.add(Record::new(
                 host.clone(),
@@ -213,7 +223,8 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
             hosts.push(host);
         }
         zone.add(Record::new(
-            apex.child("www").unwrap(),
+            apex.child("www")
+                .expect("sandbox apexes are short fixed names"),
             300,
             RData::A(Ipv4Addr::new(198, 51, 100, 80)),
         ));
@@ -224,7 +235,8 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
         ));
         if spec.wildcard {
             zone.add(Record::new(
-                apex.child("*").unwrap(),
+                apex.child("*")
+                    .expect("sandbox apexes are short fixed names"),
                 300,
                 RData::A(Ipv4Addr::new(198, 51, 100, 99)),
             ));
@@ -245,7 +257,11 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
         let child_hosts = ns_hosts_all[i + 1].clone();
         let parent = &mut plain[i];
         for (j, host) in child_hosts.iter().enumerate() {
-            parent.add(Record::new(child_apex.clone(), 3600, RData::Ns(host.clone())));
+            parent.add(Record::new(
+                child_apex.clone(),
+                3600,
+                RData::Ns(host.clone()),
+            ));
             parent.add(Record::new(
                 host.clone(),
                 3600,
@@ -283,7 +299,8 @@ pub fn build_sandbox(specs: &[ZoneSpec], now: u32, seed: u64) -> Sandbox {
             signer_configs[i].denial = DenialMode::Nsec;
             continue;
         }
-        sign_zone(&mut plain[i], &rings[i], &signer_configs[i], now).expect("sandbox signs");
+        sign_zone(&mut plain[i], &rings[i], &signer_configs[i], now)
+            .expect("freshly generated rings always contain a usable signing key");
     }
 
     // Deploy: one server per NS host, identical zone copies.
@@ -381,11 +398,7 @@ mod tests {
     fn no_ds_when_publish_disabled() {
         let mut child = ZoneSpec::conventional(name("par.a.com"));
         child.publish_ds = false;
-        let sb = build_sandbox(
-            &[ZoneSpec::conventional(name("a.com")), child],
-            NOW,
-            9,
-        );
+        let sb = build_sandbox(&[ZoneSpec::conventional(name("a.com")), child], NOW, 9);
         let anchor_server = &sb.zones[0].servers[0];
         let q = Message::query(1, name("par.a.com"), RrType::Ds);
         let r = sb.testbed.query(anchor_server, &q).unwrap();
@@ -447,13 +460,23 @@ mod tests {
             .unwrap()
             .zone_mut(&apex)
             .unwrap()
-            .add(Record::new(extra.clone(), 300, RData::A(Ipv4Addr::new(203, 0, 113, 1))));
+            .add(Record::new(
+                extra.clone(),
+                300,
+                RData::A(Ipv4Addr::new(203, 0, 113, 1)),
+            ));
         sb.resign_zone(&apex, NOW + 10).unwrap();
         let other = sb.zones[2].servers[1].clone();
         let z0 = sb.testbed.server(&id).unwrap().zone(&apex).unwrap();
         let z1 = sb.testbed.server(&other).unwrap().zone(&apex).unwrap();
-        assert!(z0.get(&extra, RrType::A).is_some(), "divergent record survives resign");
-        assert!(z1.get(&extra, RrType::A).is_none(), "divergence must not fan out");
+        assert!(
+            z0.get(&extra, RrType::A).is_some(),
+            "divergent record survives resign"
+        );
+        assert!(
+            z1.get(&extra, RrType::A).is_none(),
+            "divergence must not fan out"
+        );
         assert_ne!(z0, z1);
     }
 

@@ -8,9 +8,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use ddx_dns::{
-    base32, Message, Name, Nsec3, RData, RRset, Rcode, Record, RrType, Zone,
-};
+use ddx_dns::{base32, Message, Name, Nsec3, RData, RRset, Rcode, Record, RrType, Zone};
 use ddx_dnssec::nsec3_hash;
 
 /// Identifies one server instance (e.g. `ns1.par.a.com.#0`).
@@ -310,24 +308,19 @@ fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, r
 
     let mut added: Vec<Name> = Vec::new();
     for target in wanted {
-        let found = zone
-            .rrsets()
-            .filter(|s| s.rtype == RrType::Nsec)
-            .find(|s| {
-                if nxdomain || s.name != target {
-                    s.rdatas.iter().any(|rd| match rd {
-                        RData::Nsec(n) => ddx_dnssec::denial::nsec_covers(
-                            &s.name,
-                            &n.next_name,
-                            &target,
-                            zone.apex(),
-                        ) || s.name == target,
-                        _ => false,
-                    })
-                } else {
-                    true
-                }
-            });
+        let found = zone.rrsets().filter(|s| s.rtype == RrType::Nsec).find(|s| {
+            if nxdomain || s.name != target {
+                s.rdatas.iter().any(|rd| match rd {
+                    RData::Nsec(n) => {
+                        ddx_dnssec::denial::nsec_covers(&s.name, &n.next_name, &target, zone.apex())
+                            || s.name == target
+                    }
+                    _ => false,
+                })
+            } else {
+                true
+            }
+        });
         if let Some(set) = found {
             if !added.contains(&set.name) {
                 added.push(set.name.clone());
@@ -337,7 +330,13 @@ fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, r
     }
 }
 
-fn attach_nsec3_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+fn attach_nsec3_denial(
+    zone: &Zone,
+    qname: &Name,
+    dnssec: bool,
+    nxdomain: bool,
+    resp: &mut Message,
+) {
     // Parameters from any NSEC3 record (fall back to NSEC3PARAM).
     let params = zone
         .rrsets()
@@ -439,9 +438,7 @@ fn attach_nsec3_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, 
 mod tests {
     use super::*;
     use ddx_dns::{name, Soa};
-    use ddx_dnssec::{
-        sign_zone, Algorithm, KeyPair, KeyRing, KeyRole, Nsec3Config, SignerConfig,
-    };
+    use ddx_dnssec::{sign_zone, Algorithm, KeyPair, KeyRing, KeyRole, Nsec3Config, SignerConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::net::Ipv4Addr;
@@ -463,9 +460,21 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
-        z.add(Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
-        z.add(Record::new(name("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        z.add(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
+        z.add(Record::new(
+            name("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z.add(Record::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
         z.add(Record::new(
             name("alias.example.com"),
             300,
@@ -524,7 +533,9 @@ mod tests {
         assert_eq!(r.rcode, Rcode::NoError);
         assert!(r.flags.aa);
         assert!(r.find_answer(&name("www.example.com"), RrType::A).is_some());
-        assert!(!Message::sigs_covering(&r.answers, &name("www.example.com"), RrType::A).is_empty());
+        assert!(
+            !Message::sigs_covering(&r.answers, &name("www.example.com"), RrType::A).is_empty()
+        );
     }
 
     #[test]
@@ -636,7 +647,9 @@ mod tests {
         ));
         let s = server(zone);
         let r = ask(&s, "sub.example.com", RrType::Ds);
-        assert!(r.find_answer(&name("sub.example.com"), RrType::Ds).is_some());
+        assert!(r
+            .find_answer(&name("sub.example.com"), RrType::Ds)
+            .is_some());
     }
 
     #[test]
@@ -697,6 +710,8 @@ mod tests {
         s.load_zone(child);
         let r = ask(&s, "w.sub.example.com", RrType::A);
         assert!(r.flags.aa);
-        assert!(r.find_answer(&name("w.sub.example.com"), RrType::A).is_some());
+        assert!(r
+            .find_answer(&name("w.sub.example.com"), RrType::A)
+            .is_some());
     }
 }

@@ -126,10 +126,7 @@ impl Drop for UdpServerHandle {
 
 /// Serves one TCP connection: length-framed queries and responses
 /// (RFC 1035 §4.2.2), no truncation.
-fn handle_tcp_client(
-    mut stream: TcpStream,
-    server: &Arc<RwLock<Server>>,
-) -> std::io::Result<()> {
+fn handle_tcp_client(mut stream: TcpStream, server: &Arc<RwLock<Server>>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut len_buf = [0u8; 2];
     stream.read_exact(&mut len_buf)?;
@@ -153,9 +150,7 @@ fn tcp_query(addr: SocketAddr, query: &Message, timeout: Duration) -> Option<Mes
     stream.set_read_timeout(Some(timeout)).ok()?;
     stream.set_write_timeout(Some(timeout)).ok()?;
     let bytes = wire::encode(query);
-    stream
-        .write_all(&(bytes.len() as u16).to_be_bytes())
-        .ok()?;
+    stream.write_all(&(bytes.len() as u16).to_be_bytes()).ok()?;
     stream.write_all(&bytes).ok()?;
     let mut len_buf = [0u8; 2];
     stream.read_exact(&mut len_buf).ok()?;
@@ -248,7 +243,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(name("www.udp.test"), 60, RData::A(Ipv4Addr::new(127, 0, 0, 1))));
+        z.add(Record::new(
+            name("www.udp.test"),
+            60,
+            RData::A(Ipv4Addr::new(127, 0, 0, 1)),
+        ));
         z
     }
 
@@ -327,7 +326,11 @@ mod tcp_tests {
                 RData::Txt(vec![format!("{:0>120}", i)]),
             ));
         }
-        z.add(Record::new(name("fat.big.test"), 60, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
+        z.add(Record::new(
+            name("fat.big.test"),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
         z
     }
 
@@ -365,7 +368,9 @@ mod tcp_tests {
         let r = net.query(&ServerId("big#0".into()), &q).unwrap();
         assert!(!r.flags.tc);
         assert_eq!(
-            r.find_answer(&name("fat.big.test"), RrType::Txt).unwrap().len(),
+            r.find_answer(&name("fat.big.test"), RrType::Txt)
+                .unwrap()
+                .len(),
             12
         );
     }
@@ -382,7 +387,9 @@ mod tcp_tests {
         let r = net.query(&ServerId("big#0".into()), &q).unwrap();
         assert!(!r.flags.tc);
         assert_eq!(
-            r.find_answer(&name("fat.big.test"), RrType::Txt).unwrap().len(),
+            r.find_answer(&name("fat.big.test"), RrType::Txt)
+                .unwrap()
+                .len(),
             12
         );
     }

@@ -51,10 +51,7 @@ fn main() {
             println!("     → {}", instr.describe());
         }
     }
-    println!(
-        "\nfixed={} final status={}",
-        run.fixed, run.final_status
-    );
+    println!("\nfixed={} final status={}", run.fixed, run.final_status);
     assert!(run.fixed);
     assert!(
         run.iterations.len() >= 2,

@@ -62,7 +62,8 @@ fn main() {
     assert!(r.ad);
 
     // 3. Drop the DS: the answer still resolves, but unauthenticated.
-    rep.sandbox.set_ds(&name("inv-chd.par.a.com"), vec![], 1_000_000);
+    rep.sandbox
+        .set_ds(&name("inv-chd.par.a.com"), vec![], 1_000_000);
     let r = resolve_validating(&rep.sandbox.testbed, &cfg, &qname, RrType::A, 1_000_000);
     show("DS removed:", &r);
     assert!(!r.ad);

@@ -71,7 +71,11 @@ fn main() {
     let mut sb = sandbox();
     botched_ksk_rollover(&mut sb, &name("par.a.com"), NOW, 13);
     let report = grok(&probe(&sb.testbed, &probe_cfg(&sb, NOW)));
-    println!("after botch: status={} errors={:?}", report.status, report.codes());
+    println!(
+        "after botch: status={} errors={:?}",
+        report.status,
+        report.codes()
+    );
     assert_eq!(report.status, SnapshotStatus::Sb);
 
     let cfg = probe_cfg(&sb, NOW);
