@@ -1,0 +1,78 @@
+//! The payoff measurement for the query-path overhaul: identical probe
+//! walks over (a) the memoized, index-backed testbed and (b) the
+//! [`UncachedNetwork`] view that forces the original linear-scan path, plus
+//! a hot single-query comparison of `handle_arc` vs `handle_uncached`.
+//!
+//! Protocol (recorded in `BENCH_pr3.json`): run `steady_state` variants on
+//! a prepared testbed whose memo has been warmed by one probe — the
+//! steady-state regime of a multi-iteration DFixer run, where the bulk of
+//! queries repeat against unchanged zones.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ddx_dns::{name, Message, RrType};
+use ddx_dnsviz::{grok, probe};
+use ddx_replicator::{replicate, ReplicationRequest, ZoneMeta};
+use ddx_server::{Network, Testbed, UncachedNetwork};
+
+fn prepared() -> (Testbed, ddx_dnsviz::ProbeConfig) {
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&request, 1_000_000, 0xB3C4).unwrap();
+    (rep.sandbox.testbed, rep.probe)
+}
+
+fn bench(c: &mut Criterion) {
+    let (testbed, cfg) = prepared();
+
+    // Warm the memo: everything the walk asks is cached from here on.
+    let _ = grok(&probe(&testbed, &cfg));
+
+    c.bench_function("probe_walk_memoized_steady_state", |b| {
+        b.iter(|| probe(&testbed, &cfg))
+    });
+    c.bench_function("probe_walk_uncached", |b| {
+        let uncached = UncachedNetwork(&testbed);
+        b.iter(|| probe(&uncached, &cfg))
+    });
+    c.bench_function("probe_and_grok_memoized", |b| {
+        b.iter(|| grok(&probe(&testbed, &cfg)))
+    });
+
+    // Hot single-answer comparison on one leaf server: memo hit (pointer
+    // bump) vs full linear-scan reassembly.
+    let sid = testbed
+        .server_ids()
+        .into_iter()
+        .max_by_key(|s| s.0.len())
+        .unwrap();
+    let server = testbed.server(&sid).unwrap().clone();
+    let apex = server.apexes().into_iter().next().unwrap();
+    let q = Message::query(1, apex.clone(), RrType::Soa);
+    let nx = Message::query(4, apex.child("nx-bench").unwrap(), RrType::A);
+    let _ = server.handle_arc(&q);
+    let _ = server.handle_arc(&nx);
+
+    c.bench_function("handle_soa_memoized", |b| b.iter(|| server.handle_arc(&q)));
+    c.bench_function("handle_soa_uncached", |b| {
+        b.iter(|| server.handle_uncached(&q))
+    });
+    c.bench_function("handle_nxdomain_memoized", |b| {
+        b.iter(|| server.handle_arc(&nx))
+    });
+    c.bench_function("handle_nxdomain_uncached", |b| {
+        b.iter(|| server.handle_uncached(&nx))
+    });
+
+    // Keep the routing helper honest under both views (and keep the
+    // compiler from eliding the query messages).
+    let resolved = testbed.resolve_ns(&name("nonexistent-ns.invalid"));
+    assert!(resolved.is_none());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ impl Question {
 }
 
 /// EDNS(0) pseudo-section state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Edns {
     /// Advertised UDP payload size.
     pub udp_size: u16,

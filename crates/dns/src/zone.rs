@@ -5,6 +5,8 @@
 //! canonical traversals fall out of iteration order.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -13,13 +15,40 @@ use crate::rdata::{RData, Soa};
 use crate::rrset::{RRset, Record};
 use crate::types::RrType;
 
+/// Process-global generation source. Every mutation of any zone draws a
+/// fresh stamp from here, so a given stamp value corresponds to exactly one
+/// logical zone content: two zones can share a stamp only by cloning (which
+/// copies the content along with it).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A DNS zone rooted at `apex`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Zone {
     apex: Name,
     /// name → (type code → RRset), names in canonical order.
     nodes: BTreeMap<Name, BTreeMap<u16, RRset>>,
+    /// Mutation stamp: bumped (to a globally fresh value) by every mutating
+    /// method. Answer caches key on it; stamp equality implies content
+    /// equality. Excluded from `PartialEq` and serialization — a
+    /// deserialized zone gets a fresh stamp.
+    #[serde(skip, default = "fresh_generation")]
+    generation: u64,
 }
+
+/// Equality ignores the generation stamp: two zones are equal when their
+/// contents are (replica deduplication in the signing pipeline depends on
+/// this).
+impl PartialEq for Zone {
+    fn eq(&self, other: &Self) -> bool {
+        self.apex == other.apex && self.nodes == other.nodes
+    }
+}
+
+impl Eq for Zone {}
 
 impl Zone {
     /// Creates an empty zone rooted at `apex`.
@@ -27,7 +56,19 @@ impl Zone {
         Zone {
             apex,
             nodes: BTreeMap::new(),
+            generation: fresh_generation(),
         }
+    }
+
+    /// The zone's current mutation stamp. Monotonically fresh across every
+    /// mutation process-wide; equal stamps imply equal content.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records that the zone content changed.
+    fn touch(&mut self) {
+        self.generation = fresh_generation();
     }
 
     /// The zone apex (owner of SOA and NS).
@@ -52,6 +93,7 @@ impl Zone {
             record.name,
             self.apex
         );
+        self.touch();
         let node = self.nodes.entry(record.name.clone()).or_default();
         let entry = node.entry(record.rtype().code());
         match entry {
@@ -71,6 +113,7 @@ impl Zone {
     /// Replaces (or inserts) a whole RRset.
     pub fn put_rrset(&mut self, rrset: RRset) {
         assert!(self.contains_name(&rrset.name));
+        self.touch();
         self.nodes
             .entry(rrset.name.clone())
             .or_default()
@@ -82,9 +125,14 @@ impl Zone {
         self.nodes.get(name)?.get(&rtype.code())
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Conservatively counts as a mutation (the caller can
+    /// rewrite the RRset through the returned reference).
     pub fn get_mut(&mut self, name: &Name, rtype: RrType) -> Option<&mut RRset> {
-        self.nodes.get_mut(name)?.get_mut(&rtype.code())
+        let set = self.nodes.get_mut(name)?.get_mut(&rtype.code());
+        if set.is_some() {
+            self.generation = fresh_generation();
+        }
+        set
     }
 
     /// Removes and returns an RRset.
@@ -93,6 +141,9 @@ impl Zone {
         let removed = node.remove(&rtype.code());
         if node.is_empty() {
             self.nodes.remove(name);
+        }
+        if removed.is_some() {
+            self.touch();
         }
         removed
     }
@@ -166,17 +217,41 @@ impl Zone {
     }
 
     /// Returns the deepest delegation point that `name` falls under, if any.
+    ///
+    /// Walks `name`'s ancestor chain toward the apex instead of scanning
+    /// every owner name: each step is one `BTreeMap` lookup, so the cost is
+    /// O(depth · log n) rather than O(n).
     pub fn delegation_covering(&self, name: &Name) -> Option<Name> {
-        let mut best: Option<Name> = None;
-        for cut in self.delegation_names() {
-            if name.is_subdomain_of(&cut) {
-                match &best {
-                    Some(b) if b.label_count() >= cut.label_count() => {}
-                    _ => best = Some(cut),
+        let mut cur = if name.is_subdomain_of(&self.apex) {
+            Some(name.clone())
+        } else {
+            None
+        };
+        while let Some(c) = cur {
+            if c == self.apex {
+                break;
+            }
+            if let Some(node) = self.nodes.get(&c) {
+                if node.contains_key(&RrType::Ns.code()) {
+                    return Some(c);
                 }
             }
+            cur = c.parent();
         }
-        best
+        None
+    }
+
+    /// True if any owner name in the zone is strictly below `name`.
+    ///
+    /// Owner names are kept in canonical order, where a name's descendants
+    /// sort as a contiguous run immediately after the name itself; one
+    /// range probe replaces a full scan.
+    pub fn has_descendant(&self, name: &Name) -> bool {
+        self.nodes
+            .range::<Name, _>((Bound::Excluded(name), Bound::Unbounded))
+            .next()
+            .map(|(n, _)| n.is_strict_subdomain_of(name))
+            .unwrap_or(false)
     }
 
     /// True if `name` sits below a delegation point (glue / occluded data).
@@ -189,6 +264,7 @@ impl Zone {
     /// Drops every RRset of the given type anywhere in the zone.
     pub fn strip_type(&mut self, rtype: RrType) {
         let code = rtype.code();
+        self.touch();
         self.nodes.retain(|_, node| {
             node.remove(&code);
             !node.is_empty()
@@ -369,5 +445,93 @@ mod tests {
         z.strip_type(RrType::A);
         assert!(!z.has_name(&name("ns1.example.com")));
         assert!(z.soa().is_some());
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_generation() {
+        let mut z = apex_zone();
+        let mut last = z.generation();
+        let mut expect_bump = |z: &Zone, last: &mut u64, what: &str| {
+            assert!(z.generation() > *last, "{what} must bump the generation");
+            *last = z.generation();
+        };
+        z.add(Record::new(
+            name("w.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(9, 9, 9, 9)),
+        ));
+        expect_bump(&z, &mut last, "add");
+        z.put_rrset(RRset::singleton(
+            name("w.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(9, 9, 9, 10)),
+        ));
+        expect_bump(&z, &mut last, "put_rrset");
+        z.get_mut(&name("w.example.com"), RrType::A).unwrap();
+        expect_bump(&z, &mut last, "get_mut");
+        z.bump_serial();
+        expect_bump(&z, &mut last, "bump_serial");
+        assert!(z.remove_rdata(
+            &name("w.example.com"),
+            &RData::A(Ipv4Addr::new(9, 9, 9, 10))
+        ));
+        expect_bump(&z, &mut last, "remove_rdata");
+        z.strip_type(RrType::Ns);
+        expect_bump(&z, &mut last, "strip_type");
+        // Pure reads leave the stamp alone.
+        let _ = z.get(&name("example.com"), RrType::Soa);
+        let _ = z.has_descendant(&name("example.com"));
+        assert_eq!(z.generation(), last);
+        // Misses through the mutable accessors leave it alone too.
+        assert!(z.get_mut(&name("missing.example.com"), RrType::A).is_none());
+        assert!(z.remove(&name("missing.example.com"), RrType::A).is_none());
+        assert_eq!(z.generation(), last);
+    }
+
+    #[test]
+    fn clones_share_the_stamp_and_equality_ignores_it() {
+        let z = apex_zone();
+        let c = z.clone();
+        assert_eq!(c.generation(), z.generation());
+        let mut d = z.clone();
+        d.bump_serial();
+        d.bump_serial();
+        // Serial differs → unequal; rebuild equal content under a fresh
+        // stamp → equal despite different generations.
+        assert_ne!(d, z);
+        let e = apex_zone();
+        assert_ne!(e.generation(), z.generation());
+        assert_eq!(e, z);
+    }
+
+    #[test]
+    fn deserialized_zone_gets_a_fresh_stamp() {
+        let z = apex_zone();
+        let json = serde_json::to_string(&z).unwrap();
+        let back: Zone = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, z);
+        assert_ne!(back.generation(), z.generation());
+    }
+
+    #[test]
+    fn has_descendant_matches_linear_scan() {
+        let mut z = apex_zone();
+        z.add(Record::new(
+            name("a.ent.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
+        for probe in [
+            "example.com",
+            "ent.example.com",
+            "a.ent.example.com",
+            "ns1.example.com",
+            "zzz.example.com",
+            "b.ent.example.com",
+        ] {
+            let p = name(probe);
+            let naive = z.names().any(|n| n.is_strict_subdomain_of(&p));
+            assert_eq!(z.has_descendant(&p), naive, "disagree on {probe}");
+        }
     }
 }

@@ -28,7 +28,6 @@ impl AnalysisPass for KeyConsistencyPass {
                 (
                     s.server.clone(),
                     s.dnskeys()
-                        .iter()
                         .map(|k| RData::Dnskey(k.clone()).to_wire())
                         .collect(),
                 )

@@ -336,8 +336,8 @@ fn collect_dnskeys(zp: &ZoneProbe) -> Vec<Dnskey> {
     let mut keys: Vec<Dnskey> = Vec::new();
     for sp in &zp.servers {
         for k in sp.dnskeys() {
-            if !keys.contains(&k) {
-                keys.push(k);
+            if !keys.contains(k) {
+                keys.push(k.clone());
             }
         }
     }

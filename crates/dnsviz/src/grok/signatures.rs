@@ -49,12 +49,15 @@ impl AnalysisPass for SignaturesPass {
             .filter(|s| s.responsive)
             .cloned()
             .collect();
+        // Cloned once so the fallback key list does not hold a borrow of
+        // `za` across the `analyze_rrset(&mut za, ..)` calls below.
+        let zone_keys: Vec<Dnskey> = za.dnskeys.clone();
         for sp in &server_probes {
-            let keys = sp.dnskeys();
-            let keys = if keys.is_empty() {
-                za.dnskeys.clone()
+            let own_keys: Vec<&Dnskey> = sp.dnskeys().collect();
+            let keys: Vec<&Dnskey> = if own_keys.is_empty() {
+                zone_keys.iter().collect()
             } else {
-                keys
+                own_keys
             };
             let mut messages: Vec<&Message> = Vec::new();
             for m in [
@@ -135,7 +138,7 @@ fn analyze_rrset(
     za: &mut ZoneAnalysis,
     set: &RRset,
     sigs: &[ddx_dns::Rrsig],
-    keys: &[Dnskey],
+    keys: &[&Dnskey],
     seen: &mut BTreeSet<(ErrorCode, String)>,
 ) {
     let zone = za.zp.zone.clone();

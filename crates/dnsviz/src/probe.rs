@@ -3,7 +3,9 @@
 //! authoritative server of every zone cut for its DNSSEC material, negative
 //! responses, and (at the query zone) the target RRsets.
 
-use ddx_dns::{Message, Name, RData, RrType};
+use std::sync::Arc;
+
+use ddx_dns::{Dnskey, Message, Name, RData, RrType};
 use ddx_server::{Network, ServerId};
 
 /// The label probed to elicit an NXDOMAIN (DNSViz queries random
@@ -44,37 +46,33 @@ pub struct ServerProbe {
     pub server: ServerId,
     /// False when every query timed out.
     pub responsive: bool,
-    pub soa: Option<Message>,
-    pub ns: Option<Message>,
-    pub dnskey: Option<Message>,
+    pub soa: Option<Arc<Message>>,
+    pub ns: Option<Arc<Message>>,
+    pub dnskey: Option<Arc<Message>>,
     /// Response to the non-existent-label query.
-    pub nxdomain: Option<Message>,
+    pub nxdomain: Option<Arc<Message>>,
     /// Response to the high-sorting non-existent-label query.
-    pub nxdomain_hi: Option<Message>,
+    pub nxdomain_hi: Option<Arc<Message>>,
     /// Response to the NODATA probe at the apex.
-    pub nodata: Option<Message>,
+    pub nodata: Option<Arc<Message>>,
     /// NSEC3PARAM query at the apex (reveals the zone's declared NSEC3
     /// parameters, if any).
-    pub nsec3param: Option<Message>,
+    pub nsec3param: Option<Arc<Message>>,
     /// Target answers; populated only at the query zone.
-    pub answers: Vec<(RrType, Option<Message>)>,
+    pub answers: Vec<(RrType, Option<Arc<Message>>)>,
 }
 
 impl ServerProbe {
-    /// The DNSKEY records this server returned, if any.
-    pub fn dnskeys(&self) -> Vec<ddx_dns::Dnskey> {
+    /// The DNSKEY records this server returned, if any — borrowed from the
+    /// (shared) DNSKEY response rather than deep-copied per call.
+    pub fn dnskeys(&self) -> impl Iterator<Item = &Dnskey> + '_ {
         self.dnskey
-            .as_ref()
-            .map(|m| {
-                m.answers
-                    .iter()
-                    .filter_map(|r| match &r.rdata {
-                        RData::Dnskey(k) => Some(k.clone()),
-                        _ => None,
-                    })
-                    .collect()
+            .iter()
+            .flat_map(|m| m.answers.iter())
+            .filter_map(|r| match &r.rdata {
+                RData::Dnskey(k) => Some(k),
+                _ => None,
             })
-            .unwrap_or_default()
     }
 }
 
@@ -88,7 +86,7 @@ pub struct ZoneProbe {
     /// NS hostnames that did not resolve to any server.
     pub unresolved_ns: Vec<Name>,
     /// DS responses gathered from each parent-zone server.
-    pub ds_responses: Vec<(ServerId, Option<Message>)>,
+    pub ds_responses: Vec<(ServerId, Option<Arc<Message>>)>,
     pub servers: Vec<ServerProbe>,
     /// True when the walk could not find this zone through the parent (no
     /// delegation NS) and it was only reachable via a hint — the paper's
@@ -126,7 +124,7 @@ fn ask(
     id: u16,
     qname: &Name,
     qtype: RrType,
-) -> Option<Message> {
+) -> Option<Arc<Message>> {
     net.query(server, &Message::query(id, qname.clone(), qtype))
 }
 
@@ -221,7 +219,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
     let mut parent: Option<Name> = None;
     let mut delegation_ns: Vec<Name> = Vec::new();
     let mut unresolved: Vec<Name> = Vec::new();
-    let mut ds_responses: Vec<(ServerId, Option<Message>)> = Vec::new();
+    let mut ds_responses: Vec<(ServerId, Option<Arc<Message>>)> = Vec::new();
 
     for _depth in 0..16 {
         // Is this the query zone (no further cut toward the target)?
@@ -243,12 +241,14 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             servers = server_probes.len(),
             is_query_zone = is_query_zone,
         );
+        // Move the per-zone accumulators into the record instead of
+        // cloning: each is rebuilt below before the next lap needs it.
         zones.push(ZoneProbe {
             zone: zone.clone(),
-            parent: parent.clone(),
-            delegation_ns: delegation_ns.clone(),
-            unresolved_ns: unresolved.clone(),
-            ds_responses: ds_responses.clone(),
+            parent: parent.take(),
+            delegation_ns: std::mem::take(&mut delegation_ns),
+            unresolved_ns: std::mem::take(&mut unresolved),
+            ds_responses: std::mem::take(&mut ds_responses),
             servers: server_probes,
             orphaned: false,
         });
@@ -279,11 +279,11 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         if servers.is_empty() {
             // Fully lame delegation: record the empty zone probe and stop.
             zones.push(ZoneProbe {
-                zone: zone.clone(),
-                parent: parent.clone(),
-                delegation_ns: delegation_ns.clone(),
-                unresolved_ns: unresolved.clone(),
-                ds_responses: ds_responses.clone(),
+                zone,
+                parent,
+                delegation_ns,
+                unresolved_ns: unresolved,
+                ds_responses,
                 servers: Vec::new(),
                 orphaned: false,
             });
@@ -501,7 +501,7 @@ mod tests {
         let qz = result.query_zone().unwrap();
         let sp = &qz.servers[0];
         assert!(sp.responsive);
-        assert_eq!(sp.dnskeys().len(), 2);
+        assert_eq!(sp.dnskeys().count(), 2);
         let nx = sp.nxdomain.as_ref().unwrap();
         assert_eq!(nx.rcode, ddx_dns::Rcode::NxDomain);
         assert!(nx.authorities.iter().any(|r| r.rtype() == RrType::Nsec));

@@ -143,8 +143,8 @@ impl FixContext {
         if let Some(zp) = leaf {
             for sp in &zp.servers {
                 for k in sp.dnskeys() {
-                    if !published.contains(&k) {
-                        published.push(k);
+                    if !published.contains(k) {
+                        published.push(k.clone());
                     }
                 }
                 // NSEC3 parameters from the apex NSEC3PARAM answer.

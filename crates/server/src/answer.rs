@@ -1,0 +1,133 @@
+//! Generation-stamped answer memoization for [`Server`](crate::Server).
+//!
+//! The probe→grok→fix loop re-issues the same ~7 queries per server per
+//! zone on every DFixer iteration, and most iterations change nothing on
+//! most servers. The memo keys each response on the serving zone's
+//! [`generation`](ddx_dns::Zone::generation) stamp plus everything the
+//! response bytes depend on (qname, qtype, qclass, the RD flag, and the
+//! EDNS state carrying the DO bit), so an unchanged zone answers a repeated
+//! query with an `Arc` pointer bump. Any zone mutation draws a fresh
+//! generation, which makes every old entry unreachable — invalidation is
+//! implicit in the key.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ddx_dns::{Edns, Message, Name, RrClass, RrType, Zone};
+
+use crate::index::ZoneIndex;
+
+/// Everything (besides the zone content and the server behavior, both
+/// handled outside the memo) that the bytes of a response depend on —
+/// except the message id, which the cache layer patches on mismatch.
+///
+/// Also the per-server key half of [`CachingNetwork`](crate::CachingNetwork),
+/// so client- and server-side caches agree on what identifies a question.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AnswerKey {
+    pub qname: Name,
+    pub qtype: RrType,
+    pub qclass: RrClass,
+    /// Recursion-desired flag (echoed into responses).
+    pub rd: bool,
+    /// EDNS state of the query (the DO bit selects DNSSEC records; the
+    /// response echoes the whole pseudo-section).
+    pub edns: Option<Edns>,
+}
+
+impl AnswerKey {
+    /// Builds the key for a query message; `None` when the query has no
+    /// question (such messages are answered FORMERR and never cached).
+    pub fn for_query(query: &Message) -> Option<AnswerKey> {
+        let q = query.question.as_ref()?;
+        Some(AnswerKey {
+            qname: q.qname.clone(),
+            qtype: q.qtype,
+            qclass: q.qclass,
+            rd: query.flags.rd,
+            edns: query.edns,
+        })
+    }
+}
+
+/// Entry cap; reaching it clears the memo (stale generations dominate a
+/// full table, so wholesale eviction is both simplest and correct).
+const MEMO_CAP: usize = 8_192;
+
+/// Per-server answer memo plus the lazily built per-generation zone
+/// indexes. Interior-mutable (the server answers through `&self` from
+/// multiple transport threads).
+#[derive(Debug, Default)]
+pub struct AnswerMemo {
+    entries: Mutex<HashMap<(u64, AnswerKey), Arc<Message>>>,
+    indexes: Mutex<HashMap<Name, Arc<ZoneIndex>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerMemo {
+    pub fn new() -> Self {
+        AnswerMemo::default()
+    }
+
+    /// Looks up a cached response for `key` under zone generation
+    /// `generation`. Counts a hit or miss.
+    pub fn get(&self, generation: u64, key: &AnswerKey) -> Option<Arc<Message>> {
+        let hit = self.entries.lock().get(&(generation, key.clone())).cloned();
+        match &hit {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ddx_dns::trace_event!(
+                    target: "server::memo",
+                    "answer cache hit",
+                    generation = generation,
+                    qname = key.qname,
+                );
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                ddx_dns::trace_event!(
+                    target: "server::memo",
+                    "answer cache miss",
+                    generation = generation,
+                    qname = key.qname,
+                );
+            }
+        }
+        hit
+    }
+
+    /// Stores a freshly computed response.
+    pub fn insert(&self, generation: u64, key: AnswerKey, response: Arc<Message>) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= MEMO_CAP {
+            entries.clear();
+        }
+        entries.insert((generation, key), response);
+    }
+
+    /// The index for `zone`, rebuilt if the cached one belongs to an older
+    /// generation.
+    pub fn index_for(&self, zone: &Zone) -> Arc<ZoneIndex> {
+        let mut indexes = self.indexes.lock();
+        match indexes.get(zone.apex()) {
+            Some(idx) if idx.generation() == zone.generation() => Arc::clone(idx),
+            _ => {
+                let idx = Arc::new(ZoneIndex::build(zone));
+                indexes.insert(zone.apex().clone(), Arc::clone(&idx));
+                idx
+            }
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}

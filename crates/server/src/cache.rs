@@ -6,18 +6,22 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ddx_dns::{Message, Name};
 
+use crate::answer::AnswerKey;
 use crate::server::ServerId;
 use crate::testbed::Network;
 
-/// Cache key: which server was asked what.
-type Key = (ServerId, Name, u16);
+/// Cache key: which server was asked what. The question half is the same
+/// [`AnswerKey`] the server-side memo uses, so both layers agree on what
+/// identifies a cacheable question (typed `RrType`, class, RD, EDNS state).
+type Key = (ServerId, AnswerKey);
 
 struct Entry {
     expires_at: u32,
-    response: Message,
+    response: Arc<Message>,
 }
 
 /// A caching view over an upstream network. The clock is external: set
@@ -72,17 +76,20 @@ impl<'a> CachingNetwork<'a> {
 }
 
 impl Network for CachingNetwork<'_> {
-    fn query(&self, server: &ServerId, query: &Message) -> Option<Message> {
-        let q = query.question.as_ref()?;
-        let key = (server.clone(), q.qname.clone(), q.qtype.code());
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        let key = (server.clone(), AnswerKey::for_query(query)?);
         let now = self.now.get();
         if let Some(entry) = self.entries.borrow().get(&key) {
             if now < entry.expires_at {
                 self.hits.set(self.hits.get() + 1);
-                // Echo the query id like a resolver would.
-                let mut resp = entry.response.clone();
+                // Echo the query id like a resolver would; when it already
+                // matches, the hit is a pointer bump.
+                if entry.response.id == query.id {
+                    return Some(Arc::clone(&entry.response));
+                }
+                let mut resp = (*entry.response).clone();
                 resp.id = query.id;
-                return Some(resp);
+                return Some(Arc::new(resp));
             }
         }
         self.misses.set(self.misses.get() + 1);
@@ -92,7 +99,7 @@ impl Network for CachingNetwork<'_> {
             key,
             Entry {
                 expires_at: now.saturating_add(ttl),
-                response: response.clone(),
+                response: Arc::clone(&response),
             },
         );
         Some(response)

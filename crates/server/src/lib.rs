@@ -6,16 +6,20 @@
 //! [`testbed::Network`], and a real loopback UDP transport speaking
 //! RFC 1035 wire format.
 
+pub mod answer;
 pub mod cache;
+pub mod index;
 pub mod rollover;
 pub mod sandbox;
 pub mod server;
 pub mod testbed;
 pub mod udp;
 
+pub use answer::{AnswerKey, AnswerMemo};
 pub use cache::CachingNetwork;
+pub use index::ZoneIndex;
 pub use rollover::{botched_ksk_rollover, Rollover, RolloverKind, RolloverStep};
 pub use sandbox::{build_sandbox, Sandbox, SandboxZone, ZoneSpec};
 pub use server::{Server, ServerBehavior, ServerId};
-pub use testbed::{Network, Testbed};
+pub use testbed::{Network, Testbed, UncachedNetwork};
 pub use udp::{UdpNetwork, UdpServerHandle};

@@ -3,13 +3,25 @@
 //! DNSSEC-aware positive answers, referrals, and NSEC/NSEC3 negative
 //! responses assembled from whatever chain the zone actually contains (so
 //! injected misconfigurations surface faithfully in responses).
+//!
+//! The query path comes in two flavors sharing one resolution algorithm:
+//! [`Server::handle_arc`] serves through a generation-stamped answer memo
+//! and per-generation lookup indexes (see [`crate::answer`] and
+//! [`crate::index`]), while [`Server::handle_uncached`] recomputes every
+//! answer with the original linear scans. The two are byte-identical by
+//! construction (the indexes fall back to the same first-match scans on
+//! malformed chains) and a property test pins that equivalence.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use ddx_dns::{base32, Message, Name, Nsec3, RData, RRset, Rcode, Record, RrType, Zone};
 use ddx_dnssec::nsec3_hash;
+
+use crate::answer::{AnswerKey, AnswerMemo};
+use crate::index::ZoneIndex;
 
 /// Identifies one server instance (e.g. `ns1.par.a.com.#0`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -35,11 +47,27 @@ pub enum ServerBehavior {
 }
 
 /// One authoritative server: an id, its zone copies, and a behavior switch.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Server {
     pub id: ServerId,
     pub behavior: ServerBehavior,
     zones: HashMap<Name, Zone>,
+    /// Generation-keyed answer memo and per-generation zone indexes.
+    memo: AnswerMemo,
+}
+
+/// Cloning copies the zones (whose generation stamps come along, keeping
+/// stamp⇒content soundness) but starts with a cold memo: the caches refill
+/// on demand and two clones never share mutable state.
+impl Clone for Server {
+    fn clone(&self) -> Self {
+        Server {
+            id: self.id.clone(),
+            behavior: self.behavior,
+            zones: self.zones.clone(),
+            memo: AnswerMemo::new(),
+        }
+    }
 }
 
 impl Server {
@@ -48,6 +76,7 @@ impl Server {
             id,
             behavior: ServerBehavior::Normal,
             zones: HashMap::new(),
+            memo: AnswerMemo::new(),
         }
     }
 
@@ -61,7 +90,9 @@ impl Server {
         self.zones.get(apex)
     }
 
-    /// Mutable access — ZReplicator's error injection hooks in here.
+    /// Mutable access — ZReplicator's error injection hooks in here. Any
+    /// mutation through the returned zone bumps its generation, which
+    /// implicitly evicts this server's memoized answers for it.
     pub fn zone_mut(&mut self, apex: &Name) -> Option<&mut Zone> {
         self.zones.get_mut(apex)
     }
@@ -69,6 +100,11 @@ impl Server {
     /// All zone apexes this server is authoritative for.
     pub fn apexes(&self) -> Vec<Name> {
         self.zones.keys().cloned().collect()
+    }
+
+    /// Answer-memo counters: `(hits, misses)` since this server was built.
+    pub fn answer_cache_stats(&self) -> (u64, u64) {
+        self.memo.stats()
     }
 
     /// The deepest zone whose apex is an ancestor-or-self of `qname`.
@@ -79,9 +115,72 @@ impl Server {
             .max_by_key(|z| z.apex().label_count())
     }
 
-    /// Answers a query. Returns `None` when the server is unresponsive
-    /// (the transport layer turns that into a timeout).
+    /// Answers a query through the generation-stamped memo; a repeat query
+    /// against an unchanged zone is an `Arc` clone. Returns `None` when the
+    /// server is unresponsive (the transport layer turns that into a
+    /// timeout).
+    pub fn handle_arc(&self, query: &Message) -> Option<Arc<Message>> {
+        match self.behavior {
+            ServerBehavior::Unresponsive => return None,
+            ServerBehavior::Refuses => {
+                let mut resp = query.response();
+                resp.rcode = Rcode::Refused;
+                return Some(Arc::new(resp));
+            }
+            ServerBehavior::Normal => {}
+        }
+        let Some(key) = AnswerKey::for_query(query) else {
+            let mut resp = query.response();
+            resp.rcode = Rcode::FormErr;
+            return Some(Arc::new(resp));
+        };
+        let Some(zone) = self.best_zone(&key.qname) else {
+            let mut resp = query.response();
+            resp.rcode = Rcode::Refused;
+            return Some(Arc::new(resp));
+        };
+        // AXFR (RFC 5936): full zone transfer, SOA-bracketed. Only served
+        // for an exact apex match, and never memoized — transfers are rare
+        // and large, exactly what the memo should not hold.
+        if key.qtype == RrType::Axfr {
+            let mut resp = query.response();
+            if &key.qname != zone.apex() {
+                resp.rcode = Rcode::Refused;
+                return Some(Arc::new(resp));
+            }
+            resp.flags.aa = true;
+            resp.answers = axfr_records(zone);
+            return Some(Arc::new(resp));
+        }
+        let generation = zone.generation();
+        if let Some(cached) = self.memo.get(generation, &key) {
+            return Some(patch_id(cached, query.id));
+        }
+        let index = self.memo.index_for(zone);
+        let mut resp = query.response();
+        answer_from_zone(
+            zone,
+            &key.qname,
+            key.qtype,
+            query.dnssec_ok(),
+            &mut resp,
+            Some(&index),
+        );
+        let resp = Arc::new(resp);
+        self.memo.insert(generation, key, Arc::clone(&resp));
+        Some(resp)
+    }
+
+    /// Answers a query, returning an owned message (the memoized path plus
+    /// one clone). Prefer [`Server::handle_arc`] on hot paths.
     pub fn handle(&self, query: &Message) -> Option<Message> {
+        self.handle_arc(query).map(|resp| (*resp).clone())
+    }
+
+    /// The original uncached, unindexed answer path: every lookup is a
+    /// fresh linear scan. Kept as the semantic reference the memoized path
+    /// is property-tested against.
+    pub fn handle_uncached(&self, query: &Message) -> Option<Message> {
         match self.behavior {
             ServerBehavior::Unresponsive => return None,
             ServerBehavior::Refuses => {
@@ -100,8 +199,6 @@ impl Server {
             resp.rcode = Rcode::Refused;
             return Some(resp);
         };
-        // AXFR (RFC 5936): full zone transfer, SOA-bracketed. Only served
-        // for an exact apex match.
         if q.qtype == RrType::Axfr {
             if &q.qname != zone.apex() {
                 resp.rcode = Rcode::Refused;
@@ -112,8 +209,21 @@ impl Server {
             return Some(resp);
         }
         let dnssec = query.dnssec_ok();
-        answer_from_zone(zone, &q.qname, q.qtype, dnssec, &mut resp);
+        answer_from_zone(zone, &q.qname, q.qtype, dnssec, &mut resp, None);
         Some(resp)
+    }
+}
+
+/// Returns `resp` as-is when its id already matches, else a patched copy —
+/// so steady-state cache hits (probes reuse fixed per-slot ids) stay
+/// allocation-free.
+fn patch_id(resp: Arc<Message>, id: u16) -> Arc<Message> {
+    if resp.id == id {
+        resp
+    } else {
+        let mut patched = (*resp).clone();
+        patched.id = id;
+        Arc::new(patched)
     }
 }
 
@@ -150,8 +260,30 @@ fn push_set(zone: &Zone, set: &RRset, dnssec: bool, section: &mut Vec<Record>) {
     }
 }
 
-/// The main resolution algorithm over one zone.
-fn answer_from_zone(zone: &Zone, qname: &Name, qtype: RrType, dnssec: bool, resp: &mut Message) {
+/// True if any owner name in the zone is strictly below `name` (so `name`
+/// is an empty non-terminal and must not produce NXDOMAIN). The indexed
+/// path uses the zone's canonical-order range probe; the naive path keeps
+/// the original full scan.
+fn has_descendant(zone: &Zone, name: &Name, index: Option<&ZoneIndex>) -> bool {
+    if index.is_some() {
+        zone.has_descendant(name)
+    } else {
+        zone.names().any(|n| n.is_strict_subdomain_of(name))
+    }
+}
+
+/// The main resolution algorithm over one zone. With `index` present,
+/// existence checks and denial-record selection go through the
+/// per-generation [`ZoneIndex`]; with `None` every lookup is the original
+/// linear scan. Both produce byte-identical responses.
+fn answer_from_zone(
+    zone: &Zone,
+    qname: &Name,
+    qtype: RrType,
+    dnssec: bool,
+    resp: &mut Message,
+    index: Option<&ZoneIndex>,
+) {
     resp.flags.aa = true;
 
     // 1. Delegation? (only when qname is below the cut, or at the cut and
@@ -159,18 +291,18 @@ fn answer_from_zone(zone: &Zone, qname: &Name, qtype: RrType, dnssec: bool, resp
     if let Some(cut) = zone.delegation_covering(qname) {
         let at_cut = qname == &cut;
         if !at_cut || qtype != RrType::Ds {
-            referral(zone, &cut, dnssec, resp);
+            referral(zone, &cut, dnssec, resp, index);
             return;
         }
     }
 
-    let exists = zone.has_name(qname) || has_descendant(zone, qname);
+    let exists = zone.has_name(qname) || has_descendant(zone, qname, index);
     if !exists {
         // Wildcard synthesis (RFC 1034 §4.3.3 / RFC 4035 §3.1.3.3): if
         // `*.<closest encloser>` holds the type, expand it; the answer
         // carries the wildcard's RRSIG (fewer labels than the owner) plus
         // the proof that the exact name does not exist.
-        if let Some((wc_owner, set)) = wildcard_match(zone, qname, qtype) {
+        if let Some((wc_owner, set)) = wildcard_match(zone, qname, qtype, index) {
             let mut expanded = set.clone();
             expanded.name = qname.clone();
             resp.answers.extend(expanded.to_records());
@@ -184,11 +316,11 @@ fn answer_from_zone(zone: &Zone, qname: &Name, qtype: RrType, dnssec: bool, resp
                     }
                 }
                 // Prove the exact qname does not exist.
-                attach_denial(zone, qname, dnssec, true, resp);
+                attach_denial(zone, qname, dnssec, true, resp, index);
             }
             return;
         }
-        negative(zone, qname, dnssec, true, resp);
+        negative(zone, qname, dnssec, true, resp, index);
         return;
     }
 
@@ -207,17 +339,22 @@ fn answer_from_zone(zone: &Zone, qname: &Name, qtype: RrType, dnssec: bool, resp
     }
 
     // 4. NODATA.
-    negative(zone, qname, dnssec, false, resp);
+    negative(zone, qname, dnssec, false, resp, index);
 }
 
 /// Finds a wildcard RRset covering `qname` at its closest encloser.
-fn wildcard_match<'a>(zone: &'a Zone, qname: &Name, qtype: RrType) -> Option<(Name, &'a RRset)> {
+fn wildcard_match<'a>(
+    zone: &'a Zone,
+    qname: &Name,
+    qtype: RrType,
+    index: Option<&ZoneIndex>,
+) -> Option<(Name, &'a RRset)> {
     let mut ce = qname.parent();
     while let Some(c) = ce {
         if !c.is_subdomain_of(zone.apex()) {
             break;
         }
-        if zone.has_name(&c) || has_descendant(zone, &c) {
+        if zone.has_name(&c) || has_descendant(zone, &c, index) {
             let wc = c.child("*").ok()?;
             return zone.get(&wc, qtype).map(|set| (wc, set));
         }
@@ -226,14 +363,8 @@ fn wildcard_match<'a>(zone: &'a Zone, qname: &Name, qtype: RrType) -> Option<(Na
     None
 }
 
-/// True if any owner name in the zone is strictly below `name` (so `name`
-/// is an empty non-terminal and must not produce NXDOMAIN).
-fn has_descendant(zone: &Zone, name: &Name) -> bool {
-    zone.names().any(|n| n.is_strict_subdomain_of(name))
-}
-
 /// Builds a referral response for a delegation at `cut`.
-fn referral(zone: &Zone, cut: &Name, dnssec: bool, resp: &mut Message) {
+fn referral(zone: &Zone, cut: &Name, dnssec: bool, resp: &mut Message, index: Option<&ZoneIndex>) {
     resp.flags.aa = false;
     if let Some(ns) = zone.get(cut, RrType::Ns) {
         push_set(zone, ns, dnssec, &mut resp.authorities);
@@ -255,13 +386,20 @@ fn referral(zone: &Zone, cut: &Name, dnssec: bool, resp: &mut Message) {
             push_set(zone, ds, dnssec, &mut resp.authorities);
         } else {
             // Signed zone without DS at the cut: prove its absence.
-            attach_denial(zone, cut, dnssec, false, resp);
+            attach_denial(zone, cut, dnssec, false, resp, index);
         }
     }
 }
 
 /// Builds an NXDOMAIN or NODATA response with SOA and denial records.
-fn negative(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+fn negative(
+    zone: &Zone,
+    qname: &Name,
+    dnssec: bool,
+    nxdomain: bool,
+    resp: &mut Message,
+    index: Option<&ZoneIndex>,
+) {
     if nxdomain {
         resp.rcode = Rcode::NxDomain;
     }
@@ -269,30 +407,47 @@ fn negative(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut 
         push_set(zone, soa, dnssec, &mut resp.authorities);
     }
     if dnssec {
-        attach_denial(zone, qname, dnssec, nxdomain, resp);
+        attach_denial(zone, qname, dnssec, nxdomain, resp, index);
     }
 }
 
 /// Attaches the NSEC or NSEC3 proof records the zone can actually supply.
-fn attach_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
-    let uses_nsec3 = zone
-        .rrsets()
-        .any(|s| s.rtype == RrType::Nsec3 || s.rtype == RrType::Nsec3Param);
+fn attach_denial(
+    zone: &Zone,
+    qname: &Name,
+    dnssec: bool,
+    nxdomain: bool,
+    resp: &mut Message,
+    index: Option<&ZoneIndex>,
+) {
+    let uses_nsec3 = match index {
+        Some(idx) => idx.uses_nsec3(),
+        None => zone
+            .rrsets()
+            .any(|s| s.rtype == RrType::Nsec3 || s.rtype == RrType::Nsec3Param),
+    };
     if uses_nsec3 {
-        attach_nsec3_denial(zone, qname, dnssec, nxdomain, resp);
+        attach_nsec3_denial(zone, qname, dnssec, nxdomain, resp, index);
     } else {
-        attach_nsec_denial(zone, qname, dnssec, nxdomain, resp);
+        attach_nsec_denial(zone, qname, dnssec, nxdomain, resp, index);
     }
 }
 
-fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, resp: &mut Message) {
+fn attach_nsec_denial(
+    zone: &Zone,
+    qname: &Name,
+    dnssec: bool,
+    nxdomain: bool,
+    resp: &mut Message,
+    index: Option<&ZoneIndex>,
+) {
     let mut wanted: Vec<Name> = Vec::new();
     if nxdomain {
         wanted.push(qname.clone());
         // Wildcard at the closest existing ancestor.
         let mut ce = qname.parent();
         while let Some(c) = &ce {
-            if zone.has_name(c) || has_descendant(zone, c) || c == zone.apex() {
+            if zone.has_name(c) || has_descendant(zone, c, index) || c == zone.apex() {
                 break;
             }
             ce = c.parent();
@@ -308,19 +463,28 @@ fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, r
 
     let mut added: Vec<Name> = Vec::new();
     for target in wanted {
-        let found = zone.rrsets().filter(|s| s.rtype == RrType::Nsec).find(|s| {
-            if nxdomain || s.name != target {
-                s.rdatas.iter().any(|rd| match rd {
-                    RData::Nsec(n) => {
-                        ddx_dnssec::denial::nsec_covers(&s.name, &n.next_name, &target, zone.apex())
-                            || s.name == target
-                    }
-                    _ => false,
-                })
-            } else {
-                true
-            }
-        });
+        let found = match index {
+            Some(idx) => idx
+                .find_first_nsec(&target, nxdomain, zone.apex())
+                .and_then(|owner| zone.get(owner, RrType::Nsec)),
+            None => zone.rrsets().filter(|s| s.rtype == RrType::Nsec).find(|s| {
+                if nxdomain || s.name != target {
+                    s.rdatas.iter().any(|rd| match rd {
+                        RData::Nsec(n) => {
+                            ddx_dnssec::denial::nsec_covers(
+                                &s.name,
+                                &n.next_name,
+                                &target,
+                                zone.apex(),
+                            ) || s.name == target
+                        }
+                        _ => false,
+                    })
+                } else {
+                    true
+                }
+            }),
+        };
         if let Some(set) = found {
             if !added.contains(&set.name) {
                 added.push(set.name.clone());
@@ -330,100 +494,144 @@ fn attach_nsec_denial(zone: &Zone, qname: &Name, dnssec: bool, nxdomain: bool, r
     }
 }
 
+/// One NSEC3 record to hunt for: an exact hash match, a covering arc, or
+/// (for the wildcard proof) cover-preferred-then-match.
+enum Nsec3Target {
+    Match(Name),
+    Cover(Name),
+    CoverOrMatch(Name),
+}
+
+/// Assembles the closest-encloser / next-closer / wildcard NSEC3 targets in
+/// the naive path's selection order.
+fn nsec3_targets(
+    zone: &Zone,
+    qname: &Name,
+    nxdomain: bool,
+    index: Option<&ZoneIndex>,
+) -> Vec<Nsec3Target> {
+    let mut targets = Vec::new();
+    if nxdomain {
+        // Closest encloser: deepest ancestor that exists (by data or ENT).
+        let mut ce = qname.parent();
+        while let Some(c) = &ce {
+            if zone.has_name(c) || has_descendant(zone, c, index) || c == zone.apex() {
+                break;
+            }
+            ce = c.parent();
+        }
+        let ce = ce.unwrap_or_else(|| zone.apex().clone());
+        targets.push(Nsec3Target::Match(ce.clone()));
+        let labels = qname.labels();
+        let nc_len = ce.label_count() + 1;
+        if labels.len() >= nc_len {
+            if let Ok(nc) = Name::from_labels(labels[labels.len() - nc_len..].to_vec()) {
+                targets.push(Nsec3Target::Cover(nc));
+            }
+        }
+        if let Ok(w) = ce.child("*") {
+            targets.push(Nsec3Target::CoverOrMatch(w));
+        }
+    } else {
+        targets.push(Nsec3Target::Match(qname.clone()));
+    }
+    targets
+}
+
 fn attach_nsec3_denial(
     zone: &Zone,
     qname: &Name,
     dnssec: bool,
     nxdomain: bool,
     resp: &mut Message,
+    index: Option<&ZoneIndex>,
 ) {
-    // Parameters from any NSEC3 record (fall back to NSEC3PARAM).
-    let params = zone
-        .rrsets()
-        .find_map(|s| match s.rdatas.first() {
-            Some(RData::Nsec3(n3)) if s.rtype == RrType::Nsec3 => {
-                Some((n3.salt.clone(), n3.iterations))
-            }
-            _ => None,
-        })
-        .or_else(|| {
-            zone.get(zone.apex(), RrType::Nsec3Param)
-                .and_then(|s| match s.rdatas.first() {
-                    Some(RData::Nsec3Param(p)) => Some((p.salt.clone(), p.iterations)),
+    let targets = nsec3_targets(zone, qname, nxdomain, index);
+    let wanted: Vec<&RRset> = match index {
+        Some(idx) => {
+            let Some((salt, iterations)) = idx.nsec3_params() else {
+                return;
+            };
+            let find_match = |t: &Name| {
+                idx.find_nsec3_match(t, salt, iterations)
+                    .and_then(|owner| zone.get(owner, RrType::Nsec3))
+            };
+            let find_cover = |t: &Name| {
+                idx.find_nsec3_cover(t, salt, iterations)
+                    .and_then(|owner| zone.get(owner, RrType::Nsec3))
+            };
+            targets
+                .iter()
+                .filter_map(|t| match t {
+                    Nsec3Target::Match(n) => find_match(n),
+                    Nsec3Target::Cover(n) => find_cover(n),
+                    Nsec3Target::CoverOrMatch(n) => find_cover(n).or_else(|| find_match(n)),
+                })
+                .collect()
+        }
+        None => {
+            // Parameters from any NSEC3 record (fall back to NSEC3PARAM).
+            let params = zone
+                .rrsets()
+                .find_map(|s| match s.rdatas.first() {
+                    Some(RData::Nsec3(n3)) if s.rtype == RrType::Nsec3 => {
+                        Some((n3.salt.clone(), n3.iterations))
+                    }
                     _ => None,
                 })
-        });
-    let Some((salt, iterations)) = params else {
-        return;
-    };
+                .or_else(|| {
+                    zone.get(zone.apex(), RrType::Nsec3Param)
+                        .and_then(|s| match s.rdatas.first() {
+                            Some(RData::Nsec3Param(p)) => Some((p.salt.clone(), p.iterations)),
+                            _ => None,
+                        })
+                });
+            let Some((salt, iterations)) = params else {
+                return;
+            };
 
-    let nsec3_sets: Vec<(&RRset, &Nsec3)> = zone
-        .rrsets()
-        .filter(|s| s.rtype == RrType::Nsec3)
-        .filter_map(|s| match s.rdatas.first() {
-            Some(RData::Nsec3(n3)) => Some((s, n3)),
-            _ => None,
-        })
-        .collect();
-    let owner_hash = |set: &RRset| -> Option<Vec<u8>> {
-        let label = set.name.labels().first()?;
-        base32::decode(std::str::from_utf8(label.as_bytes()).ok()?)
+            let nsec3_sets: Vec<(&RRset, &Nsec3)> = zone
+                .rrsets()
+                .filter(|s| s.rtype == RrType::Nsec3)
+                .filter_map(|s| match s.rdatas.first() {
+                    Some(RData::Nsec3(n3)) => Some((s, n3)),
+                    _ => None,
+                })
+                .collect();
+            let owner_hash = |set: &RRset| -> Option<Vec<u8>> {
+                let label = set.name.labels().first()?;
+                base32::decode(std::str::from_utf8(label.as_bytes()).ok()?)
+            };
+            let find_match = |target: &Name| -> Option<&RRset> {
+                let h = nsec3_hash(target, &salt, iterations);
+                nsec3_sets
+                    .iter()
+                    .find(|(s, _)| owner_hash(s).as_deref() == Some(&h[..]))
+                    .map(|(s, _)| *s)
+            };
+            let find_cover = |target: &Name| -> Option<&RRset> {
+                let h = nsec3_hash(target, &salt, iterations);
+                nsec3_sets
+                    .iter()
+                    .find(|(s, n3)| {
+                        owner_hash(s)
+                            .map(|oh| {
+                                ddx_dnssec::nsec3::hash_covered(&oh, &n3.next_hashed_owner, &h)
+                            })
+                            .unwrap_or(false)
+                    })
+                    .map(|(s, _)| *s)
+            };
+            targets
+                .iter()
+                .filter_map(|t| match t {
+                    Nsec3Target::Match(n) => find_match(n),
+                    Nsec3Target::Cover(n) => find_cover(n),
+                    Nsec3Target::CoverOrMatch(n) => find_cover(n).or_else(|| find_match(n)),
+                })
+                .collect()
+        }
     };
-    let find_match = |target: &Name| -> Option<&RRset> {
-        let h = nsec3_hash(target, &salt, iterations);
-        nsec3_sets
-            .iter()
-            .find(|(s, _)| owner_hash(s).as_deref() == Some(&h[..]))
-            .map(|(s, _)| *s)
-    };
-    let find_cover = |target: &Name| -> Option<&RRset> {
-        let h = nsec3_hash(target, &salt, iterations);
-        nsec3_sets
-            .iter()
-            .find(|(s, n3)| {
-                owner_hash(s)
-                    .map(|oh| ddx_dnssec::nsec3::hash_covered(&oh, &n3.next_hashed_owner, &h))
-                    .unwrap_or(false)
-            })
-            .map(|(s, _)| *s)
-    };
-
-    let mut wanted: Vec<&RRset> = Vec::new();
-    if nxdomain {
-        // Closest encloser: deepest ancestor that exists (by data or ENT).
-        let mut ce = qname.parent();
-        while let Some(c) = &ce {
-            if zone.has_name(c) || has_descendant(zone, c) || c == zone.apex() {
-                break;
-            }
-            ce = c.parent();
-        }
-        let ce = ce.unwrap_or_else(|| zone.apex().clone());
-        let labels = qname.labels();
-        let nc_len = ce.label_count() + 1;
-        let next_closer = if labels.len() >= nc_len {
-            Name::from_labels(labels[labels.len() - nc_len..].to_vec()).ok()
-        } else {
-            None
-        };
-        if let Some(m) = find_match(&ce) {
-            wanted.push(m);
-        }
-        if let Some(nc) = &next_closer {
-            if let Some(c) = find_cover(nc) {
-                wanted.push(c);
-            }
-        }
-        if let Ok(w) = ce.child("*") {
-            if let Some(c) = find_cover(&w).or_else(|| find_match(&w)) {
-                wanted.push(c);
-            }
-        }
-    } else {
-        if let Some(m) = find_match(qname) {
-            wanted.push(m);
-        }
-    }
 
     let mut added: Vec<Name> = Vec::new();
     for set in wanted {
@@ -713,5 +921,78 @@ mod tests {
         assert!(r
             .find_answer(&name("w.sub.example.com"), RrType::A)
             .is_some());
+    }
+
+    #[test]
+    fn repeat_query_is_a_memo_hit_sharing_one_allocation() {
+        let s = server(signed_zone(false));
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let r1 = s.handle_arc(&q).unwrap();
+        let r2 = s.handle_arc(&q).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2), "same id + same zone ⇒ pointer bump");
+        assert_eq!(s.answer_cache_stats(), (1, 1));
+        // A different id still hits, via a patched copy.
+        let mut q2 = q.clone();
+        q2.id = 77;
+        let r3 = s.handle_arc(&q2).unwrap();
+        assert_eq!(r3.id, 77);
+        assert_eq!(r3.answers, r1.answers);
+        assert_eq!(s.answer_cache_stats(), (2, 1));
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_evicts_stale_answers() {
+        let mut s = server(signed_zone(false));
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let before = s.handle(&q).unwrap();
+        assert!(before
+            .find_answer(&name("www.example.com"), RrType::A)
+            .is_some());
+        assert_eq!(s.handle(&q).unwrap(), before);
+        let (hits, misses) = s.answer_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+
+        let apex = name("example.com");
+        let gen_before = s.zone(&apex).unwrap().generation();
+        s.zone_mut(&apex)
+            .unwrap()
+            .remove(&name("www.example.com"), RrType::A);
+        assert!(s.zone(&apex).unwrap().generation() > gen_before);
+
+        // The stale cached answer is unreachable under the new generation:
+        // the same question now recomputes and reflects the mutation.
+        let after = s.handle(&q).unwrap();
+        assert!(after
+            .find_answer(&name("www.example.com"), RrType::A)
+            .is_none());
+        let (hits2, misses2) = s.answer_cache_stats();
+        assert_eq!((hits2, misses2), (hits, misses + 1));
+    }
+
+    #[test]
+    fn cached_path_matches_uncached_path() {
+        for nsec3 in [false, true] {
+            let s = server(signed_zone(nsec3));
+            for qname in [
+                "www.example.com",
+                "nope.example.com",
+                "x.sub.example.com",
+                "sub.example.com",
+                "ent.example.com",
+                "example.com",
+            ] {
+                for qtype in [RrType::A, RrType::Aaaa, RrType::Ds, RrType::Soa] {
+                    let q = Message::query(9, name(qname), qtype);
+                    // Twice: the second pass serves from the memo.
+                    for _ in 0..2 {
+                        assert_eq!(
+                            s.handle(&q),
+                            s.handle_uncached(&q),
+                            "{qname}/{qtype:?} nsec3={nsec3}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! [`Network`] abstraction over "send this server a query".
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ddx_dns::{Message, Name};
 
@@ -10,8 +11,12 @@ use crate::server::{Server, ServerId};
 
 /// Anything that can deliver a query to a named server and return its
 /// response. `None` models a timeout (unresponsive server / no route).
+///
+/// Responses are `Arc`-shared: the common implementations serve from the
+/// generation-stamped answer memo, where a repeat query is a pointer bump
+/// rather than a deep copy, and probers hold the same allocation.
 pub trait Network {
-    fn query(&self, server: &ServerId, query: &Message) -> Option<Message>;
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>>;
 
     /// Resolves an NS hostname to the server instance behind it — the
     /// testbed's substitute for glue/A-record resolution. `None` models an
@@ -91,15 +96,39 @@ impl Testbed {
             }
         }
     }
+
+    /// Aggregate answer-memo counters across every server: `(hits, misses)`.
+    pub fn answer_cache_stats(&self) -> (u64, u64) {
+        self.servers
+            .values()
+            .map(|s| s.answer_cache_stats())
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
+    }
 }
 
 impl Network for Testbed {
-    fn query(&self, server: &ServerId, query: &Message) -> Option<Message> {
-        self.servers.get(server)?.handle(query)
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        self.servers.get(server)?.handle_arc(query)
     }
 
     fn resolve_ns(&self, host: &Name) -> Option<ServerId> {
         self.ns_hosts.get(host).cloned()
+    }
+}
+
+/// A [`Network`] view of a testbed that bypasses the answer memo and the
+/// zone indexes: every query runs the original linear-scan path. Exists for
+/// equivalence testing and as the before-side of `bench_probe`.
+#[derive(Debug, Clone, Copy)]
+pub struct UncachedNetwork<'a>(pub &'a Testbed);
+
+impl Network for UncachedNetwork<'_> {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        self.0.server(server)?.handle_uncached(query).map(Arc::new)
+    }
+
+    fn resolve_ns(&self, host: &Name) -> Option<ServerId> {
+        self.0.resolve_ns(host)
     }
 }
 

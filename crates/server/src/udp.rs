@@ -3,6 +3,7 @@
 //! by integration tests and the transport benchmark to show the testbed is
 //! not tied to in-process shortcuts.
 
+use std::cell::RefCell;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,14 +61,14 @@ impl UdpServerHandle {
                         .edns
                         .map(|e| e.udp_size.max(512) as usize)
                         .unwrap_or(512);
-                    let response = server.read().handle(&query);
+                    let response = server.read().handle_arc(&query);
                     if let Some(resp) = response {
                         let mut bytes = wire::encode(&resp);
                         if bytes.len() > limit {
                             // RFC 1035 §4.2.1/RFC 2181 §9: answer doesn't
                             // fit — return a truncated response with TC so
                             // the client retries over TCP.
-                            let mut truncated = resp.clone();
+                            let mut truncated = (*resp).clone();
                             truncated.flags.tc = true;
                             truncated.answers.clear();
                             truncated.authorities.clear();
@@ -136,7 +137,7 @@ fn handle_tcp_client(mut stream: TcpStream, server: &Arc<RwLock<Server>>) -> std
     let Ok(query) = wire::decode(&msg) else {
         return Ok(());
     };
-    if let Some(resp) = server.read().handle(&query) {
+    if let Some(resp) = server.read().handle_arc(&query) {
         let bytes = wire::encode(&resp);
         stream.write_all(&(bytes.len() as u16).to_be_bytes())?;
         stream.write_all(&bytes)?;
@@ -194,26 +195,52 @@ impl UdpNetwork {
     }
 }
 
-impl Network for UdpNetwork {
-    fn query(&self, server: &ServerId, query: &Message) -> Option<Message> {
-        let addr = self.routes.get(server)?;
-        let socket = UdpSocket::bind("127.0.0.1:0").ok()?;
-        socket.set_read_timeout(Some(self.timeout)).ok()?;
-        socket.send_to(&wire::encode(query), addr).ok()?;
-        let mut buf = [0u8; 4096];
-        loop {
-            let (len, peer) = socket.recv_from(&mut buf).ok()?;
-            if peer != *addr {
-                continue;
-            }
-            let msg = wire::decode(&buf[..len]).ok()?;
-            if msg.id == query.id {
-                if msg.flags.tc && self.tcp_fallback {
-                    return tcp_query(*addr, query, self.timeout);
-                }
-                return Some(msg);
-            }
+thread_local! {
+    /// One reusable client socket per thread. Binding a fresh ephemeral
+    /// socket used to dominate the cost of small queries; reuse keeps the
+    /// same source-address/ID verification on every response.
+    static CLIENT_SOCKET: RefCell<Option<UdpSocket>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's client socket, binding it on first use.
+fn with_client_socket<R>(f: impl FnOnce(&UdpSocket) -> Option<R>) -> Option<R> {
+    CLIENT_SOCKET.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            *slot = UdpSocket::bind("127.0.0.1:0").ok();
         }
+        slot.as_ref().and_then(f)
+    })
+}
+
+impl Network for UdpNetwork {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        let addr = self.routes.get(server)?;
+        let msg = with_client_socket(|socket| {
+            socket.set_read_timeout(Some(self.timeout)).ok()?;
+            socket.send_to(&wire::encode(query), addr).ok()?;
+            let mut buf = [0u8; 4096];
+            loop {
+                let (len, peer) = socket.recv_from(&mut buf).ok()?;
+                // The socket outlives a single query now: besides checking
+                // the source address and ID, skip datagrams that do not
+                // parse or do not echo this query's question (stale answers
+                // from an earlier, timed-out exchange).
+                if peer != *addr {
+                    continue;
+                }
+                let Ok(msg) = wire::decode(&buf[..len]) else {
+                    continue;
+                };
+                if msg.id == query.id && msg.question == query.question {
+                    return Some(msg);
+                }
+            }
+        })?;
+        if msg.flags.tc && self.tcp_fallback {
+            return tcp_query(*addr, query, self.timeout).map(Arc::new);
+        }
+        Some(Arc::new(msg))
     }
 
     fn resolve_ns(&self, host: &ddx_dns::Name) -> Option<ServerId> {

@@ -1,0 +1,58 @@
+//! The generation-stamped answer memo under a real workload: a DFixer run
+//! re-probes the sandbox every iteration, and every re-asked question whose
+//! zone has not mutated since must be served from the per-server memo
+//! (pointer bumps, not re-assembled responses). This pins the cache-hit
+//! counters end-to-end rather than per-server.
+
+use std::collections::BTreeSet;
+
+use ddx::prelude::*;
+
+const NOW: u32 = 1_000_000;
+
+#[test]
+fn fixer_run_is_served_partly_from_the_answer_memo() {
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::from([ErrorCode::RrsigExpired, ErrorCode::DsDigestInvalid]),
+    };
+    let mut rep = replicate(&request, NOW, 0xA11C).unwrap();
+    let cfg = rep.probe.clone();
+
+    let run = run_fixer(&mut rep.sandbox, &cfg, &FixerOptions::default());
+    assert!(run.fixed, "final errors: {:?}", run.final_errors);
+
+    let (hits, misses) = rep.sandbox.testbed.answer_cache_stats();
+    assert!(misses > 0, "probing must populate the memo");
+    assert!(
+        hits > 0,
+        "repeat probes of unmutated zones must hit the memo (hits={hits}, misses={misses})"
+    );
+
+    // A verification probe over the fixed sandbox re-asks questions the
+    // fixer's last iteration already asked: hits keep climbing, and the
+    // memoized answers still grok clean.
+    let report = grok(&probe(&rep.sandbox.testbed, &cfg));
+    assert_eq!(report.status, SnapshotStatus::Sv);
+    let (hits_after, _) = rep.sandbox.testbed.answer_cache_stats();
+    assert!(hits_after > hits, "post-fix probe should be memo-served");
+}
+
+#[test]
+fn mutations_between_iterations_invalidate_without_flushing_everything() {
+    // An unbroken replica: the second probe of an untouched sandbox must be
+    // answered almost entirely from the memo.
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: BTreeSet::new(),
+    };
+    let rep = replicate(&request, NOW, 0xA11D).unwrap();
+    let cfg = rep.probe.clone();
+    let first = grok(&probe(&rep.sandbox.testbed, &cfg));
+    let (_, m1) = rep.sandbox.testbed.answer_cache_stats();
+    let second = grok(&probe(&rep.sandbox.testbed, &cfg));
+    let (h2, m2) = rep.sandbox.testbed.answer_cache_stats();
+    assert_eq!(first.status, second.status);
+    assert_eq!(m2, m1, "identical re-probe must add no memo misses");
+    assert!(h2 > 0);
+}

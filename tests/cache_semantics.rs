@@ -20,7 +20,11 @@ struct ShiftingNetwork<'a> {
 }
 
 impl ddx_server::Network for ShiftingNetwork<'_> {
-    fn query(&self, server: &ddx_server::ServerId, query: &ddx_dns::Message) -> Option<ddx_dns::Message> {
+    fn query(
+        &self,
+        server: &ddx_server::ServerId,
+        query: &ddx_dns::Message,
+    ) -> Option<std::sync::Arc<ddx_dns::Message>> {
         if self.use_fixed.get() {
             self.fixed.query(server, query)
         } else {

@@ -28,7 +28,11 @@ fn dfixer_auto_fixes_and_exits_zero() {
         .args(["--errors", "RrsigExpired", "--auto"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("status sb"), "{text}");
     assert!(text.contains("RrsigExpired"));
@@ -64,7 +68,11 @@ fn zreplicator_replicates_and_dumps_zones() {
         .args(["--errors", "RrsigMissing", "--dump-dir", dir_s])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("IE ⊆ GE  : true"), "{text}");
     // Six zone files (3 zones × 2 servers), each parseable master format.
@@ -84,6 +92,9 @@ fn zreplicator_fails_on_unreplicable_code() {
         .args(["--errors", "Nsec3OwnerNotBase32"])
         .output()
         .unwrap();
-    assert!(!out.status.success(), "unreplicable code must fail replication");
+    assert!(
+        !out.status.success(),
+        "unreplicable code must fail replication"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("skipped"));
 }

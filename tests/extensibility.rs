@@ -127,7 +127,9 @@ fn registrar_steps_always_manual() {
         });
         if wants_registrar {
             assert!(
-                commands.iter().any(|c| c.manual && c.note.contains("registrar")),
+                commands
+                    .iter()
+                    .any(|c| c.manual && c.note.contains("registrar")),
                 "{flavor:?}: registrar step not marked manual"
             );
         }

@@ -140,7 +140,11 @@ fn large_scale_smoke() {
     assert_eq!(sld.domains, 63_855);
     assert_eq!(sld.multi, 16_992);
     let snap_delta = (sld.snapshots as f64 - 149_491.0).abs() / 149_491.0;
-    assert!(snap_delta < 0.10, "snapshots {} off by {snap_delta:.2}", sld.snapshots);
+    assert!(
+        snap_delta < 0.10,
+        "snapshots {} off by {snap_delta:.2}",
+        sld.snapshots
+    );
 
     let prev = analysis::prevalence(&c);
     let err_share = prev.erroneous_snapshots as f64 / prev.total_snapshots as f64;
@@ -150,7 +154,11 @@ fn large_scale_smoke() {
         .iter()
         .find(|r| r.subcategory == Subcategory::NonzeroIterationCount)
         .unwrap();
-    assert!((20.0..33.0).contains(&nzic.snapshot_pct), "NZIC {}", nzic.snapshot_pct);
+    assert!(
+        (20.0..33.0).contains(&nzic.snapshot_pct),
+        "NZIC {}",
+        nzic.snapshot_pct
+    );
 
     let tm = analysis::transitions(&c);
     // The signature asymmetry at full scale: sb→sv in ~0.7h, sv→sb >100h.

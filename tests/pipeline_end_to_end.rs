@@ -17,7 +17,11 @@ fn table6_metrics_have_paper_shape() {
     };
     let summary = evaluate_corpus(&corpus, &cfg);
     let total = summary.total();
-    assert!(total.snapshots >= 100, "sample too small: {}", total.snapshots);
+    assert!(
+        total.snapshots >= 100,
+        "sample too small: {}",
+        total.snapshots
+    );
 
     // Replication-rate shape: S1 near-perfect, S2 noticeably lower,
     // total in between (paper: 98.81% / 78.71% / 90.11%).
@@ -28,7 +32,11 @@ fn table6_metrics_have_paper_shape() {
         summary.s2.rr(),
         summary.s1.rr()
     );
-    assert!(summary.s2.rr() > 0.5, "s2 rr collapsed: {}", summary.s2.rr());
+    assert!(
+        summary.s2.rr() > 0.5,
+        "s2 rr collapsed: {}",
+        summary.s2.rr()
+    );
     let rr = total.rr();
     assert!((0.75..=1.0).contains(&rr), "total rr {rr}");
 

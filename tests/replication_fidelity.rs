@@ -153,9 +153,21 @@ fn deprecated_algorithms_substituted_consistently() {
 fn algorithm_exhaustion_fails_replication() {
     let meta = ZoneMeta {
         keys: vec![
-            ddx_replicator::KeySpec { role: KeyRole::Ksk, algorithm: 8, bits: 2048 },
-            ddx_replicator::KeySpec { role: KeyRole::Ksk, algorithm: 13, bits: 256 },
-            ddx_replicator::KeySpec { role: KeyRole::Zsk, algorithm: 6, bits: 1024 },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 8,
+                bits: 2048,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Ksk,
+                algorithm: 13,
+                bits: 256,
+            },
+            ddx_replicator::KeySpec {
+                role: KeyRole::Zsk,
+                algorithm: 6,
+                bits: 1024,
+            },
         ],
         ds_digest_types: vec![2],
         nsec3: None,

@@ -16,11 +16,7 @@ fn lift_to_udp(sandbox: &Sandbox) -> (Vec<UdpServerHandle>, UdpNetwork) {
     let mut net = UdpNetwork::new();
     for zone in &sandbox.zones {
         for sid in &zone.servers {
-            let server = sandbox
-                .testbed
-                .server(sid)
-                .expect("server exists")
-                .clone();
+            let server = sandbox.testbed.server(sid).expect("server exists").clone();
             let handle = UdpServerHandle::spawn(server).expect("socket binds");
             net.add_route(&handle);
             handles.push(handle);
