@@ -18,6 +18,13 @@ pub struct EvalConfig {
     pub max_snapshots: usize,
     pub seed: u64,
     pub fixer: FixerOptions,
+    /// When set, the GE probe runs through a [`ddx_server::FaultNetwork`]
+    /// with this plan (seeded per snapshot: `plan.seed ^ snapshot seed`) —
+    /// chaos mode for resilience experiments. `None` probes the testbed
+    /// directly.
+    pub fault_plan: Option<ddx_server::FaultPlan>,
+    /// Overrides the probe retry policy for every snapshot when set.
+    pub retry: Option<ddx_dnsviz::RetryPolicy>,
 }
 
 impl Default for EvalConfig {
@@ -26,6 +33,8 @@ impl Default for EvalConfig {
             max_snapshots: 2_000,
             seed: 0xE7A1,
             fixer: FixerOptions::default(),
+            fault_plan: None,
+            retry: None,
         }
     }
 }
@@ -145,8 +154,19 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
             zone.strip_type(ddx_dns::RrType::Dnskey);
         });
     }
-    let probe_cfg = rep.probe.clone();
-    let report = grok(&probe(&rep.sandbox.testbed, &probe_cfg));
+    let mut probe_cfg = rep.probe.clone();
+    if let Some(retry) = &cfg.retry {
+        probe_cfg.retry = retry.clone();
+    }
+    let report = match &cfg.fault_plan {
+        Some(plan) => {
+            let mut plan = plan.clone();
+            plan.seed ^= seed;
+            let faulty = ddx_server::FaultNetwork::new(&rep.sandbox.testbed, plan);
+            grok(&probe(&faulty, &probe_cfg))
+        }
+        None => grok(&probe(&rep.sandbox.testbed, &probe_cfg)),
+    };
     let generated = report.codes();
     let replicated = !intended.is_empty() && intended.is_subset(&generated);
     if !replicated || generated.is_empty() {

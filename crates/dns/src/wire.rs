@@ -453,6 +453,13 @@ fn decode_rdata(
             data: slice.to_vec(),
         },
     };
+    // Every read above is bounds-checked against the message buffer, but a
+    // lying RDLENGTH could still let a field run past the declared RDATA
+    // window into the next record's bytes. Reject the overrun instead of
+    // silently mis-parsing.
+    if d.pos > end {
+        return Err(bad());
+    }
     Ok(rd)
 }
 

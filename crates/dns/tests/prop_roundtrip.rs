@@ -246,4 +246,169 @@ proptest! {
         let back = ddx_dns::parse_record_line(1, &line).expect("parse");
         prop_assert_eq!(back, rec);
     }
+
+    #[test]
+    fn corrupted_encodings_never_panic(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = wire::encode(&msg);
+        for (idx, mask) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask;
+        }
+        // Must not panic; Ok or Err are both acceptable.
+        let _ = wire::decode(&bytes);
+    }
+}
+
+// -------------------------------------------------- adversarial wire inputs
+
+/// A richly-featured response exercising compression, DNSSEC rdata, and
+/// EDNS, used as the substrate for the deterministic adversarial cases.
+fn dense_response() -> Message {
+    let mut r =
+        Message::query(0x4242, "www.sub.example.com".parse().unwrap(), RrType::A).response();
+    r.flags.aa = true;
+    r.answers.push(Record::new(
+        "www.sub.example.com".parse().unwrap(),
+        300,
+        RData::A([192, 0, 2, 7].into()),
+    ));
+    r.answers.push(Record::new(
+        "www.sub.example.com".parse().unwrap(),
+        300,
+        RData::Rrsig(Rrsig {
+            type_covered: RrType::A,
+            algorithm: 13,
+            labels: 4,
+            original_ttl: 300,
+            expiration: 5_000,
+            inception: 1_000,
+            key_tag: 4242,
+            signer_name: "sub.example.com".parse().unwrap(),
+            signature: vec![7; 64],
+        }),
+    ));
+    r.authorities.push(Record::new(
+        "sub.example.com".parse().unwrap(),
+        300,
+        RData::Nsec(Nsec {
+            next_name: "zzz.sub.example.com".parse().unwrap(),
+            type_bitmap: TypeBitmap::from_types([RrType::Soa, RrType::Ns, RrType::Dnskey]),
+        }),
+    ));
+    r.additionals.push(Record::new(
+        "ns1.example.com".parse().unwrap(),
+        3600,
+        RData::Aaaa([0x20, 0x01, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1].into()),
+    ));
+    r.edns = Some(Edns {
+        udp_size: 1232,
+        dnssec_ok: true,
+    });
+    r
+}
+
+/// Truncation at EVERY prefix length: each strict prefix must return an
+/// error — the section counts in the header promise content the buffer no
+/// longer holds — and must never panic.
+#[test]
+fn truncation_at_every_prefix_length_errs() {
+    let wire_bytes = wire::encode(&dense_response());
+    assert!(wire::decode(&wire_bytes).is_ok(), "substrate must decode");
+    for cut in 0..wire_bytes.len() {
+        assert!(
+            wire::decode(&wire_bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not decode",
+            wire_bytes.len()
+        );
+    }
+}
+
+/// Builds a 12-byte header with the given section counts.
+fn header(qd: u16, an: u16) -> Vec<u8> {
+    let mut buf = vec![0u8; 12];
+    buf[4..6].copy_from_slice(&qd.to_be_bytes());
+    buf[6..8].copy_from_slice(&an.to_be_bytes());
+    buf
+}
+
+#[test]
+fn compression_pointer_loops_rejected() {
+    // Self-pointing pointer in the question name.
+    let mut direct = header(1, 0);
+    direct.extend_from_slice(&[0xC0, 0x0C]);
+    direct.extend_from_slice(&[0, 1, 0, 1]);
+    assert_eq!(wire::decode(&direct), Err(wire::WireError::BadPointer));
+
+    // Two pointers chasing each other (12 → 14 → 12 …). The second hop is
+    // a forward reference, which the decoder rejects outright.
+    let mut cycle = header(1, 0);
+    cycle.extend_from_slice(&[0xC0, 0x0E, 0xC0, 0x0C]);
+    cycle.extend_from_slice(&[0, 1, 0, 1]);
+    assert_eq!(wire::decode(&cycle), Err(wire::WireError::BadPointer));
+
+    // A label followed by a pointer back into itself: 'a' + ptr(12) keeps
+    // re-reading the same label — the backwards-only rule breaks the cycle.
+    let mut relooped = header(1, 0);
+    relooped.extend_from_slice(&[1, b'a', 0xC0, 0x0C]);
+    relooped.extend_from_slice(&[0, 1, 0, 1]);
+    assert_eq!(wire::decode(&relooped), Err(wire::WireError::BadPointer));
+}
+
+#[test]
+fn overlong_names_rejected() {
+    // 130 one-byte labels: 260 wire bytes, past the 255-octet name cap.
+    let mut long = header(1, 0);
+    for _ in 0..130 {
+        long.extend_from_slice(&[1, b'x']);
+    }
+    long.push(0);
+    long.extend_from_slice(&[0, 1, 0, 1]);
+    assert_eq!(wire::decode(&long), Err(wire::WireError::BadName));
+
+    // A label claiming 64 bytes: the 0x40 length prefix is neither a valid
+    // label length nor a compression pointer.
+    let mut fat_label = header(1, 0);
+    fat_label.push(0x40);
+    fat_label.extend_from_slice(&[b'y'; 64]);
+    fat_label.push(0);
+    fat_label.extend_from_slice(&[0, 1, 0, 1]);
+    assert_eq!(wire::decode(&fat_label), Err(wire::WireError::BadName));
+}
+
+/// A record whose RDLENGTH under-declares its content must not silently
+/// parse fields out of the neighbouring bytes (the pre-fix decoder read an
+/// A address straight past the declared window).
+#[test]
+fn rdata_overrunning_declared_length_rejected() {
+    let mut buf = header(0, 1);
+    buf.push(0); // root owner
+    buf.extend_from_slice(&RrType::A.code().to_be_bytes());
+    buf.extend_from_slice(&[0, 1]); // class IN
+    buf.extend_from_slice(&[0, 0, 0, 60]); // ttl
+    buf.extend_from_slice(&[0, 2]); // RDLENGTH=2, but an A needs 4
+    buf.extend_from_slice(&[192, 0, 2, 1]); // 4 bytes actually present
+    assert_eq!(
+        wire::decode(&buf),
+        Err(wire::WireError::BadRdata(RrType::A.code()))
+    );
+}
+
+/// Same shape for a name-bearing RDATA: an NS whose name extends past the
+/// declared window into the following record.
+#[test]
+fn name_rdata_overrunning_declared_length_rejected() {
+    let mut buf = header(0, 1);
+    buf.push(0); // root owner
+    buf.extend_from_slice(&RrType::Ns.code().to_be_bytes());
+    buf.extend_from_slice(&[0, 1]);
+    buf.extend_from_slice(&[0, 0, 0, 60]);
+    buf.extend_from_slice(&[0, 3]); // RDLENGTH=3: cuts the name mid-label
+    buf.extend_from_slice(&[3, b'n', b's', b'1', 0]); // actual name is 5 bytes
+    assert_eq!(
+        wire::decode(&buf),
+        Err(wire::WireError::BadRdata(RrType::Ns.code()))
+    );
 }

@@ -499,6 +499,28 @@ impl ErrorCode {
         )
     }
 
+    /// True when the code asserts that something was *absent* from the
+    /// observed responses (a missing RRSIG, DNSKEY, or denial proof).
+    /// Absence evidence is only trustworthy when every server answered: if
+    /// the probe recorded observation gaps for the zone (timeouts,
+    /// truncation, unparseable responses), the record may exist and simply
+    /// never have been seen. DFixer defers these codes rather than
+    /// prescribing a fix from missing data.
+    pub fn evidence_is_absence(self) -> bool {
+        use ErrorCode::*;
+        matches!(
+            self,
+            RrsigMissing
+                | RrsigMissingFromServers
+                | RrsigMissingForDnskey
+                | DnskeyMissingForDs
+                | DnskeyMissingFromServers
+                | DnskeyInconsistentRrset
+                | NsecProofMissing
+                | Nsec3ProofMissing
+        )
+    }
+
     /// DNSViz-style identifier string.
     pub fn ident(self) -> String {
         format!("{self:?}")

@@ -171,6 +171,27 @@ pub enum ErrorDetail {
         algorithm: u8,
         scope: AlgorithmScope,
     },
+
+    // --------------------------------------------------- observability
+    // The three variants below describe *missing observations*, not
+    // observed breakage: they populate `ZoneReport::observation_gaps`, and
+    // DFixer refuses to plan around absence-evidence codes while a zone
+    // carries any of them.
+    /// A server produced no usable answer after every retry (timeouts or
+    /// REFUSED/SERVFAIL throughout).
+    ServerUnreachable { server: ServerId, attempts: u32 },
+    /// Every retry of one query came back truncated (TC bit set).
+    ResponseTruncated {
+        server: ServerId,
+        qname: Name,
+        qtype: RrType,
+    },
+    /// The response bytes never parsed as a DNS message.
+    MalformedResponse {
+        server: ServerId,
+        qname: Name,
+        qtype: RrType,
+    },
 }
 
 impl Default for ErrorDetail {
@@ -358,6 +379,29 @@ impl fmt::Display for ErrorDetail {
                     "servers prove different closest enclosers: {ancestors:?}"
                 )
             }
+            ServerUnreachable { server, attempts } => write!(
+                f,
+                "server {} gave no usable answer after {attempts} attempts",
+                server.0
+            ),
+            ResponseTruncated {
+                server,
+                qname,
+                qtype,
+            } => write!(
+                f,
+                "server {} answer for {qname} {qtype} truncated on every retry",
+                server.0
+            ),
+            MalformedResponse {
+                server,
+                qname,
+                qtype,
+            } => write!(
+                f,
+                "server {} answer for {qname} {qtype} did not parse",
+                server.0
+            ),
             AlgorithmUnused { algorithm, scope } => match scope {
                 AlgorithmScope::Dnskey => {
                     write!(f, "DNSKEY algorithm {algorithm} signs no RRset")

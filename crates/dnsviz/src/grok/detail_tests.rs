@@ -289,6 +289,29 @@ fn every_variant_round_trips_and_renders_legacy_text() {
             },
             "RRSIG algorithm 8 has no DNSKEY",
         ),
+        (
+            ErrorDetail::ServerUnreachable {
+                server: ServerId("par.a.com#1".to_string()),
+                attempts: 3,
+            },
+            "server par.a.com#1 gave no usable answer after 3 attempts",
+        ),
+        (
+            ErrorDetail::ResponseTruncated {
+                server: ServerId("par.a.com#1".to_string()),
+                qname: name("www.a.com"),
+                qtype: RrType::Dnskey,
+            },
+            "server par.a.com#1 answer for www.a.com. DNSKEY truncated on every retry",
+        ),
+        (
+            ErrorDetail::MalformedResponse {
+                server: ServerId("par.a.com#1".to_string()),
+                qname: name("www.a.com"),
+                qtype: RrType::A,
+            },
+            "server par.a.com#1 answer for www.a.com. A did not parse",
+        ),
     ];
     for (detail, expected) in &cases {
         assert_eq!(&roundtrip(detail), detail, "round-trip of {detail:?}");

@@ -79,6 +79,14 @@ pub struct ZoneReport {
     /// (paper §3.1 excludes SHOULD-level warnings).
     #[serde(default)]
     pub warnings: Vec<WarningCode>,
+    /// What the probe could *not* observe about this zone (unreachable
+    /// servers, truncated or malformed answers). Gaps are not errors — a
+    /// zone with gaps may be perfectly healthy — but any error whose
+    /// evidence is the *absence* of data is untrustworthy while the zone
+    /// has gaps, and DFixer defers such causes rather than prescribing
+    /// changes from missing data.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub observation_gaps: Vec<ErrorDetail>,
 }
 
 /// The full grok output for one snapshot.
@@ -113,6 +121,19 @@ impl GrokReport {
     /// True when no DNSSEC error was found anywhere.
     pub fn clean(&self) -> bool {
         self.zones.iter().all(|z| z.errors.is_empty())
+    }
+
+    /// All observation gaps, chain order, with the zone they belong to.
+    pub fn observation_gaps(&self) -> impl Iterator<Item = (&Name, &ErrorDetail)> {
+        self.zones
+            .iter()
+            .flat_map(|z| z.observation_gaps.iter().map(move |g| (&z.zone, g)))
+    }
+
+    /// True when every query of the walk produced a usable observation —
+    /// the precondition for trusting absence-evidence error codes.
+    pub fn fully_observed(&self) -> bool {
+        self.zones.iter().all(|z| z.observation_gaps.is_empty())
     }
 
     /// Serialized report, like the JSON files the paper's pipeline parses.
@@ -157,6 +178,9 @@ impl GrokReport {
             }
             for w in &z.warnings {
                 let _ = writeln!(out, "    W  {}: {}", w, w.message());
+            }
+            for g in &z.observation_gaps {
+                let _ = writeln!(out, "    ?  unobserved: {g}");
             }
             if z.errors.is_empty() && z.warnings.is_empty() {
                 let _ = writeln!(out, "    ok");
@@ -320,6 +344,7 @@ pub fn grok(probe: &ProbeResult) -> GrokReport {
             is_anchor: zp.parent.is_none(),
             errors: za.errors,
             warnings,
+            observation_gaps: collect_observation_gaps(zp),
         });
     }
 
@@ -330,6 +355,46 @@ pub fn grok(probe: &ProbeResult) -> GrokReport {
         status,
         zones: zone_reports,
     }
+}
+
+/// Translates the probe's retry-exhausted queries into typed gaps: one
+/// [`ErrorDetail::ServerUnreachable`] per server that never answered
+/// usably (timeouts / REFUSED), plus one entry per truncated or malformed
+/// query. Deduplicated, probe order.
+fn collect_observation_gaps(zp: &ZoneProbe) -> Vec<ErrorDetail> {
+    use crate::probe::{FailureKind, QueryFailure};
+    let mut gaps: Vec<ErrorDetail> = Vec::new();
+    let mut push =
+        |gaps: &mut Vec<ErrorDetail>, server: &ddx_server::ServerId, f: &QueryFailure| {
+            let gap = match f.kind {
+                FailureKind::Timeout | FailureKind::Refused => ErrorDetail::ServerUnreachable {
+                    server: server.clone(),
+                    attempts: f.attempts,
+                },
+                FailureKind::Truncated => ErrorDetail::ResponseTruncated {
+                    server: server.clone(),
+                    qname: f.qname.clone(),
+                    qtype: f.qtype,
+                },
+                FailureKind::Malformed => ErrorDetail::MalformedResponse {
+                    server: server.clone(),
+                    qname: f.qname.clone(),
+                    qtype: f.qtype,
+                },
+            };
+            if !gaps.contains(&gap) {
+                gaps.push(gap);
+            }
+        };
+    for sp in &zp.servers {
+        for f in &sp.failures {
+            push(&mut gaps, &sp.server, f);
+        }
+    }
+    for (server, f) in &zp.lookup_failures {
+        push(&mut gaps, server, f);
+    }
+    gaps
 }
 
 fn collect_dnskeys(zp: &ZoneProbe) -> Vec<Dnskey> {

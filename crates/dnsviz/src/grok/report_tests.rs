@@ -29,6 +29,7 @@ fn run_with_query(sb: &Sandbox, query: &str) -> GrokReport {
         query_domain: name(query),
         target_types: vec![RrType::A],
         time: NOW,
+        retry: crate::probe::RetryPolicy::default(),
         hints: sb
             .zones
             .iter()

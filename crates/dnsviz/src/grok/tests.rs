@@ -32,6 +32,7 @@ fn cfg_for(sb: &Sandbox) -> ProbeConfig {
         query_domain: sb.leaf().apex.child("www").unwrap(),
         target_types: vec![RrType::A],
         time: NOW,
+        retry: crate::probe::RetryPolicy::default(),
         hints: sb
             .zones
             .iter()
@@ -436,6 +437,7 @@ mod warnings {
             query_domain: sb.leaf().apex.child("www").unwrap(),
             target_types: vec![RrType::A],
             time: NOW,
+            retry: crate::probe::RetryPolicy::default(),
             hints: sb
                 .zones
                 .iter()

@@ -18,7 +18,10 @@ pub use ede::{ede_for, Ede};
 pub use grok::{
     grok, AlgorithmScope, DsProblem, ErrorDetail, ErrorInstance, GrokReport, ZoneReport,
 };
-pub use probe::{probe, ProbeConfig, ProbeResult, ServerProbe, ZoneProbe, NX_PROBE_LABEL};
+pub use probe::{
+    probe, FailureKind, ProbeConfig, ProbeResult, QueryFailure, RetryPolicy, ServerHealth,
+    ServerProbe, ZoneProbe, NX_PROBE_LABEL,
+};
 pub use resolver::{
     resolve_validating, Nsec3IterationPolicy, Resolution, ResolverConfig, ValidationState,
 };

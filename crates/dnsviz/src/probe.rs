@@ -3,10 +3,11 @@
 //! authoritative server of every zone cut for its DNSSEC material, negative
 //! responses, and (at the query zone) the target RRsets.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use ddx_dns::{Dnskey, Message, Name, RData, RrType};
-use ddx_server::{Network, ServerId};
+use ddx_dns::{Dnskey, Message, Name, RData, Rcode, RrType};
+use ddx_server::{Network, QueryOutcome, ServerId};
 
 /// The label probed to elicit an NXDOMAIN (DNSViz queries random
 /// non-existent sub-labels; ours is fixed and reserved — nothing in the
@@ -19,6 +20,64 @@ pub const NX_PROBE_LABEL_HI: &str = "zzz-dnsviz-nx-probe";
 
 /// Private-use RR type queried to elicit a NODATA at an existing name.
 pub const NODATA_PROBE_TYPE: RrType = RrType::Unknown(65280);
+
+/// How hard the prober tries before declaring a query unobservable.
+///
+/// Backoff is expressed in *virtual* milliseconds — an accumulated counter
+/// reported on the [`ProbeResult`], never a real sleep — so probing stays
+/// deterministic and instant regardless of the fault mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per (server, query); clamped to at least 1.
+    pub attempts: u32,
+    /// Virtual backoff before retry `k` (1-based): `backoff_base_ms << (k-1)`.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff_base_ms: 100,
+        }
+    }
+}
+
+/// Why a query ultimately failed after every retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every attempt timed out.
+    Timeout,
+    /// Every attempt came back with the TC bit set.
+    Truncated,
+    /// Every attempt produced bytes that did not parse.
+    Malformed,
+    /// Every attempt was answered REFUSED or SERVFAIL (the response itself
+    /// is still recorded as the observation, but it carries no zone data).
+    Refused,
+}
+
+/// One query that exhausted its retries — the typed record of "could not
+/// observe" that replaces the old silent `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFailure {
+    pub qname: Name,
+    pub qtype: RrType,
+    pub kind: FailureKind,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+/// Per-server attempt counters accumulated over one probe walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerHealth {
+    pub sent: u32,
+    pub ok: u32,
+    pub timeouts: u32,
+    pub truncated: u32,
+    pub malformed: u32,
+    pub refused: u32,
+}
 
 /// What to probe.
 #[derive(Debug, Clone)]
@@ -38,6 +97,8 @@ pub struct ProbeConfig {
     /// on the path, the prober contacts its servers directly — this is how
     /// an *incomplete delegation* (`ic`) becomes observable.
     pub hints: Vec<(Name, Vec<ServerId>)>,
+    /// Retry/backoff policy applied to every query of the walk.
+    pub retry: RetryPolicy,
 }
 
 /// Everything one authoritative server said about one zone.
@@ -60,6 +121,9 @@ pub struct ServerProbe {
     pub nsec3param: Option<Arc<Message>>,
     /// Target answers; populated only at the query zone.
     pub answers: Vec<(RrType, Option<Arc<Message>>)>,
+    /// Queries that exhausted their retries against this server — the
+    /// typed record distinguishing "couldn't observe" from "nothing there".
+    pub failures: Vec<QueryFailure>,
 }
 
 impl ServerProbe {
@@ -92,6 +156,9 @@ pub struct ZoneProbe {
     /// delegation NS) and it was only reachable via a hint — the paper's
     /// `ic` (incomplete) condition.
     pub orphaned: bool,
+    /// Delegation-walk queries (referral lookups toward this zone's cut,
+    /// DS queries at the parent) that exhausted their retries.
+    pub lookup_failures: Vec<(ServerId, QueryFailure)>,
 }
 
 impl ZoneProbe {
@@ -109,6 +176,10 @@ pub struct ProbeResult {
     pub time: u32,
     /// Zone cuts, anchor first, query zone last.
     pub zones: Vec<ZoneProbe>,
+    /// Per-server health counters, sorted by server id.
+    pub health: Vec<(ServerId, ServerHealth)>,
+    /// Virtual milliseconds the walk took (per-query cost plus backoff).
+    pub virtual_ms: u64,
 }
 
 impl ProbeResult {
@@ -118,90 +189,187 @@ impl ProbeResult {
     }
 }
 
-fn ask(
-    net: &dyn Network,
-    server: &ServerId,
-    id: u16,
-    qname: &Name,
-    qtype: RrType,
-) -> Option<Arc<Message>> {
-    net.query(server, &Message::query(id, qname.clone(), qtype))
+/// The walk's query engine: wraps the network with the retry/backoff
+/// policy, tracks per-server health, and accumulates virtual time.
+struct Prober<'a> {
+    net: &'a dyn Network,
+    retry: RetryPolicy,
+    health: BTreeMap<ServerId, ServerHealth>,
+    virtual_ms: u64,
 }
 
-/// Probes one server for one zone's material.
-fn probe_server(
-    net: &dyn Network,
-    server: &ServerId,
-    zone: &Name,
-    targets: Option<(&Name, &[RrType])>,
-) -> ServerProbe {
-    let soa = ask(net, server, 1, zone, RrType::Soa);
-    let ns = ask(net, server, 2, zone, RrType::Ns);
-    let dnskey = ask(net, server, 3, zone, RrType::Dnskey);
-    // Zone names come off the wire (referrals), so one near the 255-octet
-    // limit may not take another label; such zones just skip the denial
-    // probes instead of panicking.
-    let nxdomain = zone
-        .child(NX_PROBE_LABEL)
-        .ok()
-        .and_then(|nx| ask(net, server, 4, &nx, RrType::A));
-    let nxdomain_hi = zone
-        .child(NX_PROBE_LABEL_HI)
-        .ok()
-        .and_then(|nx| ask(net, server, 9, &nx, RrType::A));
-    let nodata = ask(net, server, 5, zone, NODATA_PROBE_TYPE);
-    let nsec3param = ask(net, server, 8, zone, RrType::Nsec3Param);
-    let mut answers = Vec::new();
-    if let Some((qname, types)) = targets {
-        for (i, t) in types.iter().enumerate() {
-            answers.push((*t, ask(net, server, 10 + i as u16, qname, *t)));
+/// Virtual cost of one query round-trip (ms).
+const QUERY_COST_MS: u64 = 10;
+
+impl<'a> Prober<'a> {
+    fn new(net: &'a dyn Network, retry: RetryPolicy) -> Self {
+        Prober {
+            net,
+            retry,
+            health: BTreeMap::new(),
+            virtual_ms: 0,
         }
     }
-    let responsive =
-        soa.is_some() || ns.is_some() || dnskey.is_some() || nxdomain.is_some() || nodata.is_some();
-    ServerProbe {
-        server: server.clone(),
-        responsive,
-        soa,
-        ns,
-        dnskey,
-        nxdomain,
-        nxdomain_hi,
-        nodata,
-        nsec3param,
-        answers,
-    }
-}
 
-/// Finds the next delegation cut between `zone` and `qname` by asking the
-/// zone's servers for the query domain and reading the referral.
-fn next_cut(
-    net: &dyn Network,
-    servers: &[ServerId],
-    qname: &Name,
-    zone: &Name,
-) -> Option<(Name, Vec<Name>)> {
-    for server in servers {
-        let Some(resp) = ask(net, server, 6, qname, RrType::A) else {
-            continue;
-        };
-        // A referral: NS records in authority owned by a strict descendant
-        // of the current zone (and ancestor-or-self of qname).
-        let mut cut: Option<Name> = None;
-        let mut ns_names = Vec::new();
-        for rec in &resp.authorities {
-            if let RData::Ns(host) = &rec.rdata {
-                if rec.name.is_strict_subdomain_of(zone) && qname.is_subdomain_of(&rec.name) {
-                    cut = Some(rec.name.clone());
-                    ns_names.push(host.clone());
+    /// One question with retries. A retry fires on timeout, truncation,
+    /// malformed bytes, and REFUSED/SERVFAIL (all of which a fault layer
+    /// may make transient); a retry-exhausted query is recorded in
+    /// `failures` instead of silently vanishing. For [`FailureKind::Refused`]
+    /// the last response is still returned — it is a real observation, just
+    /// one carrying no zone data.
+    fn ask(
+        &mut self,
+        server: &ServerId,
+        id: u16,
+        qname: &Name,
+        qtype: RrType,
+        failures: &mut Vec<QueryFailure>,
+    ) -> Option<Arc<Message>> {
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<(FailureKind, Option<Arc<Message>>)> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Exponential backoff, in virtual time only.
+                self.virtual_ms += self.retry.backoff_base_ms << (attempt - 1);
+            }
+            self.virtual_ms += QUERY_COST_MS;
+            let outcome = self
+                .net
+                .query_outcome(server, &Message::query(id, qname.clone(), qtype));
+            let health = self.health.entry(server.clone()).or_default();
+            health.sent += 1;
+            match outcome {
+                QueryOutcome::Answer(m) if m.flags.tc => {
+                    health.truncated += 1;
+                    last = Some((FailureKind::Truncated, None));
+                }
+                QueryOutcome::Answer(m) if matches!(m.rcode, Rcode::Refused | Rcode::ServFail) => {
+                    health.refused += 1;
+                    last = Some((FailureKind::Refused, Some(m)));
+                }
+                QueryOutcome::Answer(m) => {
+                    health.ok += 1;
+                    return Some(m);
+                }
+                QueryOutcome::Timeout => {
+                    health.timeouts += 1;
+                    last = Some((FailureKind::Timeout, None));
+                }
+                QueryOutcome::Malformed => {
+                    health.malformed += 1;
+                    last = Some((FailureKind::Malformed, None));
                 }
             }
         }
-        if let Some(cut) = cut {
-            return Some((cut, ns_names));
+        let (kind, result) = last.expect("attempts >= 1, so at least one outcome was recorded");
+        ddx_dns::trace_event!(
+            target: "dnsviz::probe",
+            "query failed",
+            server = server.0,
+            qname = qname,
+            qtype = qtype,
+            kind = format!("{kind:?}"),
+            attempts = attempts,
+        );
+        failures.push(QueryFailure {
+            qname: qname.clone(),
+            qtype,
+            kind,
+            attempts,
+        });
+        result
+    }
+
+    /// Probes one server for one zone's material.
+    fn probe_server(
+        &mut self,
+        server: &ServerId,
+        zone: &Name,
+        targets: Option<(&Name, &[RrType])>,
+    ) -> ServerProbe {
+        let mut failures = Vec::new();
+        let soa = self.ask(server, 1, zone, RrType::Soa, &mut failures);
+        let ns = self.ask(server, 2, zone, RrType::Ns, &mut failures);
+        let dnskey = self.ask(server, 3, zone, RrType::Dnskey, &mut failures);
+        // Zone names come off the wire (referrals), so one near the 255-octet
+        // limit may not take another label; such zones just skip the denial
+        // probes instead of panicking.
+        let nxdomain = zone
+            .child(NX_PROBE_LABEL)
+            .ok()
+            .and_then(|nx| self.ask(server, 4, &nx, RrType::A, &mut failures));
+        let nxdomain_hi = zone
+            .child(NX_PROBE_LABEL_HI)
+            .ok()
+            .and_then(|nx| self.ask(server, 9, &nx, RrType::A, &mut failures));
+        let nodata = self.ask(server, 5, zone, NODATA_PROBE_TYPE, &mut failures);
+        let nsec3param = self.ask(server, 8, zone, RrType::Nsec3Param, &mut failures);
+        let mut answers = Vec::new();
+        if let Some((qname, types)) = targets {
+            for (i, t) in types.iter().enumerate() {
+                answers.push((
+                    *t,
+                    self.ask(server, 10 + i as u16, qname, *t, &mut failures),
+                ));
+            }
+        }
+        let responsive = soa.is_some()
+            || ns.is_some()
+            || dnskey.is_some()
+            || nxdomain.is_some()
+            || nodata.is_some();
+        ServerProbe {
+            server: server.clone(),
+            responsive,
+            soa,
+            ns,
+            dnskey,
+            nxdomain,
+            nxdomain_hi,
+            nodata,
+            nsec3param,
+            answers,
+            failures,
         }
     }
-    None
+
+    /// Finds the next delegation cut between `zone` and `qname` by asking
+    /// the zone's servers for the query domain and reading the referral.
+    /// Lookup failures land in `lookup_failures`, attributed per server.
+    fn next_cut(
+        &mut self,
+        servers: &[ServerId],
+        qname: &Name,
+        zone: &Name,
+        lookup_failures: &mut Vec<(ServerId, QueryFailure)>,
+    ) -> Option<(Name, Vec<Name>)> {
+        for server in servers {
+            let mut failures = Vec::new();
+            let resp = self.ask(server, 6, qname, RrType::A, &mut failures);
+            for f in failures {
+                lookup_failures.push((server.clone(), f));
+            }
+            let Some(resp) = resp else {
+                continue;
+            };
+            // A referral: NS records in authority owned by a strict descendant
+            // of the current zone (and ancestor-or-self of qname).
+            let mut cut: Option<Name> = None;
+            let mut ns_names = Vec::new();
+            for rec in &resp.authorities {
+                if let RData::Ns(host) = &rec.rdata {
+                    if rec.name.is_strict_subdomain_of(zone) && qname.is_subdomain_of(&rec.name) {
+                        cut = Some(rec.name.clone());
+                        ns_names.push(host.clone());
+                    }
+                }
+            }
+            if let Some(cut) = cut {
+                return Some((cut, ns_names));
+            }
+        }
+        None
+    }
 }
 
 /// Runs the full probe walk.
@@ -213,6 +381,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         query_domain = cfg.query_domain,
         anchor = cfg.anchor_zone,
     );
+    let mut prober = Prober::new(net, cfg.retry.clone());
     let mut zones = Vec::new();
     let mut zone = cfg.anchor_zone.clone();
     let mut servers = cfg.anchor_servers.clone();
@@ -220,10 +389,14 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
     let mut delegation_ns: Vec<Name> = Vec::new();
     let mut unresolved: Vec<Name> = Vec::new();
     let mut ds_responses: Vec<(ServerId, Option<Arc<Message>>)> = Vec::new();
+    // Failures of the DS queries feeding `ds_responses`: gathered at the
+    // parent, recorded on the child's zone probe one lap later.
+    let mut ds_failures: Vec<(ServerId, QueryFailure)> = Vec::new();
 
     for _depth in 0..16 {
         // Is this the query zone (no further cut toward the target)?
-        let cut = next_cut(net, &servers, &cfg.query_domain, &zone);
+        let mut lookup_failures = std::mem::take(&mut ds_failures);
+        let cut = prober.next_cut(&servers, &cfg.query_domain, &zone, &mut lookup_failures);
         let is_query_zone = cut.is_none();
         let targets = if is_query_zone {
             Some((&cfg.query_domain, &cfg.target_types[..]))
@@ -232,7 +405,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         };
         let server_probes: Vec<ServerProbe> = servers
             .iter()
-            .map(|s| probe_server(net, s, &zone, targets))
+            .map(|s| prober.probe_server(s, &zone, targets))
             .collect();
         ddx_dns::trace_event!(
             target: "dnsviz::probe",
@@ -251,6 +424,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             ds_responses: std::mem::take(&mut ds_responses),
             servers: server_probes,
             orphaned: false,
+            lookup_failures,
         });
 
         let Some((cut, ns_names)) = cut else {
@@ -259,7 +433,14 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         // Gather DS for the child from every parent server.
         ds_responses = servers
             .iter()
-            .map(|s| (s.clone(), ask(net, s, 7, &cut, RrType::Ds)))
+            .map(|s| {
+                let mut failures = Vec::new();
+                let resp = prober.ask(s, 7, &cut, RrType::Ds, &mut failures);
+                for f in failures {
+                    ds_failures.push((s.clone(), f));
+                }
+                (s.clone(), resp)
+            })
             .collect();
         // Resolve the child's nameservers.
         let mut next_servers = Vec::new();
@@ -286,6 +467,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
                 ds_responses,
                 servers: Vec::new(),
                 orphaned: false,
+                lookup_failures: std::mem::take(&mut ds_failures),
             });
             break;
         }
@@ -318,7 +500,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             };
             let server_probes: Vec<ServerProbe> = hint_servers
                 .iter()
-                .map(|s| probe_server(net, s, z, targets))
+                .map(|s| prober.probe_server(s, z, targets))
                 .collect();
             ddx_dns::trace_event!(
                 target: "dnsviz::probe",
@@ -334,6 +516,7 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
                 ds_responses: Vec::new(),
                 servers: server_probes,
                 orphaned: true,
+                lookup_failures: Vec::new(),
             });
         }
     }
@@ -342,6 +525,8 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         query_domain: cfg.query_domain.clone(),
         time: cfg.time,
         zones,
+        health: prober.health.into_iter().collect(),
+        virtual_ms: prober.virtual_ms,
     }
 }
 
@@ -469,6 +654,7 @@ mod tests {
             target_types: vec![RrType::A],
             time: NOW,
             hints: vec![(name("par.a.com"), vec![ServerId("par.a.com#0".into())])],
+            retry: RetryPolicy::default(),
         };
         (tb, cfg)
     }
@@ -529,5 +715,101 @@ mod tests {
         let result = probe(&tb, &cfg);
         assert_eq!(result.zones.len(), 1);
         assert!(!result.zones[0].servers[0].answers.is_empty());
+    }
+
+    #[test]
+    fn clean_walk_has_no_failures_and_healthy_servers() {
+        let (tb, cfg) = build_testbed();
+        let result = probe(&tb, &cfg);
+        for zp in &result.zones {
+            assert!(zp.lookup_failures.is_empty());
+            for sp in &zp.servers {
+                assert!(sp.failures.is_empty(), "{:?}", sp.failures);
+            }
+        }
+        assert!(!result.health.is_empty());
+        for (_, h) in &result.health {
+            assert_eq!(h.sent, h.ok, "clean network: every attempt succeeds");
+            assert_eq!(h.timeouts + h.truncated + h.malformed + h.refused, 0);
+        }
+    }
+
+    #[test]
+    fn retry_heals_transient_timeouts() {
+        use ddx_server::{FaultNetwork, FaultPlan};
+        let (tb, cfg) = build_testbed();
+        // Every first attempt times out; the second is served clean. With
+        // attempts=3 the walk must converge to the fault-free observation.
+        let plan = FaultPlan {
+            timeout_permille: 1000,
+            max_faulty_attempts: Some(1),
+            ..FaultPlan::none(0x7E57)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let faulty = probe(&net, &cfg);
+        let clean = probe(&tb, &cfg);
+        assert_eq!(faulty.zones.len(), clean.zones.len());
+        for (fz, cz) in faulty.zones.iter().zip(&clean.zones) {
+            assert_eq!(fz.zone, cz.zone);
+            for (fs, cs) in fz.servers.iter().zip(&cz.servers) {
+                assert!(fs.responsive);
+                assert!(fs.failures.is_empty(), "healed: {:?}", fs.failures);
+                assert_eq!(
+                    fs.soa.as_deref().map(ddx_dns::wire::encode),
+                    cs.soa.as_deref().map(ddx_dns::wire::encode)
+                );
+            }
+        }
+        // Health still remembers the transient trouble.
+        assert!(faulty.health.iter().any(|(_, h)| h.timeouts > 0));
+        assert!(faulty.virtual_ms > clean.virtual_ms, "backoff takes time");
+    }
+
+    #[test]
+    fn persistent_timeout_recorded_as_typed_failure() {
+        use ddx_server::{FaultNetwork, FaultPlan};
+        let (tb, cfg) = build_testbed();
+        let child = ServerId("par.a.com#0".into());
+        let plan = FaultPlan {
+            timeout_permille: 1000,
+            only_server: Some(child.clone()),
+            ..FaultPlan::none(1)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let result = probe(&net, &cfg);
+        let qz = result.query_zone().unwrap();
+        let sp = qz.servers.iter().find(|s| s.server == child).unwrap();
+        assert!(!sp.responsive);
+        assert!(!sp.failures.is_empty());
+        assert!(sp
+            .failures
+            .iter()
+            .all(|f| f.kind == FailureKind::Timeout && f.attempts == cfg.retry.attempts));
+        // The walk's referral lookups toward the child also failed and are
+        // attributed, not dropped.
+        assert!(result
+            .zones
+            .iter()
+            .flat_map(|z| &z.lookup_failures)
+            .any(|(sid, f)| *sid == child && f.kind == FailureKind::Timeout));
+    }
+
+    #[test]
+    fn persistent_truncation_recorded_as_typed_failure() {
+        use ddx_server::{FaultNetwork, FaultPlan};
+        let (tb, cfg) = build_testbed();
+        let plan = FaultPlan {
+            truncate_permille: 1000,
+            ..FaultPlan::none(2)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let result = probe(&net, &cfg);
+        let failures: Vec<&QueryFailure> = result
+            .zones
+            .iter()
+            .flat_map(|z| z.servers.iter().flat_map(|s| &s.failures))
+            .collect();
+        assert!(!failures.is_empty());
+        assert!(failures.iter().all(|f| f.kind == FailureKind::Truncated));
     }
 }

@@ -75,6 +75,7 @@ pub fn resolve_validating(
         query_domain: qname.clone(),
         target_types: vec![qtype],
         time: now,
+        retry: crate::probe::RetryPolicy::default(),
         hints: cfg.hints.clone(),
     };
     let result = probe(net, &probe_cfg);

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use ddx_dns::{name, RrType};
 use ddx_dnssec::{resign_rrset, KeyRole, Nsec3Config, SignOptions};
 use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus};
-use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+use ddx_server::{build_sandbox, FaultNetwork, FaultPlan, Sandbox, ZoneSpec};
 
 const NOW: u32 = 1_000_000;
 const SEED: u64 = 0x601D;
@@ -31,6 +31,7 @@ fn probe_cfg(sb: &Sandbox) -> ProbeConfig {
         query_domain: name("www.chd.par.a.com"),
         target_types: vec![RrType::A],
         time: NOW,
+        retry: ddx_dnsviz::RetryPolicy::default(),
         hints: sb
             .zones
             .iter()
@@ -54,7 +55,7 @@ fn three_level(leaf_nsec3: Option<Nsec3Config>) -> Sandbox {
 }
 
 /// NSEC sandbox whose leaf `www` RRSIG expired five seconds ago.
-fn nsec_report() -> GrokReport {
+fn expired_sig_sandbox() -> Sandbox {
     let mut sb = three_level(None);
     let apex = name("chd.par.a.com");
     let zsk = sb
@@ -76,8 +77,29 @@ fn nsec_report() -> GrokReport {
             },
         );
     });
+    sb
+}
+
+fn nsec_report() -> GrokReport {
+    let sb = expired_sig_sandbox();
     let cfg = probe_cfg(&sb);
     grok(&probe(&sb.testbed, &cfg))
+}
+
+/// The expired-sig sandbox probed with one leaf server persistently dead:
+/// the report carries both the real error and typed observation gaps, so
+/// this golden pins the `observation_gaps` JSON shape.
+fn gapped_report() -> GrokReport {
+    let sb = expired_sig_sandbox();
+    let dead = sb.leaf().servers[0].clone();
+    let plan = FaultPlan {
+        timeout_permille: 1000,
+        only_server: Some(dead),
+        ..FaultPlan::none(SEED)
+    };
+    let net = FaultNetwork::new(&sb.testbed, plan);
+    let cfg = probe_cfg(&sb);
+    grok(&probe(&net, &cfg))
 }
 
 /// NSEC3 sandbox whose leaf violates RFC 9276 (ten extra iterations).
@@ -153,10 +175,29 @@ fn nsec3_erroneous_report_matches_golden() {
     );
 }
 
+/// A report probed through a persistent fault must pin the
+/// `observation_gaps` shape alongside the real error, and round-trip
+/// through JSON with the gaps intact.
+#[test]
+fn observation_gap_report_matches_golden() {
+    let report = gapped_report();
+    assert!(
+        !report.fully_observed(),
+        "a dead leaf server must leave observation gaps"
+    );
+    let parsed = GrokReport::from_json(&report.to_json()).expect("gap report parses back");
+    assert!(
+        !parsed.fully_observed(),
+        "observation gaps must survive the JSON round-trip"
+    );
+    check_golden("nsec_observation_gaps", &report, ErrorCode::RrsigExpired);
+}
+
 /// The probe→grok path is deterministic for a fixed seed and clock — the
 /// precondition for golden comparison to be meaningful across machines.
 #[test]
 fn reports_are_deterministic() {
     assert_eq!(nsec_report().to_json(), nsec_report().to_json());
     assert_eq!(nsec3_report().to_json(), nsec3_report().to_json());
+    assert_eq!(gapped_report().to_json(), gapped_report().to_json());
 }

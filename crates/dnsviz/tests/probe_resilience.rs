@@ -1,0 +1,285 @@
+//! Seed-swept chaos harness for the probe→grok pipeline.
+//!
+//! Every seed derives a deterministic fault mix; the full zone-variant
+//! corpus is probed through a [`FaultNetwork`] under that mix and the
+//! pipeline must never panic. Each failing seed is reported as a one-line
+//! repro command, and a single seed/variant can be replayed via the
+//! `CHAOS_SEED` / `CHAOS_VARIANT` environment variables:
+//!
+//! ```text
+//! CHAOS_SEED=17 CHAOS_VARIANT=nsec3 \
+//!     cargo test -q -p ddx-dnsviz --test probe_resilience -- seed_sweep
+//! ```
+//!
+//! `CHAOS_SEEDS=<n>` caps the sweep (CI smoke runs use a small fixed set).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use ddx_dns::{name, Name, RData, RrType};
+use ddx_dnssec::Nsec3Config;
+use ddx_dnsviz::{grok, probe, ErrorDetail, GrokReport, ProbeConfig, RetryPolicy};
+use ddx_server::{build_sandbox, FaultNetwork, FaultPlan, FlapSchedule, Sandbox, ZoneSpec};
+
+const NOW: u32 = 1_000_000;
+const SANDBOX_SEED: u64 = 0xC7A0;
+const QUERY_DOMAIN: &str = "www.chd.par.a.com";
+const LEAF_APEX: &str = "chd.par.a.com";
+
+/// Builds one three-level sandbox (anchor → par → leaf) with the given leaf
+/// spec tweaks and post-build zone mutation.
+fn sandbox(tweak: impl FnOnce(&mut ZoneSpec), mutate: impl FnOnce(&mut Sandbox)) -> Sandbox {
+    let mut leaf = ZoneSpec::conventional(name(LEAF_APEX));
+    tweak(&mut leaf);
+    let mut sb = build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+            leaf,
+        ],
+        NOW,
+        SANDBOX_SEED,
+    );
+    mutate(&mut sb);
+    sb
+}
+
+/// The zone-variant corpus: well-signed NSEC/NSEC3 shapes plus post-signing
+/// breakage, mirroring the server-side query-equivalence variants.
+fn variants() -> &'static Vec<(&'static str, Sandbox)> {
+    static VARIANTS: OnceLock<Vec<(&'static str, Sandbox)>> = OnceLock::new();
+    VARIANTS.get_or_init(|| {
+        vec![
+            ("nsec", sandbox(|_| {}, |_| {})),
+            ("nsec-wildcard", sandbox(|s| s.wildcard = true, |_| {})),
+            (
+                "nsec3",
+                sandbox(|s| s.nsec3 = Some(Nsec3Config::default()), |_| {}),
+            ),
+            (
+                "nsec3-optout-wildcard",
+                sandbox(
+                    |s| {
+                        s.nsec3 = Some(Nsec3Config {
+                            opt_out: true,
+                            ..Nsec3Config::default()
+                        });
+                        s.wildcard = true;
+                    },
+                    |_| {},
+                ),
+            ),
+            (
+                "nsec-broken-chain",
+                sandbox(
+                    |_| {},
+                    |sb| {
+                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+                            z.remove(&name(QUERY_DOMAIN), RrType::Nsec);
+                        });
+                    },
+                ),
+            ),
+            (
+                "nsec-corrupt-next",
+                sandbox(
+                    |_| {},
+                    |sb| {
+                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+                            if let Some(set) = z.get_mut(&name(LEAF_APEX), RrType::Nsec) {
+                                for rdata in &mut set.rdatas {
+                                    if let RData::Nsec(n) = rdata {
+                                        n.next_name = name("zzz.outside.test");
+                                    }
+                                }
+                            }
+                        });
+                    },
+                ),
+            ),
+            (
+                "nsec3-stripped-sigs",
+                sandbox(
+                    |s| s.nsec3 = Some(Nsec3Config::default()),
+                    |sb| {
+                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+                            z.strip_type(RrType::Rrsig);
+                        });
+                    },
+                ),
+            ),
+            ("no-ds", sandbox(|s| s.publish_ds = false, |_| {})),
+        ]
+    })
+}
+
+fn probe_cfg(sb: &Sandbox) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name(QUERY_DOMAIN),
+        target_types: vec![RrType::A],
+        time: NOW,
+        retry: RetryPolicy::default(),
+        hints: sb
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+/// The deterministic fault mix for one sweep seed: rate, flap, and healing
+/// horizon all derive from the seed so the sweep covers persistent faults,
+/// transient faults, and flapping servers.
+fn plan_for(seed: u64) -> FaultPlan {
+    let permille = 40 + (seed % 7) as u16 * 20;
+    let mut plan = FaultPlan::uniform(seed, permille);
+    if seed % 3 == 0 {
+        plan.flap = Some(FlapSchedule {
+            period_ms: 200,
+            down_ms: 60,
+        });
+    }
+    if seed % 4 == 1 {
+        plan.max_faulty_attempts = Some(2);
+    }
+    plan
+}
+
+fn sweep_seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        let seed = s.parse().expect("CHAOS_SEED must be an integer seed");
+        return vec![seed];
+    }
+    let n = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    (0..n).collect()
+}
+
+fn repro_line(seed: u64, variant: &str) -> String {
+    format!(
+        "CHAOS_SEED={seed} CHAOS_VARIANT={variant} \
+         cargo test -q -p ddx-dnsviz --test probe_resilience -- seed_sweep"
+    )
+}
+
+/// One pipeline run under faults. Returns the report so callers can assert
+/// on it; panics inside propagate to the caller's `catch_unwind`.
+fn run_faulted(sb: &Sandbox, plan: FaultPlan) -> GrokReport {
+    let net = FaultNetwork::new(&sb.testbed, plan);
+    let cfg = probe_cfg(sb);
+    grok(&probe(&net, &cfg))
+}
+
+/// The headline sweep: ≥200 seeds × every zone variant, probe→grok must
+/// never panic, and every report must serialize and parse back.
+#[test]
+fn seed_sweep() {
+    let variant_filter = std::env::var("CHAOS_VARIANT").ok();
+    let mut failing: Vec<String> = Vec::new();
+    for seed in sweep_seeds() {
+        for (label, sb) in variants() {
+            if let Some(f) = &variant_filter {
+                if f != label {
+                    continue;
+                }
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let report = run_faulted(sb, plan_for(seed));
+                let json = report.to_json();
+                GrokReport::from_json(&json).expect("chaos report round-trips through JSON");
+            }));
+            if outcome.is_err() {
+                failing.push(repro_line(seed, label));
+            }
+        }
+    }
+    assert!(
+        failing.is_empty(),
+        "pipeline panicked under fault injection; repro each with:\n{}",
+        failing.join("\n")
+    );
+}
+
+/// A zero-fault plan, whatever its seed, must leave the diagnostics
+/// byte-identical to probing the wrapped network directly, with no
+/// failures recorded anywhere.
+#[test]
+fn zero_fault_probe_is_byte_identical() {
+    for (label, sb) in variants() {
+        let cfg = probe_cfg(sb);
+        let baseline = grok(&probe(&sb.testbed, &cfg));
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let report = run_faulted(sb, FaultPlan::none(seed));
+            assert_eq!(
+                report.to_json(),
+                baseline.to_json(),
+                "variant={label} seed={seed}: passthrough changed the diagnostics"
+            );
+            assert!(
+                report.fully_observed(),
+                "variant={label} seed={seed}: passthrough produced observation gaps"
+            );
+        }
+    }
+}
+
+/// Transient faults (healing horizon shorter than the retry budget) must
+/// converge to the fault-free diagnostics: every retry-exhausting fault
+/// heals before the prober gives up.
+#[test]
+fn transient_faults_converge_to_fault_free_diagnostics() {
+    for (label, sb) in variants() {
+        let cfg = probe_cfg(sb);
+        assert!(
+            cfg.retry.attempts >= 3,
+            "test needs the default retry budget"
+        );
+        let baseline = grok(&probe(&sb.testbed, &cfg)).to_json();
+        for seed in 0..20u64 {
+            let plan = FaultPlan {
+                // Heal strictly before the third attempt: the prober always
+                // gets a clean answer within its budget.
+                max_faulty_attempts: Some(2),
+                ..FaultPlan::uniform(seed, 150)
+            };
+            let report = run_faulted(sb, plan);
+            assert_eq!(
+                report.to_json(),
+                baseline,
+                "variant={label} seed={seed}: transient faults leaked into the diagnostics"
+            );
+        }
+    }
+}
+
+/// A persistently dead server must surface as a typed observation gap —
+/// "couldn't observe", not "observed broken".
+#[test]
+fn persistent_timeouts_become_observation_gaps() {
+    let (label, sb) = &variants()[0];
+    let dead = sb.leaf().servers[0].clone();
+    let plan = FaultPlan {
+        timeout_permille: 1000,
+        only_server: Some(dead.clone()),
+        ..FaultPlan::none(99)
+    };
+    let report = run_faulted(sb, plan);
+    assert!(
+        !report.fully_observed(),
+        "variant={label}: a fully dead server left no observation gap"
+    );
+    let attempts = RetryPolicy::default().attempts;
+    assert!(
+        report.observation_gaps().any(|(_, g)| matches!(
+            g,
+            ErrorDetail::ServerUnreachable { server, attempts: a }
+                if *server == dead && *a == attempts
+        )),
+        "variant={label}: expected ServerUnreachable for {dead:?}, gaps: {:?}",
+        report.observation_gaps().collect::<Vec<_>>()
+    );
+}

@@ -228,6 +228,12 @@ pub struct Resolution {
     /// The typed details of every report error carrying the addressed
     /// code — the structured evidence the plan was built from.
     pub addressed_details: Vec<ErrorDetail>,
+    /// Root causes whose evidence is *absence* (missing RRSIG/DNSKEY/proof)
+    /// in zones the probe could not fully observe — prescribing a fix from
+    /// missing data risks "repairing" a record that exists but was never
+    /// seen. These are skipped this round; they resolve themselves once the
+    /// observation gaps heal.
+    pub deferred: Vec<ErrorCode>,
     /// Ordered instructions.
     pub plan: Vec<Instruction>,
 }
@@ -266,11 +272,30 @@ pub fn resolve(report: &GrokReport, ctx: &FixContext) -> Resolution {
     let codes: BTreeSet<ErrorCode> = report.codes();
     let mut roots = root_causes(&codes);
     roots.sort_by_key(|c| (cause_priority(*c), *c));
-    let Some(&first) = roots.first() else {
+    // Zones the probe could not fully observe: absence-evidence codes whose
+    // every instance sits in such a zone are deferred, not fixed — the
+    // "missing" record may exist behind the timeout/truncation.
+    let gap_zones: BTreeSet<Name> = report
+        .zones
+        .iter()
+        .filter(|z| !z.observation_gaps.is_empty())
+        .map(|z| z.zone.clone())
+        .collect();
+    let is_deferred = |code: ErrorCode| {
+        code.evidence_is_absence()
+            && !gap_zones.is_empty()
+            && report
+                .errors()
+                .filter(|e| e.code == code)
+                .all(|e| gap_zones.contains(&e.zone))
+    };
+    let deferred: Vec<ErrorCode> = roots.iter().copied().filter(|&c| is_deferred(c)).collect();
+    let Some(first) = roots.iter().copied().find(|&c| !is_deferred(c)) else {
         return Resolution {
             root_causes: roots,
             addressed: None,
             addressed_details: Vec::new(),
+            deferred,
             plan: Vec::new(),
         };
     };
@@ -284,6 +309,7 @@ pub fn resolve(report: &GrokReport, ctx: &FixContext) -> Resolution {
         root_causes: roots,
         addressed: Some(first),
         addressed_details,
+        deferred,
         plan,
     }
 }

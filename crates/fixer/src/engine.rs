@@ -53,6 +53,10 @@ pub struct IterationLog {
     /// Typed details of the errors behind the addressed cause (empty for
     /// the naive baseline, which never attributes causes).
     pub addressed_details: Vec<ErrorDetail>,
+    /// Absence-evidence root causes skipped because the probe could not
+    /// fully observe the zones they were reported in (empty for the naive
+    /// baseline, which prescribes regardless).
+    pub deferred: Vec<ErrorCode>,
     pub plan: Vec<Instruction>,
     pub commands: Vec<ShellCommand>,
 }
@@ -160,6 +164,7 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             root_causes: resolution.root_causes.clone(),
             addressed: resolution.addressed,
             addressed_details: resolution.addressed_details.clone(),
+            deferred: resolution.deferred.clone(),
             plan: resolution.plan.clone(),
             commands,
         };
@@ -222,6 +227,7 @@ pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             root_causes: Vec::new(),
             addressed: None,
             addressed_details: Vec::new(),
+            deferred: Vec::new(),
             plan: plan.clone(),
             commands,
         };

@@ -89,6 +89,7 @@ mod tests {
                     })
                     .collect(),
                 warnings: Vec::new(),
+                observation_gaps: Vec::new(),
             }],
         }
     }

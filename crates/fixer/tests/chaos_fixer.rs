@@ -1,0 +1,246 @@
+//! DFixer under fault injection: the resolver must never prescribe changes
+//! from *missing* data. Absence-evidence root causes reported in zones the
+//! probe could not fully observe are deferred, not planned; and the whole
+//! suggest path survives an arbitrary fault mix without panicking.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ddx_dns::{name, Name, RrType};
+use ddx_dnsviz::{
+    ErrorCode, ErrorDetail, ErrorInstance, GrokReport, ProbeConfig, RetryPolicy, SnapshotStatus,
+    ZoneReport,
+};
+use ddx_fixer::{resolve, suggest_remote, FixContext, ServerFlavor};
+use ddx_server::{build_sandbox, FaultNetwork, FaultPlan, Sandbox, ZoneSpec};
+
+const NOW: u32 = 1_000_000;
+const LEAF_APEX: &str = "chd.par.a.com";
+
+/// Three-level sandbox whose leaf had every RRSIG stripped post-signing:
+/// the canonical absence-evidence breakage (RRSIGs are *missing*, not
+/// wrong).
+fn stripped_sandbox() -> Sandbox {
+    let mut sb = build_sandbox(
+        &[
+            ZoneSpec::conventional(name("a.com")),
+            ZoneSpec::conventional(name("par.a.com")),
+            ZoneSpec::conventional(name(LEAF_APEX)),
+        ],
+        NOW,
+        0xF1CE,
+    );
+    sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+        z.strip_type(RrType::Rrsig);
+    });
+    sb
+}
+
+fn probe_cfg(sb: &Sandbox) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name(&format!("www.{LEAF_APEX}")),
+        target_types: vec![RrType::A],
+        time: NOW,
+        retry: RetryPolicy::default(),
+        hints: sb
+            .zones
+            .iter()
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+/// Fully observed, the stripped zone gets a plan; with the leaf zone only
+/// partially observable, the same absence-evidence root is deferred and
+/// nothing is prescribed for it.
+#[test]
+fn missing_data_defers_absence_roots() {
+    let sb = stripped_sandbox();
+    let cfg = probe_cfg(&sb);
+
+    // Baseline: clean observation, broken zone — the fixer prescribes.
+    let (report, res, commands) = suggest_remote(&sb.testbed, &cfg, ServerFlavor::Bind);
+    assert!(report.fully_observed(), "no faults, no gaps");
+    assert!(res.deferred.is_empty(), "nothing to defer without gaps");
+    let root = res
+        .addressed
+        .expect("a sig-stripped zone must yield a root cause");
+    assert!(
+        root.evidence_is_absence(),
+        "stripped RRSIGs must surface as absence evidence, got {root}"
+    );
+    assert!(!res.plan.is_empty(), "baseline run must plan a fix");
+    assert!(!commands.is_empty(), "baseline plan must render commands");
+
+    // Same zone, but one leaf server is a black hole: the leaf zone gains
+    // observation gaps, and the absence-evidence root is deferred.
+    let dead = sb.leaf().servers[0].clone();
+    let plan = FaultPlan {
+        timeout_permille: 1000,
+        only_server: Some(dead),
+        ..FaultPlan::none(7)
+    };
+    let net = FaultNetwork::new(&sb.testbed, plan);
+    let (report, res, commands) = suggest_remote(&net, &cfg, ServerFlavor::Bind);
+    assert!(
+        !report.fully_observed(),
+        "a dead leaf server must leave observation gaps"
+    );
+    assert!(
+        res.deferred.contains(&root),
+        "root {root} must be deferred under observation gaps, deferred: {:?}",
+        res.deferred
+    );
+    for code in &res.deferred {
+        assert!(
+            code.evidence_is_absence(),
+            "only absence-evidence causes may be deferred, got {code}"
+        );
+    }
+    if let Some(addressed) = res.addressed {
+        assert!(
+            !res.deferred.contains(&addressed),
+            "a deferred cause must never be addressed"
+        );
+    } else {
+        assert!(
+            res.plan.is_empty() && commands.is_empty(),
+            "no addressed cause, yet the fixer prescribed: {:?}",
+            res.plan
+        );
+    }
+}
+
+/// The suggest path must hold its invariants — and never panic — across a
+/// seed sweep of mixed fault plans.
+#[test]
+fn suggest_remote_survives_fault_sweep() {
+    let sb = stripped_sandbox();
+    let cfg = probe_cfg(&sb);
+    let mut failing: Vec<u64> = Vec::new();
+    for seed in 0..40u64 {
+        let permille = 30 + (seed % 6) as u16 * 25;
+        let plan = FaultPlan::uniform(seed, permille);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let net = FaultNetwork::new(&sb.testbed, plan);
+            let (report, res, commands) = suggest_remote(&net, &cfg, ServerFlavor::Bind);
+            for code in &res.deferred {
+                assert!(code.evidence_is_absence(), "deferred non-absence {code}");
+            }
+            if report.fully_observed() {
+                assert!(res.deferred.is_empty(), "gap-free report deferred causes");
+            }
+            if res.addressed.is_none() {
+                assert!(
+                    res.plan.is_empty() && commands.is_empty(),
+                    "prescription without an addressed cause"
+                );
+            }
+        }));
+        if outcome.is_err() {
+            failing.push(seed);
+        }
+    }
+    assert!(
+        failing.is_empty(),
+        "suggest_remote panicked or broke invariants for seeds {failing:?}"
+    );
+}
+
+// ------------------------------------------------- resolve() unit checks
+
+fn zone_report(zone: &Name, errors: Vec<ErrorInstance>, gaps: Vec<ErrorDetail>) -> ZoneReport {
+    ZoneReport {
+        zone: zone.clone(),
+        signed: true,
+        has_ds: true,
+        is_anchor: false,
+        errors,
+        warnings: Vec::new(),
+        observation_gaps: gaps,
+    }
+}
+
+fn report_with(zones: Vec<ZoneReport>) -> GrokReport {
+    GrokReport {
+        query_domain: name(&format!("www.{LEAF_APEX}")),
+        time: NOW,
+        status: SnapshotStatus::Sb,
+        zones,
+    }
+}
+
+fn bare_context(zone: &Name) -> FixContext {
+    FixContext {
+        zone: zone.clone(),
+        active_ksk: Vec::new(),
+        active_zsk: Vec::new(),
+        revoked_tags: Vec::new(),
+        published: Vec::new(),
+        ds_set: Vec::new(),
+        nsec3: None,
+        dnskey_ttl: 3600,
+        ds_digest: ddx_dnssec::DigestType::Sha256,
+        use_cds: false,
+    }
+}
+
+fn absence_error(zone: &Name) -> ErrorInstance {
+    ErrorInstance {
+        code: ErrorCode::NsecProofMissing,
+        zone: zone.clone(),
+        critical: true,
+        detail: ErrorDetail::None,
+    }
+}
+
+/// An absence-evidence root whose every instance sits in a gapped zone is
+/// deferred: no addressed cause, no plan.
+#[test]
+fn resolve_defers_when_all_evidence_is_in_gapped_zones() {
+    let zone = name(LEAF_APEX);
+    let gap = ErrorDetail::Note("server unreachable".into());
+    let report = report_with(vec![zone_report(
+        &zone,
+        vec![absence_error(&zone)],
+        vec![gap],
+    )]);
+    let res = resolve(&report, &bare_context(&zone));
+    assert_eq!(res.deferred, vec![ErrorCode::NsecProofMissing]);
+    assert_eq!(res.addressed, None);
+    assert!(res.plan.is_empty());
+}
+
+/// The same report without gaps is actionable.
+#[test]
+fn resolve_acts_when_observation_is_complete() {
+    let zone = name(LEAF_APEX);
+    let report = report_with(vec![zone_report(
+        &zone,
+        vec![absence_error(&zone)],
+        Vec::new(),
+    )]);
+    let res = resolve(&report, &bare_context(&zone));
+    assert!(res.deferred.is_empty());
+    assert_eq!(res.addressed, Some(ErrorCode::NsecProofMissing));
+}
+
+/// A gap in one zone does not defer a root whose evidence also shows up in
+/// a fully observed zone: partial observation elsewhere is not an excuse.
+#[test]
+fn resolve_keeps_roots_with_evidence_outside_gapped_zones() {
+    let gapped = name(LEAF_APEX);
+    let observed = name("par.a.com");
+    let report = report_with(vec![
+        zone_report(
+            &gapped,
+            vec![absence_error(&gapped)],
+            vec![ErrorDetail::Note("truncated".into())],
+        ),
+        zone_report(&observed, vec![absence_error(&observed)], Vec::new()),
+    ]);
+    let res = resolve(&report, &bare_context(&gapped));
+    assert!(res.deferred.is_empty());
+    assert_eq!(res.addressed, Some(ErrorCode::NsecProofMissing));
+}

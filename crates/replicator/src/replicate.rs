@@ -63,6 +63,7 @@ pub fn probe_config_for(sandbox: &Sandbox, now: u32) -> ProbeConfig {
         query_domain: sandbox.leaf().apex.child("www").expect("label fits"),
         target_types: vec![RrType::A],
         time: now,
+        retry: ddx_dnsviz::RetryPolicy::default(),
         hints: sandbox
             .zones
             .iter()

@@ -1,0 +1,696 @@
+//! Deterministic fault injection: [`FaultNetwork`] wraps any [`Network`]
+//! and perturbs its answers the way the open Internet perturbs a
+//! measurement pipeline — timeouts, dropped packets, slow servers, TC-bit
+//! truncation, flapping availability, REFUSED/SERVFAIL rewrites, and
+//! byte-level corruption.
+//!
+//! Every decision is a pure function of `(seed, server, qname, qtype,
+//! attempt)`: a splitmix64 finalizer over an FNV-1a mix of those inputs.
+//! There is no ambient entropy and no wall clock anywhere — latency is
+//! *virtual* (an accumulated counter, never a sleep), so a failing run is
+//! reproducible from its seed alone and independent of machine load or
+//! query interleaving.
+//!
+//! Per-fault counters are exported via [`FaultNetwork::fault_stats`]
+//! (mirroring `Testbed::answer_cache_stats`) and, under the `trace`
+//! feature, each injected fault emits a `trace_event!`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ddx_dns::{wire, Message, Name, Rcode, RrType};
+
+use crate::server::ServerId;
+use crate::testbed::{Network, QueryOutcome};
+
+/// splitmix64 finalizer: the full-avalanche mixing step of the splitmix64
+/// generator, used here as a stateless hash → uniform-u64 map.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string, folded into an accumulator — the stable
+/// (cross-platform, cross-version) hash feeding [`splitmix64`].
+fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc ^= b as u64;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// An up/down availability schedule in virtual time: the server is down for
+/// the first `down_ms` of every `period_ms` window, with a per-server phase
+/// offset so replicas do not flap in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlapSchedule {
+    pub period_ms: u64,
+    pub down_ms: u64,
+}
+
+/// The fault mix. All rates are per-mille (0..=1000) and drawn from a
+/// single uniform draw per query, in declaration order — so the sum of the
+/// rates is the total fault probability and must stay ≤ 1000 to leave room
+/// for clean answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-query fault derivation.
+    pub seed: u64,
+    /// Query never reaches the server (counted separately from timeouts,
+    /// but both surface as [`QueryOutcome::Timeout`]).
+    pub drop_permille: u16,
+    /// Response lost on the way back.
+    pub timeout_permille: u16,
+    /// Answer delivered after `slow_latency_ms` of virtual latency.
+    pub slow_permille: u16,
+    /// Answer rewritten to a TC-bit-only truncated response.
+    pub truncate_permille: u16,
+    /// Answer rewritten to REFUSED with empty sections.
+    pub refused_permille: u16,
+    /// Answer rewritten to SERVFAIL with empty sections.
+    pub servfail_permille: u16,
+    /// Answer re-encoded with 1–3 flipped bytes; if the result no longer
+    /// decodes the outcome is [`QueryOutcome::Malformed`].
+    pub corrupt_permille: u16,
+    /// Virtual latency added by a slow response.
+    pub slow_latency_ms: u64,
+    /// Availability schedule; while down every query times out.
+    pub flap: Option<FlapSchedule>,
+    /// Faults only fire on attempts `< max_faulty_attempts`; later retries
+    /// are served clean. This models *transient* trouble: a prober with
+    /// enough retries converges to the fault-free observation.
+    pub max_faulty_attempts: Option<u32>,
+    /// Restrict injection to one server (others pass through untouched).
+    pub only_server: Option<ServerId>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: the wrapped network must be observably
+    /// identical through it.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_permille: 0,
+            timeout_permille: 0,
+            slow_permille: 0,
+            truncate_permille: 0,
+            refused_permille: 0,
+            servfail_permille: 0,
+            corrupt_permille: 0,
+            slow_latency_ms: 200,
+            flap: None,
+            max_faulty_attempts: None,
+            only_server: None,
+        }
+    }
+
+    /// A uniform mix: every fault kind at `permille` each.
+    pub fn uniform(seed: u64, permille: u16) -> Self {
+        FaultPlan {
+            drop_permille: permille,
+            timeout_permille: permille,
+            slow_permille: permille,
+            truncate_permille: permille,
+            refused_permille: permille,
+            servfail_permille: permille,
+            corrupt_permille: permille,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// True when no query can be perturbed (short-circuits the whole
+    /// decision path, so passthrough is exact).
+    pub fn is_passthrough(&self) -> bool {
+        self.drop_permille == 0
+            && self.timeout_permille == 0
+            && self.slow_permille == 0
+            && self.truncate_permille == 0
+            && self.refused_permille == 0
+            && self.servfail_permille == 0
+            && self.corrupt_permille == 0
+            && self.flap.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+/// Which fault a draw selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Drop,
+    Timeout,
+    Slow,
+    Truncate,
+    Refused,
+    ServFail,
+    Corrupt,
+}
+
+/// Per-fault counters, exported like `answer_cache_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Queries forwarded untouched.
+    pub passed: u64,
+    pub drops: u64,
+    pub timeouts: u64,
+    pub slow: u64,
+    pub truncated: u64,
+    pub refused: u64,
+    pub servfail: u64,
+    pub corrupted: u64,
+    /// Timeouts caused by a flap-down window (not counted in `timeouts`).
+    pub flap_drops: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn injected(&self) -> u64 {
+        self.drops
+            + self.timeouts
+            + self.slow
+            + self.truncated
+            + self.refused
+            + self.servfail
+            + self.corrupted
+            + self.flap_drops
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    /// Attempt counter per (server, qname-key, qtype): how many times this
+    /// exact question has been asked of this server.
+    attempts: HashMap<(ServerId, String, u16), u32>,
+    /// Virtual clock, advanced per query; drives the flap schedule.
+    clock_ms: u64,
+    stats: FaultStats,
+}
+
+/// The fault-injecting [`Network`] decorator.
+///
+/// Wraps any network by reference; all interior state (attempt counters,
+/// virtual clock, fault counters) sits behind a mutex so the decorator is
+/// usable wherever the wrapped network is.
+pub struct FaultNetwork<'a> {
+    inner: &'a dyn Network,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+/// Virtual cost of one query round-trip (ms). Only the *ratios* matter —
+/// this just makes the flap schedule advance as queries flow.
+const QUERY_COST_MS: u64 = 10;
+
+impl<'a> FaultNetwork<'a> {
+    pub fn new(inner: &'a dyn Network, plan: FaultPlan) -> Self {
+        FaultNetwork {
+            inner,
+            plan,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the per-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Current virtual time (ms since construction).
+    pub fn virtual_ms(&self) -> u64 {
+        self.state.lock().clock_ms
+    }
+
+    /// Advances the virtual clock (the prober calls this when it backs off
+    /// between retries, so flap windows pass in backoff time too).
+    pub fn advance_ms(&self, ms: u64) {
+        self.state.lock().clock_ms += ms;
+    }
+
+    /// The uniform draw for one query attempt: a pure function of the plan
+    /// seed and the query coordinates — independent of query order.
+    fn draw(&self, server: &ServerId, qname: &Name, qtype: RrType, attempt: u32) -> u64 {
+        let mut acc = fnv1a(0xCBF2_9CE4_8422_2325, server.0.as_bytes());
+        acc = fnv1a(acc, qname.key().as_bytes());
+        acc = fnv1a(acc, &qtype.code().to_be_bytes());
+        acc = fnv1a(acc, &attempt.to_be_bytes());
+        splitmix64(self.plan.seed ^ acc)
+    }
+
+    /// Picks the fault (if any) for one attempt via a single per-mille draw
+    /// against the cumulative rate thresholds.
+    fn pick_fault(&self, roll: u64) -> Option<FaultKind> {
+        let r = (roll % 1000) as u16;
+        let mut threshold = 0u16;
+        for (rate, kind) in [
+            (self.plan.drop_permille, FaultKind::Drop),
+            (self.plan.timeout_permille, FaultKind::Timeout),
+            (self.plan.slow_permille, FaultKind::Slow),
+            (self.plan.truncate_permille, FaultKind::Truncate),
+            (self.plan.refused_permille, FaultKind::Refused),
+            (self.plan.servfail_permille, FaultKind::ServFail),
+            (self.plan.corrupt_permille, FaultKind::Corrupt),
+        ] {
+            threshold = threshold.saturating_add(rate);
+            if r < threshold {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Is `server` inside a flap-down window at virtual time `now_ms`?
+    fn flap_down(&self, server: &ServerId, now_ms: u64) -> bool {
+        let Some(flap) = &self.plan.flap else {
+            return false;
+        };
+        if flap.period_ms == 0 {
+            return false;
+        }
+        // Per-server phase offset, derived like everything else.
+        let phase = splitmix64(self.plan.seed ^ fnv1a(0x100, server.0.as_bytes())) % flap.period_ms;
+        (now_ms + phase) % flap.period_ms < flap.down_ms
+    }
+
+    fn rewrite(&self, resp: &Message, rcode: Option<Rcode>, tc: bool) -> Arc<Message> {
+        let mut m = resp.clone();
+        if let Some(rc) = rcode {
+            m.rcode = rc;
+        }
+        m.flags.tc = tc;
+        m.answers.clear();
+        m.authorities.clear();
+        m.additionals.clear();
+        Arc::new(m)
+    }
+
+    /// Re-encodes the response with 1–3 flipped bytes past the header. If
+    /// the mangled bytes still decode, the corrupted *message* is the
+    /// answer; if they do not, the outcome is [`QueryOutcome::Malformed`].
+    fn corrupt(&self, resp: &Message, roll: u64) -> QueryOutcome {
+        let mut bytes = wire::encode(resp);
+        if bytes.len() <= 12 {
+            return QueryOutcome::Malformed;
+        }
+        let flips = 1 + (splitmix64(roll ^ 0xC0) % 3) as usize;
+        for i in 0..flips {
+            let r = splitmix64(roll ^ 0xC1 ^ i as u64);
+            let pos = 12 + (r as usize % (bytes.len() - 12));
+            let mask = ((r >> 32) as u8) | 1; // never a zero-mask no-op
+            bytes[pos] ^= mask;
+        }
+        match wire::decode(&bytes) {
+            Ok(m) => QueryOutcome::Answer(Arc::new(m)),
+            Err(_) => QueryOutcome::Malformed,
+        }
+    }
+}
+
+impl Network for FaultNetwork<'_> {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        self.query_outcome(server, query).into_answer()
+    }
+
+    fn query_outcome(&self, server: &ServerId, query: &Message) -> QueryOutcome {
+        // Exact passthrough: no draw, no clock, no counters beyond `passed`.
+        if self.plan.is_passthrough() {
+            self.state.lock().stats.passed += 1;
+            return self.inner.query_outcome(server, query);
+        }
+        let Some(q) = &query.question else {
+            self.state.lock().stats.passed += 1;
+            return self.inner.query_outcome(server, query);
+        };
+        let (qname, qtype) = (q.qname.clone(), q.qtype);
+
+        let (attempt, now_ms) = {
+            let mut st = self.state.lock();
+            st.clock_ms += QUERY_COST_MS;
+            let counter = st
+                .attempts
+                .entry((server.clone(), qname.key(), qtype.code()))
+                .or_insert(0);
+            let attempt = *counter;
+            *counter += 1;
+            (attempt, st.clock_ms)
+        };
+
+        if self
+            .plan
+            .only_server
+            .as_ref()
+            .map(|s| s != server)
+            .unwrap_or(false)
+        {
+            self.state.lock().stats.passed += 1;
+            return self.inner.query_outcome(server, query);
+        }
+
+        // Transient-fault horizon: late retries are served clean.
+        let healed = self
+            .plan
+            .max_faulty_attempts
+            .map(|n| attempt >= n)
+            .unwrap_or(false);
+
+        if !healed && self.flap_down(server, now_ms) {
+            self.state.lock().stats.flap_drops += 1;
+            ddx_dns::trace_event!(
+                target: "server::fault",
+                "fault injected",
+                kind = "flap-down",
+                server = server.0,
+                qname = qname,
+                attempt = attempt,
+            );
+            return QueryOutcome::Timeout;
+        }
+
+        let roll = self.draw(server, &qname, qtype, attempt);
+        let fault = if healed { None } else { self.pick_fault(roll) };
+        let Some(fault) = fault else {
+            self.state.lock().stats.passed += 1;
+            return self.inner.query_outcome(server, query);
+        };
+        ddx_dns::trace_event!(
+            target: "server::fault",
+            "fault injected",
+            kind = format!("{fault:?}"),
+            server = server.0,
+            qname = qname,
+            qtype = qtype,
+            attempt = attempt,
+        );
+
+        match fault {
+            FaultKind::Drop => {
+                self.state.lock().stats.drops += 1;
+                QueryOutcome::Timeout
+            }
+            FaultKind::Timeout => {
+                self.state.lock().stats.timeouts += 1;
+                QueryOutcome::Timeout
+            }
+            _ => {
+                // The remaining kinds perturb a real answer; if the wrapped
+                // network itself timed out, that takes precedence.
+                let inner = self.inner.query_outcome(server, query);
+                let QueryOutcome::Answer(resp) = inner else {
+                    self.state.lock().stats.passed += 1;
+                    return inner;
+                };
+                match fault {
+                    FaultKind::Slow => {
+                        let mut st = self.state.lock();
+                        st.stats.slow += 1;
+                        st.clock_ms += self.plan.slow_latency_ms;
+                        QueryOutcome::Answer(resp)
+                    }
+                    FaultKind::Truncate => {
+                        self.state.lock().stats.truncated += 1;
+                        QueryOutcome::Answer(self.rewrite(&resp, None, true))
+                    }
+                    FaultKind::Refused => {
+                        self.state.lock().stats.refused += 1;
+                        QueryOutcome::Answer(self.rewrite(&resp, Some(Rcode::Refused), false))
+                    }
+                    FaultKind::ServFail => {
+                        self.state.lock().stats.servfail += 1;
+                        QueryOutcome::Answer(self.rewrite(&resp, Some(Rcode::ServFail), false))
+                    }
+                    FaultKind::Corrupt => {
+                        self.state.lock().stats.corrupted += 1;
+                        self.corrupt(&resp, roll)
+                    }
+                    FaultKind::Drop | FaultKind::Timeout => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    fn resolve_ns(&self, host: &Name) -> Option<ServerId> {
+        self.inner.resolve_ns(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::testbed::Testbed;
+    use ddx_dns::{name, RData, Record, Soa, Zone};
+    use std::net::Ipv4Addr;
+
+    fn testbed() -> Testbed {
+        let apex = name("a.com");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa(Soa {
+                mname: name("ns1.a.com"),
+                rname: name("hostmaster.a.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Ns(name("ns1.a.com")),
+        ));
+        z.add(Record::new(
+            name("ns1.a.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z.add(Record::new(
+            name("www.a.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
+        let mut s = Server::new(ServerId("a#0".into()));
+        s.load_zone(z);
+        let mut tb = Testbed::new();
+        tb.add_server(s);
+        tb.register_ns(name("ns1.a.com"), ServerId("a#0".into()));
+        tb
+    }
+
+    fn sid() -> ServerId {
+        ServerId("a#0".into())
+    }
+
+    #[test]
+    fn passthrough_is_identical_and_counts_passed() {
+        let tb = testbed();
+        let net = FaultNetwork::new(&tb, FaultPlan::none(99));
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        let direct = tb.query(&sid(), &q).unwrap();
+        let through = net.query(&sid(), &q).unwrap();
+        assert_eq!(wire::encode(&direct), wire::encode(&through));
+        assert_eq!(net.fault_stats().passed, 1);
+        assert_eq!(net.fault_stats().injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let tb = testbed();
+        let plan = FaultPlan::uniform(0xDEAD, 120);
+        let outcomes = |plan: &FaultPlan| {
+            let net = FaultNetwork::new(&tb, plan.clone());
+            (0..40)
+                .map(|i| {
+                    let q = Message::query(i, name("www.a.com"), RrType::A);
+                    match net.query_outcome(&sid(), &q) {
+                        QueryOutcome::Answer(m) => format!("A:{:?}:{}", m.rcode, m.flags.tc),
+                        QueryOutcome::Timeout => "T".into(),
+                        QueryOutcome::Malformed => "M".into(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(&plan), outcomes(&plan));
+        let other = FaultPlan::uniform(0xBEEF, 120);
+        assert_ne!(outcomes(&plan), outcomes(&other), "seed must matter");
+    }
+
+    #[test]
+    fn counters_track_injected_faults() {
+        let tb = testbed();
+        let net = FaultNetwork::new(&tb, FaultPlan::uniform(7, 140));
+        for i in 0..200u16 {
+            let q = Message::query(i, name("www.a.com"), RrType::A);
+            let _ = net.query_outcome(&sid(), &q);
+        }
+        let stats = net.fault_stats();
+        // ~98% fault rate over 200 attempts of a uniform mix: every kind
+        // must have fired at least once, and passed + injected must add up.
+        assert!(stats.drops > 0, "{stats:?}");
+        assert!(stats.timeouts > 0, "{stats:?}");
+        assert!(stats.slow > 0, "{stats:?}");
+        assert!(stats.truncated > 0, "{stats:?}");
+        assert!(stats.refused > 0, "{stats:?}");
+        assert!(stats.servfail > 0, "{stats:?}");
+        assert!(stats.corrupted > 0, "{stats:?}");
+        assert_eq!(stats.passed + stats.injected(), 200);
+    }
+
+    #[test]
+    fn truncated_rewrite_sets_tc_and_clears_sections() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            truncate_permille: 1000,
+            ..FaultPlan::none(3)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        let QueryOutcome::Answer(m) = net.query_outcome(&sid(), &q) else {
+            panic!("expected truncated answer");
+        };
+        assert!(m.flags.tc);
+        assert!(m.answers.is_empty() && m.authorities.is_empty());
+    }
+
+    #[test]
+    fn refused_and_servfail_rewrite_rcode() {
+        let tb = testbed();
+        for (permille_field, want) in [(true, Rcode::Refused), (false, Rcode::ServFail)] {
+            let plan = FaultPlan {
+                refused_permille: if permille_field { 1000 } else { 0 },
+                servfail_permille: if permille_field { 0 } else { 1000 },
+                ..FaultPlan::none(4)
+            };
+            let net = FaultNetwork::new(&tb, plan);
+            let q = Message::query(1, name("www.a.com"), RrType::A);
+            let QueryOutcome::Answer(m) = net.query_outcome(&sid(), &q) else {
+                panic!("expected rewritten answer");
+            };
+            assert_eq!(m.rcode, want);
+            assert!(m.answers.is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_horizon_heals_retries() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            timeout_permille: 1000,
+            max_faulty_attempts: Some(2),
+            ..FaultPlan::none(11)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        assert!(matches!(
+            net.query_outcome(&sid(), &q),
+            QueryOutcome::Timeout
+        ));
+        assert!(matches!(
+            net.query_outcome(&sid(), &q),
+            QueryOutcome::Timeout
+        ));
+        // Third attempt (attempt index 2) crosses the horizon: clean.
+        assert!(matches!(
+            net.query_outcome(&sid(), &q),
+            QueryOutcome::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn flap_schedule_times_out_in_down_windows() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            flap: Some(FlapSchedule {
+                period_ms: 100,
+                down_ms: 100, // always down
+            }),
+            ..FaultPlan::none(5)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        assert!(matches!(
+            net.query_outcome(&sid(), &q),
+            QueryOutcome::Timeout
+        ));
+        assert!(net.fault_stats().flap_drops >= 1);
+    }
+
+    #[test]
+    fn flap_schedule_heals_when_window_passes() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            flap: Some(FlapSchedule {
+                period_ms: 1_000_000,
+                down_ms: 500_000,
+            }),
+            ..FaultPlan::none(5)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        // Scan a full period in half-window steps: both states must occur.
+        let mut saw_down = false;
+        let mut saw_up = false;
+        for _ in 0..4 {
+            match net.query_outcome(&sid(), &q) {
+                QueryOutcome::Timeout => saw_down = true,
+                QueryOutcome::Answer(_) => saw_up = true,
+                QueryOutcome::Malformed => {}
+            }
+            net.advance_ms(250_000);
+        }
+        assert!(saw_down && saw_up, "flap must toggle across the period");
+    }
+
+    #[test]
+    fn corruption_yields_answer_or_malformed_never_panics() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            corrupt_permille: 1000,
+            ..FaultPlan::none(21)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let mut corrupted_answers = 0;
+        let mut malformed = 0;
+        for i in 0..64u16 {
+            let q = Message::query(i, name("www.a.com"), RrType::A);
+            match net.query_outcome(&sid(), &q) {
+                QueryOutcome::Answer(_) => corrupted_answers += 1,
+                QueryOutcome::Malformed => malformed += 1,
+                QueryOutcome::Timeout => panic!("corruption never times out"),
+            }
+        }
+        assert_eq!(corrupted_answers + malformed, 64);
+        assert_eq!(net.fault_stats().corrupted, 64);
+    }
+
+    #[test]
+    fn only_server_scopes_injection() {
+        let tb = testbed();
+        let plan = FaultPlan {
+            timeout_permille: 1000,
+            only_server: Some(ServerId("other#1".into())),
+            ..FaultPlan::none(6)
+        };
+        let net = FaultNetwork::new(&tb, plan);
+        let q = Message::query(1, name("www.a.com"), RrType::A);
+        assert!(matches!(
+            net.query_outcome(&sid(), &q),
+            QueryOutcome::Answer(_)
+        ));
+    }
+}

@@ -276,7 +276,7 @@ mod tests {
                 300,
                 RData::Nsec(ddx_dns::Nsec {
                     next_name: name(next),
-                    type_bitmap: ddx_dns::TypeBitmap::from_types(&[RrType::A]),
+                    type_bitmap: ddx_dns::TypeBitmap::from_types([RrType::A]),
                 }),
             ));
         }
@@ -324,7 +324,7 @@ mod tests {
                 300,
                 RData::Nsec(ddx_dns::Nsec {
                     next_name: name(next),
-                    type_bitmap: ddx_dns::TypeBitmap::from_types(&[RrType::A]),
+                    type_bitmap: ddx_dns::TypeBitmap::from_types([RrType::A]),
                 }),
             ));
         }

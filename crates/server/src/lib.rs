@@ -8,6 +8,7 @@
 
 pub mod answer;
 pub mod cache;
+pub mod fault;
 pub mod index;
 pub mod rollover;
 pub mod sandbox;
@@ -17,9 +18,10 @@ pub mod udp;
 
 pub use answer::{AnswerKey, AnswerMemo};
 pub use cache::CachingNetwork;
+pub use fault::{FaultNetwork, FaultPlan, FaultStats, FlapSchedule};
 pub use index::ZoneIndex;
 pub use rollover::{botched_ksk_rollover, Rollover, RolloverKind, RolloverStep};
 pub use sandbox::{build_sandbox, Sandbox, SandboxZone, ZoneSpec};
 pub use server::{Server, ServerBehavior, ServerId};
-pub use testbed::{Network, Testbed, UncachedNetwork};
+pub use testbed::{Network, QueryOutcome, Testbed, UncachedNetwork};
 pub use udp::{UdpNetwork, UdpServerHandle};

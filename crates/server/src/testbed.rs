@@ -9,6 +9,31 @@ use ddx_dns::{Message, Name};
 
 use crate::server::{Server, ServerId};
 
+/// What one query attempt produced, distinguishing the failure modes a
+/// real-world prober must treat differently: a timeout can be retried, a
+/// malformed response means the server answered but the bytes were garbage
+/// (retrying may still help, but the observation itself is evidence), and a
+/// truncated answer is visible as `flags.tc` on the [`QueryOutcome::Answer`].
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The server answered; inspect `flags.tc` for truncation.
+    Answer(Arc<Message>),
+    /// No response arrived (dropped query, dropped response, dead server).
+    Timeout,
+    /// Bytes arrived but did not decode as a DNS message.
+    Malformed,
+}
+
+impl QueryOutcome {
+    /// Collapses to the legacy `Option` view (`Malformed` → `None`).
+    pub fn into_answer(self) -> Option<Arc<Message>> {
+        match self {
+            QueryOutcome::Answer(m) => Some(m),
+            QueryOutcome::Timeout | QueryOutcome::Malformed => None,
+        }
+    }
+}
+
 /// Anything that can deliver a query to a named server and return its
 /// response. `None` models a timeout (unresponsive server / no route).
 ///
@@ -17,6 +42,19 @@ use crate::server::{Server, ServerId};
 /// rather than a deep copy, and probers hold the same allocation.
 pub trait Network {
     fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>>;
+
+    /// Like [`Network::query`], but with the failure mode preserved.
+    ///
+    /// The default maps `None` to [`QueryOutcome::Timeout`], which is
+    /// correct for the in-process transports (they cannot produce
+    /// undecodable bytes); fault-injecting and real-wire networks override
+    /// this to surface [`QueryOutcome::Malformed`].
+    fn query_outcome(&self, server: &ServerId, query: &Message) -> QueryOutcome {
+        match self.query(server, query) {
+            Some(m) => QueryOutcome::Answer(m),
+            None => QueryOutcome::Timeout,
+        }
+    }
 
     /// Resolves an NS hostname to the server instance behind it — the
     /// testbed's substitute for glue/A-record resolution. `None` models an

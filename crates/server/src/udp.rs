@@ -16,7 +16,7 @@ use parking_lot::RwLock;
 use ddx_dns::{wire, Message};
 
 use crate::server::{Server, ServerId};
-use crate::testbed::Network;
+use crate::testbed::{Network, QueryOutcome};
 
 /// A running UDP+TCP authoritative server bound to one loopback port.
 ///
@@ -213,34 +213,61 @@ fn with_client_socket<R>(f: impl FnOnce(&UdpSocket) -> Option<R>) -> Option<R> {
     })
 }
 
-impl Network for UdpNetwork {
-    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
-        let addr = self.routes.get(server)?;
-        let msg = with_client_socket(|socket| {
+impl UdpNetwork {
+    /// One UDP exchange: send, then wait for a datagram attributable to
+    /// this query. Bytes that echo the query ID but do not parse surface as
+    /// [`QueryOutcome::Malformed`] instead of silently waiting out the
+    /// timeout.
+    fn udp_exchange(&self, addr: &SocketAddr, query: &Message) -> QueryOutcome {
+        let out = with_client_socket(|socket| {
             socket.set_read_timeout(Some(self.timeout)).ok()?;
             socket.send_to(&wire::encode(query), addr).ok()?;
             let mut buf = [0u8; 4096];
             loop {
                 let (len, peer) = socket.recv_from(&mut buf).ok()?;
-                // The socket outlives a single query now: besides checking
-                // the source address and ID, skip datagrams that do not
-                // parse or do not echo this query's question (stale answers
-                // from an earlier, timed-out exchange).
+                // The socket outlives a single query: besides checking the
+                // source address and ID, skip datagrams that do not echo
+                // this query's question (stale answers from an earlier,
+                // timed-out exchange).
                 if peer != *addr {
                     continue;
                 }
-                let Ok(msg) = wire::decode(&buf[..len]) else {
-                    continue;
-                };
-                if msg.id == query.id && msg.question == query.question {
-                    return Some(msg);
+                match wire::decode(&buf[..len]) {
+                    Ok(msg) if msg.id == query.id && msg.question == query.question => {
+                        return Some(QueryOutcome::Answer(Arc::new(msg)));
+                    }
+                    Ok(_) => continue,
+                    Err(_) => {
+                        if len >= 2 && buf[..2] == query.id.to_be_bytes() {
+                            return Some(QueryOutcome::Malformed);
+                        }
+                        continue;
+                    }
                 }
             }
-        })?;
-        if msg.flags.tc && self.tcp_fallback {
-            return tcp_query(*addr, query, self.timeout).map(Arc::new);
+        });
+        out.unwrap_or(QueryOutcome::Timeout)
+    }
+}
+
+impl Network for UdpNetwork {
+    fn query(&self, server: &ServerId, query: &Message) -> Option<Arc<Message>> {
+        self.query_outcome(server, query).into_answer()
+    }
+
+    fn query_outcome(&self, server: &ServerId, query: &Message) -> QueryOutcome {
+        let Some(addr) = self.routes.get(server) else {
+            return QueryOutcome::Timeout;
+        };
+        match self.udp_exchange(addr, query) {
+            QueryOutcome::Answer(msg) if msg.flags.tc && self.tcp_fallback => {
+                match tcp_query(*addr, query, self.timeout) {
+                    Some(m) => QueryOutcome::Answer(Arc::new(m)),
+                    None => QueryOutcome::Timeout,
+                }
+            }
+            out => out,
         }
-        Some(Arc::new(msg))
     }
 
     fn resolve_ns(&self, host: &ddx_dns::Name) -> Option<ServerId> {

@@ -1,0 +1,195 @@
+//! Chaos harness for the fault-injection decorator at the [`Network`]
+//! surface: a zero-fault [`FaultNetwork`] must be byte-identical to the
+//! network it wraps across the whole zone-variant corpus, equal seeds must
+//! replay equal fault sequences, the per-fault counters must account for
+//! every query, and transient plans must heal on retry.
+
+mod common;
+
+use common::{qnames, testbeds, QTYPES};
+use ddx_dns::{wire, Message, RrType};
+use ddx_server::{FaultNetwork, FaultPlan, Network, QueryOutcome, ServerId};
+use proptest::prelude::*;
+
+fn server_id(label: &str) -> ServerId {
+    ServerId(format!("chaos-{label}#0"))
+}
+
+/// A comparable fingerprint of one query outcome: the failure mode plus the
+/// exact response bytes when one was delivered.
+fn outcome_sig(outcome: QueryOutcome) -> (u8, Option<Vec<u8>>) {
+    match outcome {
+        QueryOutcome::Answer(m) => (0, Some(wire::encode(&m))),
+        QueryOutcome::Timeout => (1, None),
+        QueryOutcome::Malformed => (2, None),
+    }
+}
+
+/// Every (qname, qtype) probe of the corpus as a fresh query message.
+fn corpus_queries() -> Vec<Message> {
+    let mut out = Vec::new();
+    for qname in qnames() {
+        for &qtype in QTYPES {
+            out.push(Message::query(9, qname.clone(), qtype));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A passthrough plan — whatever its seed — must leave both `query` and
+    /// `query_outcome` byte-identical to the wrapped network, for every
+    /// zone variant and query in the corpus.
+    #[test]
+    fn zero_fault_network_is_byte_identical(
+        zone_idx in 0usize..8,
+        qname_idx in 0usize..15,
+        qtype_idx in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let (label, tb) = &testbeds()[zone_idx];
+        let id = server_id(label);
+        let q = Message::query(9, qnames()[qname_idx].clone(), QTYPES[qtype_idx]);
+
+        let plan = FaultPlan::none(seed);
+        prop_assert!(plan.is_passthrough());
+        let faulty = FaultNetwork::new(tb, plan);
+
+        let direct = tb.query(&id, &q).map(|m| wire::encode(&m));
+        let wrapped = faulty.query(&id, &q).map(|m| wire::encode(&m));
+        prop_assert_eq!(wrapped, direct, "zone={} q={:?}", label, q.question);
+        prop_assert_eq!(
+            outcome_sig(faulty.query_outcome(&id, &q)),
+            outcome_sig(tb.query_outcome(&id, &q))
+        );
+        let stats = faulty.fault_stats();
+        prop_assert_eq!(stats.injected(), 0, "passthrough injected a fault");
+        // resolve_ns must pass through untouched as well.
+        prop_assert_eq!(
+            faulty.resolve_ns(&ddx_dns::name("ns1.example.com")),
+            tb.resolve_ns(&ddx_dns::name("ns1.example.com"))
+        );
+    }
+}
+
+/// Sweeps the full corpus through a faulty network and returns the outcome
+/// fingerprint sequence.
+fn sweep(net: &FaultNetwork<'_>, id: &ServerId) -> Vec<(u8, Option<Vec<u8>>)> {
+    corpus_queries()
+        .iter()
+        .map(|q| outcome_sig(net.query_outcome(id, q)))
+        .collect()
+}
+
+/// The same seed must replay the exact same fault sequence — outcomes and
+/// counters — on a fresh decorator; a different seed is allowed to differ
+/// and here demonstrably does inject a different mix.
+#[test]
+fn equal_seeds_replay_equal_fault_sequences() {
+    let (label, tb) = &testbeds()[0];
+    let id = server_id(label);
+    let runs: Vec<_> = [41u64, 41, 42]
+        .iter()
+        .map(|&seed| {
+            let net = FaultNetwork::new(tb, FaultPlan::uniform(seed, 100));
+            let outcomes = sweep(&net, &id);
+            (outcomes, net.fault_stats())
+        })
+        .collect();
+    assert_eq!(runs[0].0, runs[1].0, "same seed, different outcomes");
+    assert_eq!(runs[0].1, runs[1].1, "same seed, different counters");
+    assert!(
+        runs[0].1.injected() > 0,
+        "a 700-permille uniform mix over {} queries injected nothing",
+        runs[0].0.len()
+    );
+    assert_ne!(
+        runs[0].0, runs[2].0,
+        "seeds 41 and 42 produced identical fault sequences"
+    );
+}
+
+/// passed + injected() must account for every query exactly once, across
+/// all zone variants.
+#[test]
+fn fault_counters_account_for_every_query() {
+    for (label, tb) in testbeds() {
+        let id = server_id(label);
+        let net = FaultNetwork::new(tb, FaultPlan::uniform(9, 80));
+        let total = sweep(&net, &id).len() as u64;
+        let stats = net.fault_stats();
+        assert_eq!(
+            stats.passed + stats.injected(),
+            total,
+            "zone={label}: {stats:?} does not account for {total} queries"
+        );
+    }
+}
+
+/// With `max_faulty_attempts = 1` the first ask of a question may be
+/// perturbed but the retry must be served clean — byte-identical to the
+/// unwrapped network.
+#[test]
+fn transient_faults_heal_on_retry() {
+    for (label, tb) in testbeds() {
+        let id = server_id(label);
+        let plan = FaultPlan {
+            max_faulty_attempts: Some(1),
+            ..FaultPlan::uniform(5, 120)
+        };
+        let net = FaultNetwork::new(tb, plan);
+        for q in corpus_queries() {
+            let _first = net.query_outcome(&id, &q);
+            let retry = outcome_sig(net.query_outcome(&id, &q));
+            let clean = outcome_sig(tb.query_outcome(&id, &q));
+            assert_eq!(retry, clean, "zone={label} q={:?}", q.question);
+        }
+    }
+}
+
+/// Faults restricted to one server leave every other server untouched.
+#[test]
+fn only_server_scoping_spares_other_servers() {
+    let (label, tb) = &testbeds()[0];
+    let id = server_id(label);
+    let plan = FaultPlan {
+        only_server: Some(ServerId("someone-else#9".into())),
+        ..FaultPlan::uniform(3, 1000 / 7)
+    };
+    let net = FaultNetwork::new(tb, plan);
+    for q in corpus_queries() {
+        let wrapped = outcome_sig(net.query_outcome(&id, &q));
+        let direct = outcome_sig(tb.query_outcome(&id, &q));
+        assert_eq!(wrapped, direct, "zone={label} q={:?}", q.question);
+    }
+    assert_eq!(net.fault_stats().injected(), 0);
+}
+
+/// The virtual clock advances as queries flow — no wall-clock sleeping —
+/// and slow faults add their configured latency on top.
+#[test]
+fn virtual_clock_advances_without_sleeping() {
+    let (label, tb) = &testbeds()[0];
+    let id = server_id(label);
+    let net = FaultNetwork::new(tb, FaultPlan::none(0));
+    assert_eq!(net.virtual_ms(), 0);
+    let q = Message::query(9, ddx_dns::name("www.example.com"), RrType::A);
+    let _ = net.query_outcome(&id, &q);
+    let after_one = net.virtual_ms();
+    assert!(after_one > 0, "query did not advance the virtual clock");
+    net.advance_ms(250);
+    assert_eq!(net.virtual_ms(), after_one + 250);
+}
+
+/// Unknown servers keep timing out through the decorator (no spurious
+/// answers invented for missing routes).
+#[test]
+fn unknown_server_still_times_out() {
+    let (_, tb) = &testbeds()[0];
+    let net = FaultNetwork::new(tb, FaultPlan::uniform(11, 100));
+    let q = Message::query(9, ddx_dns::name("www.example.com"), RrType::A);
+    let ghost = ServerId("nowhere#0".into());
+    assert!(net.query(&ghost, &q).is_none());
+}

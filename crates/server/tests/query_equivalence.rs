@@ -6,199 +6,11 @@
 //! signatures, and unsigned zones. Every query is asked twice so the second
 //! round exercises the memo-hit path against the same oracle.
 
-use std::net::Ipv4Addr;
-use std::sync::OnceLock;
+mod common;
 
-use ddx_dns::{name, wire, Message, Name, RData, Record, RrType, Soa, Zone};
-use ddx_dnssec::{sign_zone, Algorithm, KeyPair, KeyRing, KeyRole, Nsec3Config, SignerConfig};
-use ddx_server::{Server, ServerId};
+use common::{qnames, variants, QTYPES};
+use ddx_dns::{name, wire, Message, RrType};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-const NOW: u32 = 1_000_000;
-
-fn base_zone(wildcard: bool) -> Zone {
-    let mut z = Zone::new(name("example.com"));
-    z.add(Record::new(
-        name("example.com"),
-        3600,
-        RData::Soa(Soa {
-            mname: name("ns1.example.com"),
-            rname: name("hostmaster.example.com"),
-            serial: 1,
-            refresh: 7200,
-            retry: 900,
-            expire: 1_209_600,
-            minimum: 300,
-        }),
-    ));
-    z.add(Record::new(
-        name("example.com"),
-        3600,
-        RData::Ns(name("ns1.example.com")),
-    ));
-    z.add(Record::new(
-        name("ns1.example.com"),
-        3600,
-        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
-    ));
-    z.add(Record::new(
-        name("www.example.com"),
-        300,
-        RData::A(Ipv4Addr::new(192, 0, 2, 80)),
-    ));
-    z.add(Record::new(
-        name("alias.example.com"),
-        300,
-        RData::Cname(name("www.example.com")),
-    ));
-    z.add(Record::new(
-        name("sub.example.com"),
-        3600,
-        RData::Ns(name("ns1.sub.example.com")),
-    ));
-    z.add(Record::new(
-        name("ns1.sub.example.com"),
-        3600,
-        RData::A(Ipv4Addr::new(192, 0, 2, 53)),
-    ));
-    // A second delegation whose NS host lives outside the zone: the closest
-    // the single-server view gets to a lame delegation (no glue to return).
-    z.add(Record::new(
-        name("lame.example.com"),
-        3600,
-        RData::Ns(name("ns1.elsewhere.net")),
-    ));
-    if wildcard {
-        z.add(Record::new(
-            name("*.wild.example.com"),
-            300,
-            RData::A(Ipv4Addr::new(192, 0, 2, 42)),
-        ));
-    }
-    z
-}
-
-fn sign(z: &mut Zone, nsec3: Option<Nsec3Config>) {
-    let mut ring = KeyRing::new();
-    let mut rng = StdRng::seed_from_u64(7);
-    for role in [KeyRole::Ksk, KeyRole::Zsk] {
-        ring.add(KeyPair::generate(
-            &mut rng,
-            name("example.com"),
-            Algorithm::EcdsaP256Sha256,
-            256,
-            role,
-            NOW,
-        ));
-    }
-    let cfg = match nsec3 {
-        Some(c) => SignerConfig::nsec3_at(NOW, c),
-        None => SignerConfig::nsec_at(NOW),
-    };
-    sign_zone(z, &ring, &cfg, NOW).unwrap();
-}
-
-/// The zone variants under test. Built once; servers are only ever read.
-fn variants() -> &'static Vec<(&'static str, Server)> {
-    static VARIANTS: OnceLock<Vec<(&'static str, Server)>> = OnceLock::new();
-    VARIANTS.get_or_init(|| {
-        let mut out: Vec<(&'static str, Zone)> = Vec::new();
-
-        let mut z = base_zone(false);
-        sign(&mut z, None);
-        out.push(("nsec", z));
-
-        let mut z = base_zone(true);
-        sign(&mut z, None);
-        out.push(("nsec-wildcard", z));
-
-        let mut z = base_zone(false);
-        sign(&mut z, Some(Nsec3Config::default()));
-        out.push(("nsec3", z));
-
-        let mut z = base_zone(true);
-        sign(
-            &mut z,
-            Some(Nsec3Config {
-                opt_out: true,
-                ..Nsec3Config::default()
-            }),
-        );
-        out.push(("nsec3-optout-wildcard", z));
-
-        // Broken NSEC chain: one link removed after signing. The index must
-        // detect the malformed chain and fall back to the same linear
-        // first-match scan the naive path uses.
-        let mut z = base_zone(false);
-        sign(&mut z, None);
-        z.remove(&name("www.example.com"), RrType::Nsec);
-        out.push(("nsec-broken-chain", z));
-
-        // Corrupted NSEC next pointer: the chain no longer closes.
-        let mut z = base_zone(false);
-        sign(&mut z, None);
-        if let Some(set) = z.get_mut(&name("alias.example.com"), RrType::Nsec) {
-            for rdata in &mut set.rdatas {
-                if let RData::Nsec(n) = rdata {
-                    n.next_name = name("zzz.outside.test");
-                }
-            }
-        }
-        out.push(("nsec-corrupt-next", z));
-
-        // Signatures stripped post-signing (NSEC3 ring survives unsigned).
-        let mut z = base_zone(false);
-        sign(&mut z, Some(Nsec3Config::default()));
-        z.strip_type(RrType::Rrsig);
-        out.push(("nsec3-stripped-sigs", z));
-
-        // Entirely unsigned.
-        out.push(("unsigned", base_zone(true)));
-
-        out.into_iter()
-            .map(|(label, zone)| {
-                let mut s = Server::new(ServerId(format!("eq-{label}")));
-                s.load_zone(zone);
-                (label, s)
-            })
-            .collect()
-    })
-}
-
-fn qnames() -> Vec<Name> {
-    vec![
-        name("example.com"),
-        name("www.example.com"),
-        name("alias.example.com"),
-        name("ns1.example.com"),
-        name("nope.example.com"),
-        name("a.b.nope.example.com"),
-        name("sub.example.com"),
-        name("x.sub.example.com"),
-        name("lame.example.com"),
-        name("y.lame.example.com"),
-        name("anything.wild.example.com"),
-        name("deep.under.wild.example.com"),
-        name("wild.example.com"),
-        name("com"),
-        name("unrelated.test"),
-    ]
-}
-
-const QTYPES: &[RrType] = &[
-    RrType::A,
-    RrType::Aaaa,
-    RrType::Ns,
-    RrType::Soa,
-    RrType::Cname,
-    RrType::Dnskey,
-    RrType::Ds,
-    RrType::Txt,
-    RrType::Nsec,
-    RrType::Nsec3Param,
-];
 
 fn encode_opt(resp: &Option<Message>) -> Option<Vec<u8>> {
     resp.as_ref().map(wire::encode)

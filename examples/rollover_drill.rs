@@ -31,6 +31,7 @@ fn probe_cfg(sb: &Sandbox, time: u32) -> ProbeConfig {
         query_domain: name("www.par.a.com"),
         target_types: vec![RrType::A],
         time,
+        retry: ddx_dnsviz::RetryPolicy::default(),
         hints: sb
             .zones
             .iter()
