@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! tables [--scale S] [--sample N] [--seed K] [--only <table1|fig1|…|table7|fig8|ext|llm>] [--full]
+//!        [--metrics-out metrics.json]
 //! ```
 //!
 //! Defaults: scale 0.01 (1% of the paper's dataset), 1,500 pipeline
@@ -22,6 +23,7 @@ struct Args {
     export_snapshots: Option<(usize, String)>,
     csv_dir: Option<String>,
     workers: usize,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,6 +58,7 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(args.workers)
             }
+            "--metrics-out" => args.metrics_out = it.next(),
             "--export-snapshots" => {
                 let n = it.next().and_then(|v| v.parse().ok()).unwrap_or(10);
                 let dir = it.next().unwrap_or_else(|| "snapshots".into());
@@ -154,6 +158,16 @@ fn main() {
     }
     if want(&args, "llm") {
         llm_baseline();
+    }
+    if let Some(path) = &args.metrics_out {
+        let snap = ddx_obs::snapshot();
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => {
+                heading(&format!("Run metrics (written to {path})"));
+                print!("{}", snap.render_report());
+            }
+            Err(e) => eprintln!("warning: could not write metrics to {path}: {e}"),
+        }
     }
 }
 

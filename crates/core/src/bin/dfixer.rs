@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! dfixer --errors RrsigExpired,DsDigestInvalid [--nsec3] [--flavor bind|nsd|knot|pdns]
-//!        [--auto] [--cds] [--json] [--seed N]
+//!        [--auto] [--cds] [--json] [--seed N] [--metrics-out metrics.json]
 //! dfixer --list-errors
 //! ```
 
@@ -25,6 +25,7 @@ struct Args {
     json: bool,
     seed: u64,
     list: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         seed: 42,
         list: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,9 +68,12 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a number")?;
             }
             "--list-errors" => args.list = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
             "-h" | "--help" => {
                 println!(
-                    "dfixer --errors <Code,...> [--nsec3] [--flavor bind|nsd|knot|pdns] [--auto] [--cds] [--json] [--seed N]\n       dfixer --list-errors"
+                    "dfixer --errors <Code,...> [--nsec3] [--flavor bind|nsd|knot|pdns] [--auto] [--cds] [--json] [--seed N] [--metrics-out <path>]\n       dfixer --list-errors"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +81,19 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Dumps the global metrics snapshot as JSON to `path` and prints the
+/// human-readable run report to stdout.
+fn dump_metrics(path: &str) {
+    let snap = ddx_obs::snapshot();
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => {
+            println!("\n== metrics ({path}) ==");
+            print!("{}", snap.render_report());
+        }
+        Err(e) => eprintln!("warning: could not write metrics to {path}: {e}"),
+    }
 }
 
 fn lookup_code(name: &str) -> Option<ErrorCode> {
@@ -166,6 +184,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut exit = ExitCode::SUCCESS;
     if args.auto {
         let cfg = rep.probe.clone();
         let opts = FixerOptions {
@@ -190,8 +209,11 @@ fn main() -> ExitCode {
             run.fixed, run.final_status, run.final_errors
         );
         if !run.fixed {
-            return ExitCode::FAILURE;
+            exit = ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    if let Some(path) = &args.metrics_out {
+        dump_metrics(path);
+    }
+    exit
 }

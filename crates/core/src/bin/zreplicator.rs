@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! zreplicator --errors NsecProofMissing [--nsec3] [--seed N]
-//!             [--dump-dir DIR] [--json]
+//!             [--dump-dir DIR] [--json] [--metrics-out metrics.json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -23,6 +23,7 @@ struct Args {
     dump_dir: Option<String>,
     json: bool,
     snapshot_file: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         dump_dir: None,
         json: false,
         snapshot_file: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,9 +53,12 @@ fn parse_args() -> Result<Args, String> {
             "--dump-dir" => args.dump_dir = it.next(),
             "--snapshot-file" => args.snapshot_file = it.next(),
             "--json" => args.json = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
             "-h" | "--help" => {
                 println!(
-                    "zreplicator --errors <Code,...> [--nsec3] [--seed N] [--dump-dir DIR] [--json]\n            zreplicator --snapshot-file FILE.json [--seed N] [--dump-dir DIR]"
+                    "zreplicator --errors <Code,...> [--nsec3] [--seed N] [--dump-dir DIR] [--json] [--metrics-out <path>]\n            zreplicator --snapshot-file FILE.json [--seed N] [--dump-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -183,6 +188,17 @@ fn main() -> ExitCode {
                 }
                 println!("wrote {file}");
             }
+        }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        let snap = ddx_obs::snapshot();
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => {
+                println!("\n== metrics ({path}) ==");
+                print!("{}", snap.render_report());
+            }
+            Err(e) => eprintln!("warning: could not write metrics to {path}: {e}"),
         }
     }
 

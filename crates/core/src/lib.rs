@@ -50,6 +50,7 @@ pub mod prelude {
         run_fixer, run_naive, suggest, FixRun, FixerOptions, Instruction, InstructionKind,
         ServerFlavor,
     };
+    pub use ddx_obs::MetricsSnapshot;
     pub use ddx_replicator::{replicate, Nsec3Meta, Replication, ReplicationRequest, ZoneMeta};
     pub use ddx_server::{build_sandbox, Sandbox, Server, ServerId, Testbed, ZoneSpec};
 }

@@ -109,6 +109,11 @@ pub struct EvalSummary {
     pub typed_details: u64,
     /// All addressed-cause detail payloads DFixer consumed.
     pub total_details: u64,
+    /// Global-registry metric deltas accumulated while this evaluation ran
+    /// (`pipeline.*` stage timers plus every subsystem counter the run
+    /// touched). Deliberately excluded from seq/parallel equivalence
+    /// checks: wall-clock histograms differ between runs by construction.
+    pub metrics: ddx_obs::MetricsSnapshot,
 }
 
 impl EvalSummary {
@@ -125,6 +130,8 @@ impl EvalSummary {
 
 /// Evaluates one snapshot through the full replicate→grok→fix→grok cycle.
 pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> SnapshotEval {
+    ddx_obs::counter("pipeline.snapshots", &[]).inc();
+    let stage_timer = |stage| ddx_obs::histogram("pipeline.stage_us", &[("stage", stage)]);
     let intended = snapshot.errors.clone();
     let s1 = snapshot.is_nzic_only();
     let request = ReplicationRequest {
@@ -132,7 +139,10 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
         intended: intended.clone(),
     };
     let seed = cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let Ok(mut rep) = replicate(&request, 1_000_000, seed) else {
+    let replicate_timer = stage_timer("replicate").start_timer();
+    let replicated_zone = replicate(&request, 1_000_000, seed);
+    drop(replicate_timer);
+    let Ok(mut rep) = replicated_zone else {
         // Algorithm exhaustion: nothing could be generated.
         return SnapshotEval {
             intended,
@@ -158,6 +168,7 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
     if let Some(retry) = &cfg.retry {
         probe_cfg.retry = retry.clone();
     }
+    let probe_timer = stage_timer("probe_grok").start_timer();
     let report = match &cfg.fault_plan {
         Some(plan) => {
             let mut plan = plan.clone();
@@ -167,6 +178,7 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
         }
         None => grok(&probe(&rep.sandbox.testbed, &probe_cfg)),
     };
+    drop(probe_timer);
     let generated = report.codes();
     let replicated = !intended.is_empty() && intended.is_subset(&generated);
     if !replicated || generated.is_empty() {
@@ -184,7 +196,9 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
     }
     let mut fixer_opts = cfg.fixer.clone();
     fixer_opts.seed = seed ^ 0xF1;
+    let fix_timer = stage_timer("fix").start_timer();
     let run = run_fixer(&mut rep.sandbox, &probe_cfg, &fixer_opts);
+    drop(fix_timer);
     let instructions = run
         .iterations
         .iter()
@@ -214,6 +228,7 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
 /// Results are identical to the sequential path: every snapshot's seed is
 /// derived from its index, not from scheduling order.
 pub fn evaluate_corpus_parallel(corpus: &Corpus, cfg: &EvalConfig, workers: usize) -> EvalSummary {
+    let metrics_before = ddx_obs::snapshot();
     let snapshots: Vec<&Snapshot> = corpus
         .erroneous_snapshots()
         .take(cfg.max_snapshots)
@@ -244,7 +259,9 @@ pub fn evaluate_corpus_parallel(corpus: &Corpus, cfg: &EvalConfig, workers: usiz
     .expect("scope");
     let mut evals: Vec<(usize, SnapshotEval)> = per_worker.into_iter().flatten().collect();
     evals.sort_by_key(|(i, _)| *i);
-    summarize(evals.into_iter().map(|(_, e)| e))
+    let mut summary = summarize(evals.into_iter().map(|(_, e)| e));
+    summary.metrics = ddx_obs::snapshot().diff(&metrics_before);
+    summary
 }
 
 /// Runs the pipeline over (a sample of) the corpus' erroneous snapshots,
@@ -261,13 +278,16 @@ pub fn evaluate_corpus(corpus: &Corpus, cfg: &EvalConfig) -> EvalSummary {
 /// Single-threaded [`evaluate_corpus`], kept for determinism tests and
 /// environments where spawning threads is undesirable.
 pub fn evaluate_corpus_seq(corpus: &Corpus, cfg: &EvalConfig) -> EvalSummary {
-    summarize(
+    let metrics_before = ddx_obs::snapshot();
+    let mut summary = summarize(
         corpus
             .erroneous_snapshots()
             .take(cfg.max_snapshots)
             .enumerate()
             .map(|(i, snapshot)| evaluate_snapshot(snapshot, cfg, i as u64)),
-    )
+    );
+    summary.metrics = ddx_obs::snapshot().diff(&metrics_before);
+    summary
 }
 
 /// Aggregates per-snapshot outcomes into the Table 6 / Table 7 summary.
@@ -338,5 +358,6 @@ fn summarize<I: IntoIterator<Item = SnapshotEval>>(evals: I) -> EvalSummary {
         max_iterations,
         typed_details,
         total_details,
+        metrics: ddx_obs::MetricsSnapshot::default(),
     }
 }

@@ -18,9 +18,16 @@
 //! Events land in a bounded thread-local buffer; tests and tools drain it
 //! with [`take_events`]. This keeps the shim deterministic and free of
 //! global subscribers or I/O.
+//!
+//! Independent of the feature gate, every `trace_event!`/`trace_span!`
+//! site also bumps a `trace.events{target=…}` / `trace.spans{target=…}`
+//! counter in the [`ddx_obs`] global registry, so per-subsystem event
+//! volume is visible in metrics snapshots even in default (trace-off)
+//! builds. Only the static target string is touched on that path; message
+//! and field expressions still cost nothing when tracing is off.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// True when the `trace` feature of `ddx-dns` is enabled (directly or via a
 /// downstream crate's forwarded feature).
@@ -42,6 +49,33 @@ pub struct TraceEvent {
 
 thread_local! {
     static EVENTS: RefCell<VecDeque<TraceEvent>> = const { RefCell::new(VecDeque::new()) };
+    /// Per-thread cache of `trace.*{target=…}` counter handles, so the
+    /// always-on metric bump is one hash probe + one relaxed atomic add
+    /// instead of a registry lock on every event.
+    static EVENT_COUNTERS: RefCell<HashMap<(&'static str, &'static str), ddx_obs::Counter>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Bumps the global `trace.events{target=…}` counter for an event site.
+/// Called unconditionally by [`trace_event!`](crate::trace_event) — this is
+/// what keeps per-subsystem counters alive with the `trace` feature off.
+pub fn record_event_metric(target: &'static str) {
+    record_site_metric("trace.events", target);
+}
+
+/// Bumps the global `trace.spans{target=…}` counter for a span site.
+pub fn record_span_metric(target: &'static str) {
+    record_site_metric("trace.spans", target);
+}
+
+fn record_site_metric(name: &'static str, target: &'static str) {
+    EVENT_COUNTERS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((name, target))
+            .or_insert_with(|| ddx_obs::counter(name, &[("target", target)]))
+            .inc();
+    });
 }
 
 /// Appends an event to the thread-local buffer (bounded; oldest dropped).
@@ -109,6 +143,7 @@ impl Drop for SpanGuard {
 #[macro_export]
 macro_rules! trace_event {
     (target: $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::trace::record_event_metric($target);
         if $crate::trace::ENABLED {
             $crate::trace::emit($crate::trace::TraceEvent {
                 target: $target,
@@ -124,6 +159,7 @@ macro_rules! trace_event {
 #[macro_export]
 macro_rules! trace_span {
     ($guard:ident, target: $target:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::trace::record_span_metric($target);
         let $guard = if $crate::trace::ENABLED {
             Some($crate::trace::span(
                 $target,
@@ -153,6 +189,27 @@ mod tests {
         } else {
             assert!(events.is_empty());
         }
+    }
+
+    #[test]
+    fn event_sites_feed_global_metrics_even_when_disabled() {
+        let counter = ddx_obs::counter("trace.events", &[("target", "dns::metric_test")]);
+        let before = counter.get();
+        trace_event!(target: "dns::metric_test", "bump", answer = 1);
+        trace_event!(target: "dns::metric_test", "bump again");
+        assert_eq!(counter.get() - before, 2);
+        let _ = take_events();
+    }
+
+    #[test]
+    fn span_sites_feed_global_metrics_even_when_disabled() {
+        let counter = ddx_obs::counter("trace.spans", &[("target", "dns::metric_test")]);
+        let before = counter.get();
+        {
+            trace_span!(_g, target: "dns::metric_test", "walk");
+        }
+        assert_eq!(counter.get() - before, 1);
+        let _ = take_events();
     }
 
     #[test]

@@ -42,7 +42,14 @@ pub(crate) struct SigKey {
 /// Memo cache mapping signing inputs to raw signature bytes, with reusable
 /// scratch buffers for the canonical-form encoder so a warm signing pass
 /// performs no per-RRset allocation.
-#[derive(Debug, Default, Clone)]
+///
+/// Every hit/miss is double-counted: into the per-instance counters behind
+/// [`SigCache::stats`] (reset by [`SigCache::clear`], scoped to this cache)
+/// and into the process-wide `dnssec.sig_cache.*` metrics in the
+/// [`ddx_obs`] registry (monotonic, aggregated across all instances and
+/// threads). The `dnssec.sig_cache.entries` gauge tracks the size of the
+/// most recently mutated instance.
+#[derive(Debug, Clone)]
 pub struct SigCache {
     map: HashMap<SigKey, Vec<u8>>,
     hits: u64,
@@ -53,6 +60,26 @@ pub struct SigCache {
     pub(crate) key_wire: Vec<u8>,
     /// Scratch: canonical-form encoder buffers.
     pub(crate) canon: CanonicalScratch,
+    /// Global-registry handles; clones share the same cells.
+    obs_hits: ddx_obs::Counter,
+    obs_misses: ddx_obs::Counter,
+    obs_entries: ddx_obs::Gauge,
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            payload: Vec::new(),
+            key_wire: Vec::new(),
+            canon: CanonicalScratch::default(),
+            obs_hits: ddx_obs::counter("dnssec.sig_cache.hits", &[]),
+            obs_misses: ddx_obs::counter("dnssec.sig_cache.misses", &[]),
+            obs_entries: ddx_obs::gauge("dnssec.sig_cache.entries", &[]),
+        }
+    }
 }
 
 /// Counters exposed for tests, benches, and operational logging.
@@ -80,12 +107,14 @@ impl SigCache {
         }
     }
 
-    /// Drops all cached signatures and resets the counters. Scratch buffers
-    /// keep their capacity.
+    /// Drops all cached signatures and resets the per-instance counters.
+    /// Scratch buffers keep their capacity; the global `dnssec.sig_cache.*`
+    /// metrics are monotonic and unaffected.
     pub fn clear(&mut self) {
         self.map.clear();
         self.hits = 0;
         self.misses = 0;
+        self.obs_entries.set(0);
     }
 
     pub(crate) fn key(key_wire: &[u8], payload: &[u8], sig_len: usize) -> SigKey {
@@ -106,10 +135,12 @@ impl SigCache {
         match self.map.get(key) {
             Some(sig) => {
                 self.hits += 1;
+                self.obs_hits.inc();
                 Some(sig.clone())
             }
             None => {
                 self.misses += 1;
+                self.obs_misses.inc();
                 None
             }
         }
@@ -120,6 +151,7 @@ impl SigCache {
             self.map.clear();
         }
         self.map.insert(key, sig);
+        self.obs_entries.set(self.map.len() as i64);
     }
 }
 
@@ -144,6 +176,24 @@ mod tests {
         let a = SigCache::key(b"ab", b"c", 64);
         let b = SigCache::key(b"a", b"bc", 64);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn global_metrics_track_instance_counters() {
+        let hits = ddx_obs::counter("dnssec.sig_cache.hits", &[]);
+        let misses = ddx_obs::counter("dnssec.sig_cache.misses", &[]);
+        let (h0, m0) = (hits.get(), misses.get());
+        let mut cache = SigCache::new();
+        let k = SigCache::key(b"key", b"payload", 64);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), vec![0xAB; 64]);
+        assert!(cache.get(&k).is_some());
+        // Per-instance view is exact; the global registry moved by at
+        // least as much (other tests in this process may also bump it).
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(hits.get() - h0 >= 1);
+        assert!(misses.get() - m0 >= 1);
     }
 
     #[test]

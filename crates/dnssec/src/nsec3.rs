@@ -50,10 +50,38 @@ impl Nsec3Config {
 /// sandbox zones many times over while bounding long-lived processes.
 const MEMO_MAX_ENTRIES: usize = 1 << 16;
 
+/// Per-thread memo state. The map and the legacy (hits, misses) tallies are
+/// thread-local — [`nsec3_memo_stats`] reports only the calling thread —
+/// but every hit/miss *also* bumps the process-wide
+/// `dnssec.nsec3_memo.{hits,misses}` counters through the cached global
+/// handles, live at the moment it happens. That is what makes parallel
+/// `evaluate_corpus` totals accurate: worker-thread traffic aggregates into
+/// the global registry as it occurs instead of dying with the worker's
+/// thread-locals (historically the stats were thread-local only, so
+/// parallel runs underreported every hit taken off the main thread).
+struct Nsec3Memo {
+    map: HashMap<(Vec<u8>, Vec<u8>, u16), Vec<u8>>,
+    hits: u64,
+    misses: u64,
+    obs_hits: ddx_obs::Counter,
+    obs_misses: ddx_obs::Counter,
+}
+
+impl Nsec3Memo {
+    fn new() -> Self {
+        Nsec3Memo {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            obs_hits: ddx_obs::counter("dnssec.nsec3_memo.hits", &[]),
+            obs_misses: ddx_obs::counter("dnssec.nsec3_memo.misses", &[]),
+        }
+    }
+}
+
 thread_local! {
-    /// (canonical name wire, salt, iterations) → hash, plus hit/miss tallies.
-    static NSEC3_MEMO: RefCell<(HashMap<(Vec<u8>, Vec<u8>, u16), Vec<u8>>, u64, u64)> =
-        RefCell::new((HashMap::new(), 0, 0));
+    /// (canonical name wire, salt, iterations) → hash, plus tallies.
+    static NSEC3_MEMO: RefCell<Nsec3Memo> = RefCell::new(Nsec3Memo::new());
 }
 
 /// Computes the NSEC3 hash of `name` (RFC 5155 §5):
@@ -70,18 +98,20 @@ pub fn nsec3_hash(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8> {
         return nsec3_hash_uncached(name, salt, iterations);
     }
     NSEC3_MEMO.with(|memo| {
-        let (map, hits, misses) = &mut *memo.borrow_mut();
+        let memo = &mut *memo.borrow_mut();
         let key = (name.canonical_wire(), salt.to_vec(), iterations);
-        if let Some(hash) = map.get(&key) {
-            *hits += 1;
+        if let Some(hash) = memo.map.get(&key) {
+            memo.hits += 1;
+            memo.obs_hits.inc();
             return hash.clone();
         }
-        *misses += 1;
+        memo.misses += 1;
+        memo.obs_misses.inc();
         let hash = nsec3_hash_uncached(name, salt, iterations);
-        if map.len() >= MEMO_MAX_ENTRIES {
-            map.clear();
+        if memo.map.len() >= MEMO_MAX_ENTRIES {
+            memo.map.clear();
         }
-        map.insert(key, hash.clone());
+        memo.map.insert(key, hash.clone());
         hash
     })
 }
@@ -101,21 +131,59 @@ pub fn nsec3_hash_uncached(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8>
 }
 
 /// This thread's NSEC3 memo (hits, misses) counters.
+///
+/// Scope caveat: these tallies are **per thread**. A parallel
+/// `evaluate_corpus` does almost all of its hashing on worker threads, so
+/// reading this from the coordinating thread sees (close to) zero. For
+/// process-wide totals aggregated across every thread, read the
+/// `dnssec.nsec3_memo.{hits,misses}` counters from a [`ddx_obs`] snapshot —
+/// they are bumped live on each hit/miss, so no flush step is needed and
+/// nothing is lost when a worker exits.
 pub fn nsec3_memo_stats() -> (u64, u64) {
     NSEC3_MEMO.with(|memo| {
-        let (_, hits, misses) = &*memo.borrow();
-        (*hits, *misses)
+        let memo = &*memo.borrow();
+        (memo.hits, memo.misses)
     })
 }
 
-/// Empties this thread's NSEC3 memo table and resets its counters.
+/// Empties this thread's NSEC3 memo table and resets its per-thread
+/// counters. The global `dnssec.nsec3_memo.*` metrics are monotonic and
+/// unaffected.
 pub fn nsec3_memo_clear() {
     NSEC3_MEMO.with(|memo| {
-        let (map, hits, misses) = &mut *memo.borrow_mut();
-        map.clear();
-        *hits = 0;
-        *misses = 0;
+        let memo = &mut *memo.borrow_mut();
+        memo.map.clear();
+        memo.hits = 0;
+        memo.misses = 0;
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::name;
+
+    #[test]
+    fn worker_thread_memo_traffic_reaches_global_registry() {
+        let hits = ddx_obs::counter("dnssec.nsec3_memo.hits", &[]);
+        let misses = ddx_obs::counter("dnssec.nsec3_memo.misses", &[]);
+        let (h0, m0) = (hits.get(), misses.get());
+        std::thread::spawn(|| {
+            let n = name("metrics-probe.example.com");
+            let first = nsec3_hash(&n, b"ab", 5);
+            let second = nsec3_hash(&n, b"ab", 5);
+            assert_eq!(first, second);
+            // The legacy accessor sees this worker thread's traffic...
+            let (h, m) = nsec3_memo_stats();
+            assert!(h >= 1 && m >= 1);
+        })
+        .join()
+        .unwrap();
+        // ...and the global registry retains it after the worker exits,
+        // which is exactly what the thread-local accessor loses.
+        assert!(hits.get() - h0 >= 1);
+        assert!(misses.get() - m0 >= 1);
+    }
 }
 
 /// The base32hex label under which the NSEC3 record for `name` lives.

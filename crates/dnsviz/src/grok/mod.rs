@@ -291,6 +291,13 @@ static PASSES: [&dyn AnalysisPass; 6] = [
 
 /// Runs the full analysis.
 pub fn grok(probe: &ProbeResult) -> GrokReport {
+    ddx_obs::counter("grok.runs", &[]).inc();
+    // One wall-time histogram handle per pass, resolved once per grok call
+    // (not per zone × pass) — `grok.pass_us{pass=…}` aggregates across runs.
+    let pass_timings: Vec<ddx_obs::Histogram> = PASSES
+        .iter()
+        .map(|p| ddx_obs::histogram("grok.pass_us", &[("pass", p.name())]))
+        .collect();
     let now = probe.time;
     let mut zone_reports = Vec::new();
     let mut any_lame = false;
@@ -319,9 +326,11 @@ pub fn grok(probe: &ProbeResult) -> GrokReport {
             || zp.servers.iter().any(server_has_sigs);
 
         if za.signed && !zp.is_lame() {
-            for pass in PASSES {
+            for (pass, timing) in PASSES.iter().zip(&pass_timings) {
                 let before = za.errors.len();
+                let timer = timing.start_timer();
                 pass.run(&mut za);
+                drop(timer);
                 ddx_dns::trace_event!(
                     target: "dnsviz::grok",
                     "pass complete",
@@ -383,6 +392,12 @@ fn collect_observation_gaps(zp: &ZoneProbe) -> Vec<ErrorDetail> {
                 },
             };
             if !gaps.contains(&gap) {
+                let kind = match gap {
+                    ErrorDetail::ServerUnreachable { .. } => "server_unreachable",
+                    ErrorDetail::ResponseTruncated { .. } => "response_truncated",
+                    _ => "malformed_response",
+                };
+                ddx_obs::counter("grok.observation_gaps", &[("kind", kind)]).inc();
                 gaps.push(gap);
             }
         };

@@ -189,6 +189,41 @@ impl ProbeResult {
     }
 }
 
+/// Global-registry handles for the probe walk, looked up once per
+/// [`Prober`]. The per-outcome counters mirror [`ServerHealth`], but
+/// aggregated over every server and every walk in the process, so a
+/// metrics snapshot can check `probe.queries.sent` against the sum of the
+/// outcome counters and `probe.queries.sent >= probe.queries.ok`.
+struct ProbeObs {
+    sent: ddx_obs::Counter,
+    ok: ddx_obs::Counter,
+    timeouts: ddx_obs::Counter,
+    truncated: ddx_obs::Counter,
+    malformed: ddx_obs::Counter,
+    refused: ddx_obs::Counter,
+    /// Attempts beyond the first for any (server, query).
+    retries: ddx_obs::Counter,
+    /// Virtual milliseconds spent in retry backoff (a subset of the walk's
+    /// total `virtual_ms`).
+    backoff_virtual_ms: ddx_obs::Counter,
+}
+
+impl ProbeObs {
+    fn new() -> Self {
+        let q = |event| ddx_obs::counter("probe.queries", &[("outcome", event)]);
+        ProbeObs {
+            sent: ddx_obs::counter("probe.queries.sent", &[]),
+            ok: q("ok"),
+            timeouts: q("timeout"),
+            truncated: q("truncated"),
+            malformed: q("malformed"),
+            refused: q("refused"),
+            retries: ddx_obs::counter("probe.retries", &[]),
+            backoff_virtual_ms: ddx_obs::counter("probe.backoff_virtual_ms", &[]),
+        }
+    }
+}
+
 /// The walk's query engine: wraps the network with the retry/backoff
 /// policy, tracks per-server health, and accumulates virtual time.
 struct Prober<'a> {
@@ -196,6 +231,7 @@ struct Prober<'a> {
     retry: RetryPolicy,
     health: BTreeMap<ServerId, ServerHealth>,
     virtual_ms: u64,
+    obs: ProbeObs,
 }
 
 /// Virtual cost of one query round-trip (ms).
@@ -208,6 +244,7 @@ impl<'a> Prober<'a> {
             retry,
             health: BTreeMap::new(),
             virtual_ms: 0,
+            obs: ProbeObs::new(),
         }
     }
 
@@ -230,7 +267,10 @@ impl<'a> Prober<'a> {
         for attempt in 0..attempts {
             if attempt > 0 {
                 // Exponential backoff, in virtual time only.
-                self.virtual_ms += self.retry.backoff_base_ms << (attempt - 1);
+                let backoff = self.retry.backoff_base_ms << (attempt - 1);
+                self.virtual_ms += backoff;
+                self.obs.retries.inc();
+                self.obs.backoff_virtual_ms.add(backoff);
             }
             self.virtual_ms += QUERY_COST_MS;
             let outcome = self
@@ -238,25 +278,31 @@ impl<'a> Prober<'a> {
                 .query_outcome(server, &Message::query(id, qname.clone(), qtype));
             let health = self.health.entry(server.clone()).or_default();
             health.sent += 1;
+            self.obs.sent.inc();
             match outcome {
                 QueryOutcome::Answer(m) if m.flags.tc => {
                     health.truncated += 1;
+                    self.obs.truncated.inc();
                     last = Some((FailureKind::Truncated, None));
                 }
                 QueryOutcome::Answer(m) if matches!(m.rcode, Rcode::Refused | Rcode::ServFail) => {
                     health.refused += 1;
+                    self.obs.refused.inc();
                     last = Some((FailureKind::Refused, Some(m)));
                 }
                 QueryOutcome::Answer(m) => {
                     health.ok += 1;
+                    self.obs.ok.inc();
                     return Some(m);
                 }
                 QueryOutcome::Timeout => {
                     health.timeouts += 1;
+                    self.obs.timeouts.inc();
                     last = Some((FailureKind::Timeout, None));
                 }
                 QueryOutcome::Malformed => {
                     health.malformed += 1;
+                    self.obs.malformed.inc();
                     last = Some((FailureKind::Malformed, None));
                 }
             }
@@ -374,6 +420,8 @@ impl<'a> Prober<'a> {
 
 /// Runs the full probe walk.
 pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
+    ddx_obs::counter("probe.walks", &[]).inc();
+    let _walk_timer = ddx_obs::histogram("probe.walk_us", &[]).start_timer();
     ddx_dns::trace_span!(
         _walk_span,
         target: "dnsviz::probe",

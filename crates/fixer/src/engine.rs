@@ -80,6 +80,30 @@ impl FixRun {
     }
 }
 
+/// Feeds one iteration's outcome into the global metrics registry:
+/// `fixer.iterations`, one `fixer.deferred{code=…}` bump per deferred root
+/// cause, and one `fixer.instructions{kind=…}` bump per planned
+/// instruction. Shared by the DFixer and naive harnesses so their runs are
+/// comparable in one snapshot.
+fn record_iteration_metrics(log: &IterationLog) {
+    ddx_obs::counter("fixer.iterations", &[]).inc();
+    for code in &log.deferred {
+        ddx_obs::counter("fixer.deferred", &[("code", code.ident().as_str())]).inc();
+    }
+    for instr in &log.plan {
+        let kind = format!("{:?}", instr.kind());
+        ddx_obs::counter("fixer.instructions", &[("kind", kind.as_str())]).inc();
+    }
+}
+
+/// Feeds a completed run's outcome into the registry, labeled by harness.
+fn record_run_metrics(mode: &str, run: &FixRun) {
+    ddx_obs::counter("fixer.runs", &[("mode", mode)]).inc();
+    if run.fixed {
+        ddx_obs::counter("fixer.fixed_runs", &[("mode", mode)]).inc();
+    }
+}
+
 /// Builds the command-rendering context, populating the key-file names the
 /// way BIND's key directory would (Fig 8 prints real `K<zone>+alg+tag`
 /// stems).
@@ -176,6 +200,7 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             instructions = log.plan.len(),
         );
         let empty_plan = resolution.plan.is_empty();
+        record_iteration_metrics(&log);
         now = apply_plan(sb, &resolution.plan, now, &mut rng);
         iterations.push(log);
         if empty_plan {
@@ -192,12 +217,14 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
         grok(&probe(&sb.testbed, &probe_cfg))
     });
     let final_errors = final_report.codes();
-    FixRun {
+    let run = FixRun {
         iterations,
         fixed: final_errors.is_empty(),
         final_status: final_report.status,
         final_errors,
-    }
+    };
+    record_run_metrics("dfixer", &run);
+    run
 }
 
 /// Runs the naive baseline planner (paper Appendix A.2 stand-in) in the
@@ -238,6 +265,7 @@ pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             .last()
             .map(|prev: &IterationLog| prev.plan == plan)
             .unwrap_or(false);
+        record_iteration_metrics(&log);
         now = apply_plan(sb, &plan, now, &mut rng);
         iterations.push(log);
         if empty_plan || stalled {
@@ -252,12 +280,14 @@ pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
         grok(&probe(&sb.testbed, &probe_cfg))
     });
     let final_errors = final_report.codes();
-    FixRun {
+    let run = FixRun {
         iterations,
         fixed: final_errors.is_empty(),
         final_status: final_report.status,
         final_errors,
-    }
+    };
+    record_run_metrics("naive", &run);
+    run
 }
 
 /// Applies a plan to the sandbox; returns the (possibly advanced) clock.

@@ -60,12 +60,36 @@ const MEMO_CAP: usize = 8_192;
 /// Per-server answer memo plus the lazily built per-generation zone
 /// indexes. Interior-mutable (the server answers through `&self` from
 /// multiple transport threads).
-#[derive(Debug, Default)]
+///
+/// Hits and misses are double-counted: per-instance atomics feed the
+/// legacy [`AnswerMemo::stats`] tuple, and the process-wide
+/// `server.answer_memo.{lookups,hits,misses}` counters in the [`ddx_obs`]
+/// registry aggregate across every server. `lookups` counts every
+/// [`AnswerMemo::get`] call, so `hits + misses == lookups` is an invariant
+/// a metrics snapshot can check.
+#[derive(Debug)]
 pub struct AnswerMemo {
     entries: Mutex<HashMap<(u64, AnswerKey), Arc<Message>>>,
     indexes: Mutex<HashMap<Name, Arc<ZoneIndex>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs_lookups: ddx_obs::Counter,
+    obs_hits: ddx_obs::Counter,
+    obs_misses: ddx_obs::Counter,
+}
+
+impl Default for AnswerMemo {
+    fn default() -> Self {
+        AnswerMemo {
+            entries: Mutex::default(),
+            indexes: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            obs_lookups: ddx_obs::counter("server.answer_memo.lookups", &[]),
+            obs_hits: ddx_obs::counter("server.answer_memo.hits", &[]),
+            obs_misses: ddx_obs::counter("server.answer_memo.misses", &[]),
+        }
+    }
 }
 
 impl AnswerMemo {
@@ -77,9 +101,11 @@ impl AnswerMemo {
     /// `generation`. Counts a hit or miss.
     pub fn get(&self, generation: u64, key: &AnswerKey) -> Option<Arc<Message>> {
         let hit = self.entries.lock().get(&(generation, key.clone())).cloned();
+        self.obs_lookups.inc();
         match &hit {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 ddx_dns::trace_event!(
                     target: "server::memo",
                     "answer cache hit",
@@ -89,6 +115,7 @@ impl AnswerMemo {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
                 ddx_dns::trace_event!(
                     target: "server::memo",
                     "answer cache miss",

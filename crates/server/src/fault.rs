@@ -185,6 +185,42 @@ impl FaultStats {
     }
 }
 
+/// Global-registry handles mirroring [`FaultStats`], created once per
+/// decorator. `queries` counts every [`Network::query_outcome`] call through
+/// the decorator and every other counter fires exactly once per call, so
+/// `server.fault.passed + Σ server.fault.injected{kind=…} ==
+/// server.fault.queries` is an invariant a metrics snapshot can check.
+struct FaultObs {
+    queries: ddx_obs::Counter,
+    passed: ddx_obs::Counter,
+    drops: ddx_obs::Counter,
+    timeouts: ddx_obs::Counter,
+    slow: ddx_obs::Counter,
+    truncated: ddx_obs::Counter,
+    refused: ddx_obs::Counter,
+    servfail: ddx_obs::Counter,
+    corrupted: ddx_obs::Counter,
+    flap_drops: ddx_obs::Counter,
+}
+
+impl FaultObs {
+    fn new() -> Self {
+        let injected = |kind| ddx_obs::counter("server.fault.injected", &[("kind", kind)]);
+        FaultObs {
+            queries: ddx_obs::counter("server.fault.queries", &[]),
+            passed: ddx_obs::counter("server.fault.passed", &[]),
+            drops: injected("drop"),
+            timeouts: injected("timeout"),
+            slow: injected("slow"),
+            truncated: injected("truncate"),
+            refused: injected("refused"),
+            servfail: injected("servfail"),
+            corrupted: injected("corrupt"),
+            flap_drops: injected("flap_down"),
+        }
+    }
+}
+
 #[derive(Default)]
 struct FaultState {
     /// Attempt counter per (server, qname-key, qtype): how many times this
@@ -204,6 +240,7 @@ pub struct FaultNetwork<'a> {
     inner: &'a dyn Network,
     plan: FaultPlan,
     state: Mutex<FaultState>,
+    obs: FaultObs,
 }
 
 /// Virtual cost of one query round-trip (ms). Only the *ratios* matter —
@@ -216,6 +253,7 @@ impl<'a> FaultNetwork<'a> {
             inner,
             plan,
             state: Mutex::new(FaultState::default()),
+            obs: FaultObs::new(),
         }
     }
 
@@ -324,13 +362,16 @@ impl Network for FaultNetwork<'_> {
     }
 
     fn query_outcome(&self, server: &ServerId, query: &Message) -> QueryOutcome {
+        self.obs.queries.inc();
         // Exact passthrough: no draw, no clock, no counters beyond `passed`.
         if self.plan.is_passthrough() {
             self.state.lock().stats.passed += 1;
+            self.obs.passed.inc();
             return self.inner.query_outcome(server, query);
         }
         let Some(q) = &query.question else {
             self.state.lock().stats.passed += 1;
+            self.obs.passed.inc();
             return self.inner.query_outcome(server, query);
         };
         let (qname, qtype) = (q.qname.clone(), q.qtype);
@@ -355,6 +396,7 @@ impl Network for FaultNetwork<'_> {
             .unwrap_or(false)
         {
             self.state.lock().stats.passed += 1;
+            self.obs.passed.inc();
             return self.inner.query_outcome(server, query);
         }
 
@@ -367,6 +409,7 @@ impl Network for FaultNetwork<'_> {
 
         if !healed && self.flap_down(server, now_ms) {
             self.state.lock().stats.flap_drops += 1;
+            self.obs.flap_drops.inc();
             ddx_dns::trace_event!(
                 target: "server::fault",
                 "fault injected",
@@ -382,6 +425,7 @@ impl Network for FaultNetwork<'_> {
         let fault = if healed { None } else { self.pick_fault(roll) };
         let Some(fault) = fault else {
             self.state.lock().stats.passed += 1;
+            self.obs.passed.inc();
             return self.inner.query_outcome(server, query);
         };
         ddx_dns::trace_event!(
@@ -397,10 +441,12 @@ impl Network for FaultNetwork<'_> {
         match fault {
             FaultKind::Drop => {
                 self.state.lock().stats.drops += 1;
+                self.obs.drops.inc();
                 QueryOutcome::Timeout
             }
             FaultKind::Timeout => {
                 self.state.lock().stats.timeouts += 1;
+                self.obs.timeouts.inc();
                 QueryOutcome::Timeout
             }
             _ => {
@@ -409,6 +455,7 @@ impl Network for FaultNetwork<'_> {
                 let inner = self.inner.query_outcome(server, query);
                 let QueryOutcome::Answer(resp) = inner else {
                     self.state.lock().stats.passed += 1;
+                    self.obs.passed.inc();
                     return inner;
                 };
                 match fault {
@@ -416,22 +463,27 @@ impl Network for FaultNetwork<'_> {
                         let mut st = self.state.lock();
                         st.stats.slow += 1;
                         st.clock_ms += self.plan.slow_latency_ms;
+                        self.obs.slow.inc();
                         QueryOutcome::Answer(resp)
                     }
                     FaultKind::Truncate => {
                         self.state.lock().stats.truncated += 1;
+                        self.obs.truncated.inc();
                         QueryOutcome::Answer(self.rewrite(&resp, None, true))
                     }
                     FaultKind::Refused => {
                         self.state.lock().stats.refused += 1;
+                        self.obs.refused.inc();
                         QueryOutcome::Answer(self.rewrite(&resp, Some(Rcode::Refused), false))
                     }
                     FaultKind::ServFail => {
                         self.state.lock().stats.servfail += 1;
+                        self.obs.servfail.inc();
                         QueryOutcome::Answer(self.rewrite(&resp, Some(Rcode::ServFail), false))
                     }
                     FaultKind::Corrupt => {
                         self.state.lock().stats.corrupted += 1;
+                        self.obs.corrupted.inc();
                         self.corrupt(&resp, roll)
                     }
                     FaultKind::Drop | FaultKind::Timeout => unreachable!("handled above"),

@@ -66,6 +66,11 @@ pub struct ZoneIndex {
     /// Every owner hash decodes, hashes are unique, and the ring closes in
     /// hash order.
     nsec3_well_formed: bool,
+    /// Global `server.zone_index.fast_path` / `.fallback` counters: each
+    /// `find_*` lookup bumps one of them depending on whether it took the
+    /// binary-search shortcut or the linear malformed-chain walk.
+    obs_fast_path: ddx_obs::Counter,
+    obs_fallback: ddx_obs::Counter,
 }
 
 impl ZoneIndex {
@@ -149,6 +154,7 @@ impl ZoneIndex {
                 })
         });
 
+        ddx_obs::counter("server.zone_index.builds", &[]).inc();
         ZoneIndex {
             generation: zone.generation(),
             uses_nsec3,
@@ -158,6 +164,8 @@ impl ZoneIndex {
             nsec3_ring,
             nsec3_sorted,
             nsec3_well_formed,
+            obs_fast_path: ddx_obs::counter("server.zone_index.fast_path", &[]),
+            obs_fallback: ddx_obs::counter("server.zone_index.fallback", &[]),
         }
     }
 
@@ -189,12 +197,14 @@ impl ZoneIndex {
             }
         };
         if !self.nsec_well_formed {
+            self.obs_fallback.inc();
             return self
                 .nsec_chain
                 .iter()
                 .find(|e| matches(e))
                 .map(|e| &e.owner);
         }
+        self.obs_fast_path.inc();
         // Well-formed chain: the only sets that can satisfy the predicate
         // are the exact-owner set and the covering arc, which (owners being
         // strictly ascending and the chain closed) is the canonical
@@ -219,12 +229,14 @@ impl ZoneIndex {
     pub fn find_nsec3_match(&self, target: &Name, salt: &[u8], iterations: u16) -> Option<&Name> {
         let h = nsec3_hash(target, salt, iterations);
         if !self.nsec3_well_formed {
+            self.obs_fallback.inc();
             return self
                 .nsec3_ring
                 .iter()
                 .find(|e| e.owner_hash.as_deref() == Some(&h[..]))
                 .map(|e| &e.owner);
         }
+        self.obs_fast_path.inc();
         self.nsec3_sorted
             .binary_search_by(|&i| self.nsec3_ring[i].owner_hash.as_deref().cmp(&Some(&h[..])))
             .ok()
@@ -242,8 +254,10 @@ impl ZoneIndex {
                 .unwrap_or(false)
         };
         if !self.nsec3_well_formed {
+            self.obs_fallback.inc();
             return self.nsec3_ring.iter().find(|e| covers(e)).map(|e| &e.owner);
         }
+        self.obs_fast_path.inc();
         // Well-formed ring: hashes are unique and arcs close, so at most
         // one arc covers `h` — the hash-order predecessor, wrapping.
         let n = self.nsec3_sorted.len();

@@ -87,6 +87,56 @@ fn zreplicator_replicates_and_dumps_zones() {
 }
 
 #[test]
+fn dfixer_metrics_out_dumps_every_subsystem() {
+    let path = std::env::temp_dir().join("ddx_cli_metrics.json");
+    let path_s = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let out = dfixer()
+        .args([
+            "--errors",
+            "RrsigExpired",
+            "--nsec3",
+            "--auto",
+            "--metrics-out",
+            path_s,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The run report lands on stdout…
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== metrics"), "{text}");
+    assert!(text.contains("| counter |"), "{text}");
+    // …and the JSON dump round-trips into a MetricsSnapshot covering every
+    // counter family the run exercised: the formerly bespoke stats surfaces
+    // (SigCache, NSEC3 memo, answer memo) plus probe/grok/fixer.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let snap = ddx_obs::MetricsSnapshot::from_json(&json).unwrap();
+    for key in [
+        "dnssec.sig_cache.misses",
+        "dnssec.nsec3_memo.misses",
+        "server.answer_memo.lookups",
+        "probe.queries.sent",
+        "grok.runs",
+        "fixer.iterations",
+    ] {
+        assert!(
+            snap.counters.get(key).copied().unwrap_or(0) > 0,
+            "counter {key} missing or zero in {json}"
+        );
+    }
+    assert!(
+        snap.histograms.contains_key("probe.walk_us"),
+        "probe walk histogram missing"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn zreplicator_fails_on_unreplicable_code() {
     let out = zreplicator()
         .args(["--errors", "Nsec3OwnerNotBase32"])

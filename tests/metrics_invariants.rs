@@ -1,0 +1,122 @@
+//! Cross-crate observability invariants: the global-registry deltas over a
+//! full pipeline run must balance exactly — every answer-memo lookup is a
+//! hit or a miss, every fault draw is passed or injected, every probe query
+//! lands in exactly one outcome bucket — and the legacy per-instance
+//! accessors must agree with the registry deltas they mirror.
+//!
+//! Everything lives in ONE `#[test]` function: the registry is
+//! process-global, and a concurrently running sibling test in this binary
+//! would bump counters between our before/after snapshots.
+
+use ddx::prelude::*;
+use ddx::EvalConfig;
+use ddx_server::{FaultNetwork, FaultPlan};
+
+fn counter(m: &MetricsSnapshot, key: &str) -> u64 {
+    m.counters.get(key).copied().unwrap_or(0)
+}
+
+/// Sums every counter in the labeled family `prefix` (rendered keys look
+/// like `server.fault.injected{kind=drop}`).
+fn counter_family(m: &MetricsSnapshot, prefix: &str) -> u64 {
+    m.counters
+        .iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[test]
+fn pipeline_metrics_balance_and_match_legacy_accessors() {
+    let corpus = generate(&CorpusConfig {
+        scale: 0.002,
+        seed: 21,
+    });
+
+    // --- Chaos run: a uniform fault plan exercises the injection counters.
+    let cfg = EvalConfig {
+        max_snapshots: 16,
+        fault_plan: Some(FaultPlan::uniform(7, 60)),
+        ..Default::default()
+    };
+    let summary = ddx::evaluate_corpus_seq(&corpus, &cfg);
+    let m = &summary.metrics;
+
+    assert_eq!(counter(m, "pipeline.snapshots"), summary.total().snapshots);
+    // One probe walk per GE diagnosis plus one per fixer iteration.
+    assert!(counter(m, "probe.walks") >= summary.total().snapshots);
+    let sent = counter(m, "probe.queries.sent");
+    let outcomes = counter_family(m, "probe.queries{");
+    assert!(sent > 0, "pipeline sent no probe queries");
+    assert_eq!(outcomes, sent, "every probe query has exactly one outcome");
+    assert!(counter(m, "probe.queries{outcome=ok}") <= sent);
+
+    // Answer memo: hits + misses == lookups.
+    let lookups = counter(m, "server.answer_memo.lookups");
+    assert!(lookups > 0, "no server traffic recorded");
+    assert_eq!(
+        counter(m, "server.answer_memo.hits") + counter(m, "server.answer_memo.misses"),
+        lookups,
+    );
+
+    // Fault accounting: passed + Σ injected == draws.
+    let draws = counter(m, "server.fault.queries");
+    assert!(draws > 0, "the fault plan saw no traffic");
+    let injected = counter_family(m, "server.fault.injected{");
+    assert!(injected > 0, "uniform 60‰ plan injected nothing");
+    assert_eq!(counter(m, "server.fault.passed") + injected, draws);
+
+    // Stage timers cover every snapshot.
+    let replicate_stage = m
+        .histograms
+        .get("pipeline.stage_us{stage=replicate}")
+        .expect("replicate stage timed");
+    assert_eq!(replicate_stage.count, summary.total().snapshots);
+
+    // --- Passthrough run: an all-zero fault plan must draw on every query
+    // yet inject nothing.
+    let cfg = EvalConfig {
+        max_snapshots: 8,
+        fault_plan: Some(FaultPlan::none(7)),
+        ..Default::default()
+    };
+    let summary = ddx::evaluate_corpus_seq(&corpus, &cfg);
+    let m = &summary.metrics;
+    let draws = counter(m, "server.fault.queries");
+    assert!(draws > 0, "passthrough plan saw no traffic");
+    assert_eq!(counter_family(m, "server.fault.injected{"), 0);
+    assert_eq!(counter(m, "server.fault.passed"), draws);
+
+    // --- Legacy accessor parity: with this test single-threaded and alone
+    // in its binary, an instance's stats delta IS the registry delta.
+    let request = ReplicationRequest {
+        meta: ZoneMeta::default(),
+        intended: std::collections::BTreeSet::from([ErrorCode::RrsigExpired]),
+    };
+    let rep = replicate(&request, 1_000_000, 0xB0B).expect("replicates");
+    let net = FaultNetwork::new(&rep.sandbox.testbed, FaultPlan::uniform(3, 40));
+    let (hits_before, misses_before) = rep.sandbox.testbed.answer_cache_stats();
+    let before = ddx_obs::snapshot();
+    let _report = grok(&probe(&net, &rep.probe));
+    let delta = ddx_obs::snapshot().diff(&before);
+
+    let stats = net.fault_stats();
+    assert_eq!(
+        counter(&delta, "server.fault.queries"),
+        stats.passed + stats.injected(),
+    );
+    assert_eq!(counter(&delta, "server.fault.passed"), stats.passed);
+    assert_eq!(
+        counter_family(&delta, "server.fault.injected{"),
+        stats.injected(),
+    );
+    let (hits_after, misses_after) = rep.sandbox.testbed.answer_cache_stats();
+    assert_eq!(
+        counter(&delta, "server.answer_memo.hits"),
+        hits_after - hits_before,
+    );
+    assert_eq!(
+        counter(&delta, "server.answer_memo.misses"),
+        misses_after - misses_before,
+    );
+}
