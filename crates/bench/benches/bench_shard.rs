@@ -1,0 +1,58 @@
+//! Shard ablation: the cost of a memoized answer on the sharded memo —
+//! single-threaded (pure overhead vs the old single-map memo) and with 8
+//! threads hammering one server (the contention case sharding exists for)
+//! — plus the `encode` vs `encode_into` buffer-reuse split the batched
+//! transport and loadgen rely on.
+//!
+//! Full transport scaling (worker counts, batched syscalls, rate limiting)
+//! is measured by `ddx-loadgen --scan-workers` per EXPERIMENTS.md; keeping
+//! it out of criterion keeps the CI bench smoke fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ddx_dns::{name, wire, Message, RrType};
+use ddx_server::sandbox::{build_sandbox, ZoneSpec};
+
+fn bench(c: &mut Criterion) {
+    let sb = build_sandbox(&[ZoneSpec::conventional(name("bench.test"))], 1_000_000, 7);
+    let server = sb.testbed.server(&sb.zones[0].servers[0]).unwrap().clone();
+    let q = Message::query(1, name("www.bench.test"), RrType::A);
+    // Populate the memo so every measured call is a hit.
+    let warm = server.handle(&q).expect("sandbox answers www");
+
+    c.bench_function("memo_hit_sharded_single_thread", |b| {
+        b.iter(|| black_box(server.handle(&q)))
+    });
+
+    c.bench_function("memo_hit_sharded_8_threads", |b| {
+        b.iter_custom(|iters| {
+            let started = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..8u16 {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let q = Message::query(t + 2, name("www.bench.test"), RrType::A);
+                        for _ in 0..iters {
+                            black_box(server.handle(&q));
+                        }
+                    });
+                }
+            });
+            started.elapsed()
+        })
+    });
+
+    c.bench_function("wire_encode_fresh_alloc", |b| {
+        b.iter(|| black_box(wire::encode(&warm)))
+    });
+    c.bench_function("wire_encode_into_reused_buf", |b| {
+        let mut buf = Vec::with_capacity(1_024);
+        b.iter(|| {
+            wire::encode_into(&warm, &mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

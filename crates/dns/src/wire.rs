@@ -53,6 +53,16 @@ impl Encoder {
         }
     }
 
+    /// Encodes into a caller-provided buffer (cleared first), so batched
+    /// transports and load generators can reuse one allocation per slot.
+    fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder {
+            buf,
+            offsets: HashMap::new(),
+        }
+    }
+
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -151,7 +161,16 @@ impl Encoder {
 
 /// Serializes a message to wire format.
 pub fn encode(msg: &Message) -> Vec<u8> {
-    let mut e = Encoder::new();
+    encode_with(Encoder::new(), msg)
+}
+
+/// Serializes a message into `buf` (cleared first), reusing its capacity.
+pub fn encode_into(msg: &Message, buf: &mut Vec<u8>) {
+    let owned = std::mem::take(buf);
+    *buf = encode_with(Encoder::with_buf(owned), msg);
+}
+
+fn encode_with(mut e: Encoder, msg: &Message) -> Vec<u8> {
     e.u16(msg.id);
     let f = &msg.flags;
     let mut word: u16 = 0;
@@ -552,6 +571,20 @@ mod tests {
 
     fn round_trip(msg: &Message) -> Message {
         decode(&encode(msg)).expect("decode")
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let msg = sample_response();
+        let fresh = encode(&msg);
+        let mut buf = Vec::new();
+        encode_into(&msg, &mut buf);
+        assert_eq!(buf, fresh);
+        // A second encode into the same (now dirty, larger) buffer must
+        // clear it and produce identical bytes.
+        let small = Message::query(1, name("a.example.com"), RrType::A);
+        encode_into(&small, &mut buf);
+        assert_eq!(buf, encode(&small));
     }
 
     fn sample_response() -> Message {

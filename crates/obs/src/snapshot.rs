@@ -23,6 +23,27 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Quantile estimate from the bucketed counts: the upper bound of the
+    /// bucket holding the q-th sample (`0.0 < q <= 1.0`). Samples in the
+    /// overflow bucket report the last finite bound. Returns 0 when empty.
+    /// An upper-bound estimate is coarse but monotone and never understates
+    /// a tail — the right bias for latency SLO reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let idx = i.min(self.bounds.len() - 1);
+                return self.bounds[idx];
+            }
+        }
+        *self.bounds.last().expect("bounds checked non-empty")
+    }
 }
 
 /// Every registered metric at one instant, keyed by the rendered
@@ -184,6 +205,25 @@ mod tests {
         let h = d.histograms.get("a.lat_us").unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 60);
+    }
+
+    #[test]
+    fn quantile_reads_bucket_upper_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("q.lat_us", &[], &[10, 100, 1_000]);
+        for _ in 0..98 {
+            h.record(5); // bucket ≤10
+        }
+        h.record(500); // bucket ≤1_000
+        h.record(5_000); // overflow bucket
+        let snap = reg.snapshot();
+        let hs = snap.histograms.get("q.lat_us").unwrap();
+        assert_eq!(hs.quantile(0.50), 10);
+        assert_eq!(hs.quantile(0.98), 10);
+        assert_eq!(hs.quantile(0.99), 1_000);
+        // Overflow samples clamp to the last finite bound.
+        assert_eq!(hs.quantile(1.0), 1_000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Generation-stamped answer memoization for [`Server`](crate::Server).
+//! Generation-stamped, qname-sharded answer memoization for
+//! [`Server`](crate::Server).
 //!
 //! The probe→grok→fix loop re-issues the same ~7 queries per server per
 //! zone on every DFixer iteration, and most iterations change nothing on
@@ -9,6 +10,19 @@
 //! query with an `Arc` pointer bump. Any zone mutation draws a fresh
 //! generation, which makes every old entry unreachable — invalidation is
 //! implicit in the key.
+//!
+//! # Sharding
+//!
+//! The memo is split into [`AnswerMemo::shard_count`] independent shards,
+//! selected by an FNV-1a hash of the query name's lowercased label bytes.
+//! Each shard owns its own entry map, its own per-generation
+//! [`ZoneIndex`] cache, and its own counters, so transport workers
+//! hammering one server from many threads contend only when two in-flight
+//! queries hash to the same shard. Entries for one qname always land in
+//! one shard (the hash ignores qtype/DO), which keeps the per-shard
+//! `lookups == hits + misses` accounting exact under concurrency and makes
+//! the clear-at-cap eviction local: a hot shard flushing does not dump the
+//! whole process's working set.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,42 +67,91 @@ impl AnswerKey {
     }
 }
 
-/// Entry cap; reaching it clears the memo (stale generations dominate a
-/// full table, so wholesale eviction is both simplest and correct).
-const MEMO_CAP: usize = 8_192;
+/// Default shard count: enough to keep 8 transport workers from serializing
+/// on one mutex, small enough that per-shard index duplication stays cheap.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default per-shard entry cap. With [`DEFAULT_SHARDS`] shards this keeps
+/// the historical 8,192-entry process total; reaching the cap clears that
+/// shard only (stale generations dominate a full table, so wholesale
+/// per-shard eviction is both simplest and correct).
+pub const DEFAULT_SHARD_CAP: usize = 1_024;
+
+/// Stable FNV-1a over the lowercased label bytes of `qname` (length-
+/// prefixed, so `("ab","c")` and `("a","bc")` hash apart). Case-insensitive
+/// to match DNS name equality: `WWW.example.com` and `www.example.com`
+/// must land in the same shard.
+fn qname_shard_hash(qname: &Name) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for label in qname.labels() {
+        h ^= label.len() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for &b in label.as_bytes() {
+            h ^= b.to_ascii_lowercase() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Per-shard snapshot of memo counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub lookups: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries dropped by clear-at-cap flushes of this shard.
+    pub evictions: u64,
+}
+
+/// One memo shard: its slice of the entry space plus its own index cache
+/// and counters. Never shared across shards, so contention is bounded by
+/// qname-hash collisions.
+#[derive(Debug, Default)]
+struct MemoShard {
+    entries: Mutex<HashMap<(u64, AnswerKey), Arc<Message>>>,
+    indexes: Mutex<HashMap<Name, Arc<ZoneIndex>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MemoShard {
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Per-server answer memo plus the lazily built per-generation zone
-/// indexes. Interior-mutable (the server answers through `&self` from
-/// multiple transport threads).
+/// indexes, sharded by qname hash. Interior-mutable (the server answers
+/// through `&self` from multiple transport threads).
 ///
 /// Hits and misses are double-counted: per-instance atomics feed the
 /// legacy [`AnswerMemo::stats`] tuple, and the process-wide
-/// `server.answer_memo.{lookups,hits,misses}` counters in the [`ddx_obs`]
-/// registry aggregate across every server. `lookups` counts every
-/// [`AnswerMemo::get`] call, so `hits + misses == lookups` is an invariant
-/// a metrics snapshot can check.
+/// `server.answer_memo.{lookups,hits,misses,evictions}` counters in the
+/// [`ddx_obs`] registry aggregate across every server. `lookups` counts
+/// every [`AnswerMemo::get`] call, so `hits + misses == lookups` is an
+/// invariant a metrics snapshot can check — per shard as well as globally.
 #[derive(Debug)]
 pub struct AnswerMemo {
-    entries: Mutex<HashMap<(u64, AnswerKey), Arc<Message>>>,
-    indexes: Mutex<HashMap<Name, Arc<ZoneIndex>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<MemoShard>,
+    /// Per-shard entry cap; a shard reaching it is cleared wholesale.
+    shard_cap: usize,
     obs_lookups: ddx_obs::Counter,
     obs_hits: ddx_obs::Counter,
     obs_misses: ddx_obs::Counter,
+    obs_evictions: ddx_obs::Counter,
 }
 
 impl Default for AnswerMemo {
     fn default() -> Self {
-        AnswerMemo {
-            entries: Mutex::default(),
-            indexes: Mutex::default(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            obs_lookups: ddx_obs::counter("server.answer_memo.lookups", &[]),
-            obs_hits: ddx_obs::counter("server.answer_memo.hits", &[]),
-            obs_misses: ddx_obs::counter("server.answer_memo.misses", &[]),
-        }
+        AnswerMemo::with_config(DEFAULT_SHARDS, DEFAULT_SHARD_CAP)
     }
 }
 
@@ -97,14 +160,49 @@ impl AnswerMemo {
         AnswerMemo::default()
     }
 
+    /// A memo with `shards` shards of at most `shard_cap` entries each.
+    /// `shards` is clamped to at least 1.
+    pub fn with_config(shards: usize, shard_cap: usize) -> Self {
+        let shards = shards.max(1);
+        AnswerMemo {
+            shards: (0..shards).map(|_| MemoShard::default()).collect(),
+            shard_cap: shard_cap.max(1),
+            obs_lookups: ddx_obs::counter("server.answer_memo.lookups", &[]),
+            obs_hits: ddx_obs::counter("server.answer_memo.hits", &[]),
+            obs_misses: ddx_obs::counter("server.answer_memo.misses", &[]),
+            obs_evictions: ddx_obs::counter("server.answer_memo.evictions", &[]),
+        }
+    }
+
+    /// Number of shards this memo was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry cap this memo was built with.
+    pub fn shard_cap(&self) -> usize {
+        self.shard_cap
+    }
+
+    fn shard_for(&self, qname: &Name) -> &MemoShard {
+        let idx = (qname_shard_hash(qname) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
     /// Looks up a cached response for `key` under zone generation
-    /// `generation`. Counts a hit or miss.
+    /// `generation`. Counts a hit or miss on the owning shard.
     pub fn get(&self, generation: u64, key: &AnswerKey) -> Option<Arc<Message>> {
-        let hit = self.entries.lock().get(&(generation, key.clone())).cloned();
+        let shard = self.shard_for(&key.qname);
+        shard.lookups.fetch_add(1, Ordering::Relaxed);
         self.obs_lookups.inc();
+        let hit = shard
+            .entries
+            .lock()
+            .get(&(generation, key.clone()))
+            .cloned();
         match &hit {
             Some(_) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 self.obs_hits.inc();
                 ddx_dns::trace_event!(
                     target: "server::memo",
@@ -114,7 +212,7 @@ impl AnswerMemo {
                 );
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 self.obs_misses.inc();
                 ddx_dns::trace_event!(
                     target: "server::memo",
@@ -127,19 +225,27 @@ impl AnswerMemo {
         hit
     }
 
-    /// Stores a freshly computed response.
+    /// Stores a freshly computed response in the qname's shard, flushing
+    /// the shard first when it is at capacity (counted as evictions).
     pub fn insert(&self, generation: u64, key: AnswerKey, response: Arc<Message>) {
-        let mut entries = self.entries.lock();
-        if entries.len() >= MEMO_CAP {
+        let shard = self.shard_for(&key.qname);
+        let mut entries = shard.entries.lock();
+        if entries.len() >= self.shard_cap {
+            let dropped = entries.len() as u64;
             entries.clear();
+            shard.evictions.fetch_add(dropped, Ordering::Relaxed);
+            self.obs_evictions.add(dropped);
         }
         entries.insert((generation, key), response);
     }
 
     /// The index for `zone`, rebuilt if the cached one belongs to an older
-    /// generation.
-    pub fn index_for(&self, zone: &Zone) -> Arc<ZoneIndex> {
-        let mut indexes = self.indexes.lock();
+    /// generation. The index cache lives on the shard owning `qname`, so
+    /// each shard holds its own copy — shared-nothing at the price of up to
+    /// `shard_count` builds per zone generation.
+    pub fn index_for(&self, zone: &Zone, qname: &Name) -> Arc<ZoneIndex> {
+        let shard = self.shard_for(qname);
+        let mut indexes = shard.indexes.lock();
         match indexes.get(zone.apex()) {
             Some(idx) if idx.generation() == zone.generation() => Arc::clone(idx),
             _ => {
@@ -150,11 +256,110 @@ impl AnswerMemo {
         }
     }
 
-    /// (hits, misses) so far.
+    /// (hits, misses) so far, summed across shards.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            (
+                h + s.hits.load(Ordering::Relaxed),
+                m + s.misses.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Total evictions across shards (entries dropped by cap flushes).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddx_dns::name;
+
+    fn key(qname: &str) -> AnswerKey {
+        AnswerKey {
+            qname: name(qname),
+            qtype: RrType::A,
+            qclass: RrClass::In,
+            rd: false,
+            edns: None,
+        }
+    }
+
+    fn resp() -> Arc<Message> {
+        Arc::new(Message::query(1, name("x.test"), RrType::A))
+    }
+
+    #[test]
+    fn shard_hash_is_case_insensitive() {
+        assert_eq!(
+            qname_shard_hash(&name("WWW.Example.COM")),
+            qname_shard_hash(&name("www.example.com"))
+        );
+        assert_ne!(
+            qname_shard_hash(&name("a.example.com")),
+            qname_shard_hash(&name("b.example.com"))
+        );
+    }
+
+    #[test]
+    fn per_shard_accounting_sums_to_totals() {
+        let memo = AnswerMemo::with_config(4, 64);
+        for i in 0..32 {
+            let k = key(&format!("q{i}.example.com"));
+            assert!(memo.get(1, &k).is_none());
+            memo.insert(1, k.clone(), resp());
+            assert!(memo.get(1, &k).is_some());
+        }
+        let (hits, misses) = memo.stats();
+        assert_eq!((hits, misses), (32, 32));
+        let shards = memo.shard_stats();
+        assert_eq!(shards.len(), 4);
+        for s in &shards {
+            assert_eq!(s.lookups, s.hits + s.misses, "per-shard invariant");
+        }
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), 32);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn cap_flush_counts_evictions_and_stays_local() {
+        // One shard, cap 4: the fifth insert flushes the first four.
+        let memo = AnswerMemo::with_config(1, 4);
+        for i in 0..5 {
+            memo.insert(1, key(&format!("q{i}.example.com")), resp());
+        }
+        assert_eq!(memo.evictions(), 4);
+        // The freshly inserted fifth entry survived the flush.
+        assert!(memo.get(1, &key("q4.example.com")).is_some());
+        // A pre-flush entry is gone (miss).
+        assert!(memo.get(1, &key("q0.example.com")).is_none());
+    }
+
+    #[test]
+    fn same_qname_different_types_share_a_shard() {
+        let memo = AnswerMemo::with_config(8, 64);
+        let mut k1 = key("multi.example.com");
+        let mut k2 = key("multi.example.com");
+        k1.qtype = RrType::A;
+        k2.qtype = RrType::Aaaa;
+        memo.insert(1, k1, resp());
+        memo.insert(1, k2, resp());
+        let populated: Vec<_> = memo
+            .shards
+            .iter()
+            .filter(|s| !s.entries.lock().is_empty())
+            .collect();
+        assert_eq!(populated.len(), 1, "one qname ⇒ one shard");
+        assert_eq!(populated[0].entries.lock().len(), 2);
     }
 }

@@ -65,7 +65,7 @@ impl Clone for Server {
             id: self.id.clone(),
             behavior: self.behavior,
             zones: self.zones.clone(),
-            memo: AnswerMemo::new(),
+            memo: AnswerMemo::with_config(self.memo.shard_count(), self.memo.shard_cap()),
         }
     }
 }
@@ -105,6 +105,26 @@ impl Server {
     /// Answer-memo counters: `(hits, misses)` since this server was built.
     pub fn answer_cache_stats(&self) -> (u64, u64) {
         self.memo.stats()
+    }
+
+    /// Per-shard answer-memo counters (lookups/hits/misses/evictions), in
+    /// shard order — the concurrency tests check `lookups == hits + misses`
+    /// holds on every shard under contention.
+    pub fn answer_memo_shard_stats(&self) -> Vec<crate::answer::ShardStats> {
+        self.memo.shard_stats()
+    }
+
+    /// Entries dropped by memo cap flushes since this server was built.
+    pub fn answer_memo_evictions(&self) -> u64 {
+        self.memo.evictions()
+    }
+
+    /// Replaces the answer memo with one of `shards` shards capped at
+    /// `shard_cap` entries each. Resets the memo counters (the old memo and
+    /// its stats are dropped); intended to be called at setup time, before
+    /// the server starts answering.
+    pub fn configure_memo(&mut self, shards: usize, shard_cap: usize) {
+        self.memo = AnswerMemo::with_config(shards, shard_cap);
     }
 
     /// The deepest zone whose apex is an ancestor-or-self of `qname`.
@@ -156,7 +176,7 @@ impl Server {
         if let Some(cached) = self.memo.get(generation, &key) {
             return Some(patch_id(cached, query.id));
         }
-        let index = self.memo.index_for(zone);
+        let index = self.memo.index_for(zone, &key.qname);
         let mut resp = query.response();
         answer_from_zone(
             zone,

@@ -1,9 +1,17 @@
-//! A real loopback UDP transport: each server runs on its own socket and
-//! thread, speaking genuine RFC 1035 wire format via `ddx_dns::wire`. Used
-//! by integration tests and the transport benchmark to show the testbed is
-//! not tied to in-process shortcuts.
+//! A real loopback UDP transport: each server runs on one or more worker
+//! threads speaking genuine RFC 1035 wire format via `ddx_dns::wire`. Used
+//! by integration tests, the transport benchmark, and `ddx-loadgen` to show
+//! the testbed is not tied to in-process shortcuts.
+//!
+//! The transport is a shared-nothing worker pool: every worker owns its own
+//! socket (`SO_REUSEPORT` port sharing on Linux, `try_clone` elsewhere —
+//! see [`crate::batch`] for the fallback matrix), its own batched
+//! send/receive buffers ([`recvmmsg`/`sendmmsg`](crate::batch::BatchSocket)
+//! on the fast path), and its own per-client token-bucket
+//! [`RateLimiter`](crate::ratelimit::RateLimiter). Workers share only the
+//! `Server` itself, whose answer memo is internally sharded by qname
+//! ([`crate::answer`]), so the hot path takes no exclusive lock.
 
-use std::cell::RefCell;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -13,10 +21,40 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
-use ddx_dns::{wire, Message};
+use ddx_dns::{wire, Message, Rcode};
 
+use crate::batch::{BatchMode, BatchSocket, RecvBatch, SendItem, DEFAULT_BATCH};
+use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::server::{Server, ServerId};
 use crate::testbed::{Network, QueryOutcome};
+
+/// Tuning for one spawned server transport.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// UDP worker threads. 1 reproduces the historical single-socket loop.
+    pub workers: usize,
+    /// Datagrams per batched receive/send.
+    pub batch: usize,
+    /// Syscall strategy; downgraded automatically where unsupported.
+    pub mode: BatchMode,
+    /// Per-client token buckets; `None` disables rate limiting.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Socket read timeout — the cadence at which idle workers re-check
+    /// the stop flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            workers: 1,
+            batch: DEFAULT_BATCH,
+            mode: BatchMode::fastest(),
+            rate_limit: None,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
 
 /// A running UDP+TCP authoritative server bound to one loopback port.
 ///
@@ -28,69 +66,77 @@ pub struct UdpServerHandle {
     pub addr: SocketAddr,
     server: Arc<RwLock<Server>>,
     stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     tcp_thread: Option<JoinHandle<()>>,
 }
 
 impl UdpServerHandle {
-    /// Spawns `server` on an ephemeral 127.0.0.1 port (UDP and TCP).
+    /// Spawns `server` on an ephemeral 127.0.0.1 port (UDP and TCP) with
+    /// the default single-worker transport.
     pub fn spawn(server: Server) -> std::io::Result<Self> {
-        let socket = UdpSocket::bind("127.0.0.1:0")?;
-        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
-        let addr = socket.local_addr()?;
+        Self::spawn_with(server, TransportConfig::default())
+    }
+
+    /// Spawns `server` with `workers` shared-nothing UDP workers and
+    /// otherwise default tuning.
+    pub fn spawn_sharded(server: Server, workers: usize) -> std::io::Result<Self> {
+        Self::spawn_with(
+            server,
+            TransportConfig {
+                workers,
+                ..TransportConfig::default()
+            },
+        )
+    }
+
+    /// Spawns `server` with explicit transport tuning.
+    pub fn spawn_with(server: Server, cfg: TransportConfig) -> std::io::Result<Self> {
+        let workers = cfg.workers.max(1);
+        // Worker sockets: one per worker sharing the port via SO_REUSEPORT
+        // where supported, else clones of one socket (the kernel then hands
+        // each datagram to one of the blocked receivers).
+        let mut sockets: Vec<UdpSocket> = Vec::with_capacity(workers);
+        let first = crate::batch::bind_worker_socket(0)?;
+        let addr = first.local_addr()?;
+        sockets.push(first);
+        for _ in 1..workers {
+            let sock = if crate::batch::reuseport_supported() {
+                crate::batch::bind_worker_socket(addr.port())?
+            } else {
+                sockets[0].try_clone()?
+            };
+            sockets.push(sock);
+        }
+        for sock in &sockets {
+            sock.set_read_timeout(Some(cfg.read_timeout))?;
+        }
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let id = server.id.clone();
         let server = Arc::new(RwLock::new(server));
         let stop = Arc::new(AtomicBool::new(false));
-        let thread = {
-            let server = Arc::clone(&server);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut buf = [0u8; 65_535];
-                while !stop.load(Ordering::Relaxed) {
-                    let (len, peer) = match socket.recv_from(&mut buf) {
-                        Ok(x) => x,
-                        Err(_) => continue, // timeout: re-check stop flag
-                    };
-                    let Ok(query) = wire::decode(&buf[..len]) else {
-                        continue;
-                    };
-                    // The client's advertised maximum UDP payload.
-                    let limit = query
-                        .edns
-                        .map(|e| e.udp_size.max(512) as usize)
-                        .unwrap_or(512);
-                    let response = server.read().handle_arc(&query);
-                    if let Some(resp) = response {
-                        let mut bytes = wire::encode(&resp);
-                        if bytes.len() > limit {
-                            // RFC 1035 §4.2.1/RFC 2181 §9: answer doesn't
-                            // fit — return a truncated response with TC so
-                            // the client retries over TCP.
-                            let mut truncated = (*resp).clone();
-                            truncated.flags.tc = true;
-                            truncated.answers.clear();
-                            truncated.authorities.clear();
-                            truncated.additionals.clear();
-                            bytes = wire::encode(&truncated);
-                        }
-                        let _ = socket.send_to(&bytes, peer);
-                    }
-                }
+        let worker_threads: Vec<JoinHandle<()>> = sockets
+            .into_iter()
+            .enumerate()
+            .map(|(i, sock)| {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || udp_worker_loop(i, sock, &cfg, &server, &stop))
             })
-        };
+            .collect();
         let tcp_thread = {
             let server = Arc::clone(&server);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
+                // Blocking accept: no polling sleep. Drop wakes this thread
+                // with a throwaway connection after setting the stop flag.
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
                             let _ = handle_tcp_client(stream, &server);
-                        }
-                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
                         }
                         Err(_) => break,
                     }
@@ -102,7 +148,7 @@ impl UdpServerHandle {
             addr,
             server,
             stop,
-            thread: Some(thread),
+            workers: worker_threads,
             tcp_thread: Some(tcp_thread),
         })
     }
@@ -116,13 +162,118 @@ impl UdpServerHandle {
 impl Drop for UdpServerHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
+        // Wake the blocking acceptor so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
         if let Some(t) = self.tcp_thread.take() {
             let _ = t.join();
         }
     }
+}
+
+/// One shared-nothing UDP worker: batched receive, decode, rate-limit,
+/// answer through the sharded memo, batched send.
+fn udp_worker_loop(
+    worker: usize,
+    sock: UdpSocket,
+    cfg: &TransportConfig,
+    server: &Arc<RwLock<Server>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let worker_label = worker.to_string();
+    let obs_batches = ddx_obs::counter(
+        "server.worker.recv_batches",
+        &[("worker", worker_label.as_str())],
+    );
+    let obs_queries = ddx_obs::counter(
+        "server.worker.queries",
+        &[("worker", worker_label.as_str())],
+    );
+    let obs_sent = ddx_obs::counter("server.worker.sent", &[("worker", worker_label.as_str())]);
+    let obs_batch_fill = ddx_obs::global().histogram_with_bounds(
+        "server.worker.batch_fill",
+        &[],
+        &[1, 2, 4, 8, 16, 32, 64, 128],
+    );
+    let bsock = BatchSocket::new(sock, cfg.mode);
+    let mut batch = RecvBatch::new(cfg.batch);
+    let mut limiter = cfg.rate_limit.map(RateLimiter::new);
+    let mut out: Vec<SendItem> = Vec::with_capacity(cfg.batch);
+    while !stop.load(Ordering::Relaxed) {
+        let n = match bsock.recv_batch(&mut batch) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue; // timeout: re-check stop flag
+            }
+            Err(_) => break,
+        };
+        if n == 0 {
+            continue;
+        }
+        obs_batches.inc();
+        obs_batch_fill.record(n as u64);
+        out.clear();
+        {
+            let server = server.read();
+            for (bytes, peer) in batch.received() {
+                let Ok(query) = wire::decode(bytes) else {
+                    continue;
+                };
+                obs_queries.inc();
+                if let Some(rl) = limiter.as_mut() {
+                    if !rl.allow(peer.ip()) {
+                        // Bucket dry: answer REFUSED without touching the
+                        // zone store.
+                        let mut resp = query.response();
+                        resp.rcode = Rcode::Refused;
+                        out.push(SendItem {
+                            bytes: wire::encode(&resp),
+                            peer,
+                        });
+                        continue;
+                    }
+                }
+                if let Some(bytes) = respond(&server, &query) {
+                    out.push(SendItem { bytes, peer });
+                }
+            }
+        }
+        if !out.is_empty() {
+            obs_sent.add(out.len() as u64);
+            let _ = bsock.send_batch(&out);
+        }
+    }
+}
+
+/// Answers one decoded query, applying the UDP truncation rule.
+fn respond(server: &Server, query: &Message) -> Option<Vec<u8>> {
+    // The client's advertised maximum UDP payload.
+    let limit = query
+        .edns
+        .map(|e| e.udp_size.max(512) as usize)
+        .unwrap_or(512);
+    let resp = server.handle_arc(query)?;
+    let mut bytes = wire::encode(&resp);
+    if bytes.len() > limit {
+        // RFC 1035 §4.2.1/RFC 2181 §9: answer doesn't fit — return a
+        // truncated response with TC so the client retries over TCP.
+        let mut truncated = (*resp).clone();
+        truncated.flags.tc = true;
+        truncated.answers.clear();
+        truncated.authorities.clear();
+        truncated.additionals.clear();
+        bytes = wire::encode(&truncated);
+    }
+    Some(bytes)
 }
 
 /// Serves one TCP connection: length-framed queries and responses
@@ -199,7 +350,8 @@ thread_local! {
     /// One reusable client socket per thread. Binding a fresh ephemeral
     /// socket used to dominate the cost of small queries; reuse keeps the
     /// same source-address/ID verification on every response.
-    static CLIENT_SOCKET: RefCell<Option<UdpSocket>> = const { RefCell::new(None) };
+    static CLIENT_SOCKET: std::cell::RefCell<Option<UdpSocket>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 /// Runs `f` with this thread's client socket, binding it on first use.
@@ -348,6 +500,88 @@ mod tests {
         let q = Message::query(79, name("new.udp.test"), RrType::A);
         let r = net.query(&ServerId("udp#2".into()), &q).unwrap();
         assert!(r.find_answer(&name("new.udp.test"), RrType::A).is_some());
+    }
+
+    #[test]
+    fn sharded_transport_answers_from_many_client_threads() {
+        let mut server = Server::new(ServerId("udp#3".into()));
+        server.load_zone(zone());
+        let handle = UdpServerHandle::spawn_sharded(server, 4).unwrap();
+        let addr_id = ServerId("udp#3".into());
+        let handle = Arc::new(handle);
+        let threads: Vec<_> = (0..4u16)
+            .map(|t| {
+                let handle = Arc::clone(&handle);
+                let id = addr_id.clone();
+                std::thread::spawn(move || {
+                    // Per-thread UdpNetwork: the thread-local client socket
+                    // gives each thread its own 4-tuple (and so, with
+                    // SO_REUSEPORT, possibly its own server worker).
+                    let mut net = UdpNetwork::new();
+                    net.add_route(&handle);
+                    for i in 0..50u16 {
+                        let qid = t * 1000 + i + 1;
+                        let q = Message::query(qid, name("www.udp.test"), RrType::A);
+                        let r = net.query(&id, &q).expect("answer");
+                        assert_eq!(r.id, qid);
+                        assert!(r.find_answer(&name("www.udp.test"), RrType::A).is_some());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn rate_limited_client_gets_refused() {
+        let mut server = Server::new(ServerId("udp#4".into()));
+        server.load_zone(zone());
+        let handle = UdpServerHandle::spawn_with(
+            server,
+            TransportConfig {
+                rate_limit: Some(RateLimitConfig::new(1, 1)),
+                ..TransportConfig::default()
+            },
+        )
+        .unwrap();
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+        let id = ServerId("udp#4".into());
+        let mut ok = 0;
+        let mut refused = 0;
+        for i in 0..10u16 {
+            let q = Message::query(200 + i, name("www.udp.test"), RrType::A);
+            match net.query(&id, &q) {
+                Some(r) if r.rcode == Rcode::Refused => refused += 1,
+                Some(_) => ok += 1,
+                None => {}
+            }
+        }
+        assert!(ok >= 1, "the burst allowance must admit the first query");
+        assert!(
+            refused >= 5,
+            "a 1 qps bucket must refuse most of a 10-query burst (ok={ok}, refused={refused})"
+        );
+    }
+
+    #[test]
+    fn shutdown_joins_quickly_without_polling() {
+        let mut server = Server::new(ServerId("udp#5".into()));
+        server.load_zone(zone());
+        let handle = UdpServerHandle::spawn_sharded(server, 2).unwrap();
+        // Exercise both transports once so the threads are demonstrably live.
+        let mut net = UdpNetwork::new();
+        net.add_route(&handle);
+        let q = Message::query(91, name("www.udp.test"), RrType::A);
+        assert!(net.query(&ServerId("udp#5".into()), &q).is_some());
+        let started = std::time::Instant::now();
+        drop(handle);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "drop must join the acceptor via the wake connection, not a poll loop"
+        );
     }
 }
 
