@@ -1,9 +1,13 @@
 //! Wire-codec throughput: encoding/decoding a realistic signed DNSKEY
-//! response (the largest message class the probe handles).
+//! response (the largest message class the probe handles), plus the
+//! zero-copy [`MessageView`] parse path against the owned decoder over a
+//! probe-walk response mix — the BENCH_pr7.json protocol.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use ddx_dns::{name, wire, Message, RData, Record, RrType};
+use ddx_dns::{
+    name, wire, Edns, Message, MessageView, Nsec, RData, Record, RrType, Rrsig, TypeBitmap,
+};
 use ddx_dnssec::{sign_rrset, Algorithm, KeyPair, KeyRole, SignOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +43,84 @@ fn dnskey_response() -> Message {
     resp
 }
 
+/// A signed positive answer: A + covering RRSIG, EDNS with DO.
+fn signed_a_response(id: u16) -> Message {
+    let owner = name("www.inv-chd.par.a.com");
+    let mut resp = Message::query(id, owner.clone(), RrType::A).response();
+    resp.flags.aa = true;
+    resp.answers
+        .push(Record::new(owner.clone(), 300, RData::A([192, 0, 2, 7].into())));
+    resp.answers.push(Record::new(
+        owner,
+        300,
+        RData::Rrsig(Rrsig {
+            type_covered: RrType::A,
+            algorithm: 13,
+            labels: 5,
+            original_ttl: 300,
+            expiration: 10_000_000,
+            inception: 0,
+            key_tag: 4242,
+            signer_name: name("inv-chd.par.a.com"),
+            signature: vec![7; 64],
+        }),
+    ));
+    resp.edns = Some(Edns {
+        udp_size: 1232,
+        dnssec_ok: true,
+    });
+    resp
+}
+
+/// An authenticated denial: NSEC + RRSIG in the authority section.
+fn nsec_denial_response(id: u16) -> Message {
+    let zone = name("inv-chd.par.a.com");
+    let mut resp = Message::query(id, name("nope.inv-chd.par.a.com"), RrType::Txt).response();
+    resp.flags.aa = true;
+    resp.rcode = ddx_dns::Rcode::NxDomain;
+    resp.authorities.push(Record::new(
+        zone.clone(),
+        300,
+        RData::Nsec(Nsec {
+            next_name: name("www.inv-chd.par.a.com"),
+            type_bitmap: TypeBitmap::from_types([RrType::Soa, RrType::Ns, RrType::Dnskey]),
+        }),
+    ));
+    resp.authorities.push(Record::new(
+        zone.clone(),
+        300,
+        RData::Rrsig(Rrsig {
+            type_covered: RrType::Nsec,
+            algorithm: 13,
+            labels: 4,
+            original_ttl: 300,
+            expiration: 10_000_000,
+            inception: 0,
+            key_tag: 4242,
+            signer_name: zone,
+            signature: vec![9; 64],
+        }),
+    ));
+    resp.edns = Some(Edns {
+        udp_size: 1232,
+        dnssec_ok: true,
+    });
+    resp
+}
+
+/// The wire images a DNSViz-style probe walk produces: apex DNSKEY (large),
+/// signed positive answers, and NSEC denials.
+fn probe_walk_mix() -> Vec<Vec<u8>> {
+    let mut mix = vec![wire::encode(&dnskey_response())];
+    for id in 2..6 {
+        mix.push(wire::encode(&signed_a_response(id)));
+    }
+    for id in 6..9 {
+        mix.push(wire::encode(&nsec_denial_response(id)));
+    }
+    mix
+}
+
 fn bench(c: &mut Criterion) {
     let msg = dnskey_response();
     let bytes = wire::encode(&msg);
@@ -50,6 +132,50 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("wire_round_trip", |b| {
         b.iter(|| wire::decode(&wire::encode(black_box(&msg))).unwrap())
+    });
+
+    // View vs owned on the same single large message.
+    c.bench_function("view_parse_dnskey_response", |b| {
+        b.iter(|| MessageView::parse(black_box(&bytes)).unwrap())
+    });
+
+    // The BENCH_pr7 headline rows: decode throughput over the probe-walk
+    // response mix, owned materialization vs zero-copy validation.
+    let mix = probe_walk_mix();
+    c.bench_function("owned_decode_probe_mix", |b| {
+        b.iter(|| {
+            for bytes in &mix {
+                black_box(wire::decode(black_box(bytes)).unwrap());
+            }
+        })
+    });
+    c.bench_function("view_parse_probe_mix", |b| {
+        b.iter(|| {
+            for bytes in &mix {
+                black_box(MessageView::parse(black_box(bytes)).unwrap());
+            }
+        })
+    });
+
+    // The server request-path read set: parse, then pull exactly what
+    // AnswerKey::from_view touches (question, rd flag, EDNS).
+    c.bench_function("view_request_path_probe_mix", |b| {
+        b.iter(|| {
+            for bytes in &mix {
+                let view = MessageView::parse(black_box(bytes)).unwrap();
+                let q = view.question().unwrap();
+                black_box((q.qname().label_count(), q.qtype(), view.flags().rd, view.edns()));
+            }
+        })
+    });
+
+    // The bridge must price like the owned decode it wraps.
+    c.bench_function("view_to_owned_probe_mix", |b| {
+        b.iter(|| {
+            for bytes in &mix {
+                black_box(MessageView::parse(black_box(bytes)).unwrap().to_owned());
+            }
+        })
     });
 }
 

@@ -17,6 +17,7 @@ pub mod rdata;
 pub mod rrset;
 pub mod trace;
 pub mod types;
+pub mod view;
 pub mod wire;
 pub mod zone;
 
@@ -29,4 +30,5 @@ pub use rdata::{
 };
 pub use rrset::{CanonicalScratch, RRset, Record};
 pub use types::{Rcode, RrClass, RrType, TypeBitmap};
+pub use view::{MessageView, NameRef, QuestionView, RecordIter, RecordView, WireLabels};
 pub use zone::Zone;

@@ -258,8 +258,16 @@ impl PartialEq for Name {
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Feed the hasher label-by-label with an explicit length prefix and
+        // lowercased bytes, never through `Vec::hash` (whose internal prefix
+        // encoding is unstable). `NameRef::hash` in the wire view replays
+        // this exact sequence straight off the wire bytes, so `Name` and
+        // `NameRef` hash identically by construction; keep the two in sync.
         for label in &self.labels {
-            label.to_lowercase().hash(state);
+            state.write_usize(label.len());
+            for &b in label.as_bytes() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
         }
     }
 }

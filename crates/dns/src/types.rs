@@ -282,6 +282,24 @@ impl TypeBitmap {
         out
     }
 
+    /// Checks window-block framing without building the bitmap: returns
+    /// `true` exactly when [`TypeBitmap::from_wire`] would return `Some`.
+    /// Used by the zero-copy view parser, which must reject the same inputs
+    /// as the owned decoder but cannot afford the allocation.
+    pub fn validate_wire(mut data: &[u8]) -> bool {
+        while !data.is_empty() {
+            if data.len() < 2 {
+                return false;
+            }
+            let len = data[1] as usize;
+            if len == 0 || len > 32 || data.len() < 2 + len {
+                return false;
+            }
+            data = &data[2 + len..];
+        }
+        true
+    }
+
     /// Decodes window-block format; returns `None` on malformed input.
     pub fn from_wire(mut data: &[u8]) -> Option<Self> {
         let mut codes = Vec::new();
@@ -420,6 +438,30 @@ mod tests {
         assert!(TypeBitmap::from_wire(&[0x00, 0x00]).is_none()); // zero-length block
         assert!(TypeBitmap::from_wire(&[0x00, 0x21]).is_none()); // > 32
         assert!(TypeBitmap::from_wire(&[0x00, 0x02, 0x01]).is_none()); // truncated
+    }
+
+    #[test]
+    fn validate_wire_agrees_with_from_wire() {
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0x00],
+            vec![0x00, 0x00],
+            vec![0x00, 0x21],
+            vec![0x00, 0x02, 0x01],
+            vec![0x00, 0x01, 0x40],
+            TypeBitmap::from_types([RrType::A, RrType::Rrsig, RrType::Unknown(1234)]).to_wire(),
+        ];
+        // A valid block followed by a truncated one.
+        let mut mixed = TypeBitmap::from_types([RrType::A]).to_wire();
+        mixed.extend_from_slice(&[0x04, 0x05, 0x01]);
+        cases.push(mixed);
+        for case in cases {
+            assert_eq!(
+                TypeBitmap::validate_wire(&case),
+                TypeBitmap::from_wire(&case).is_some(),
+                "disagree on {case:?}"
+            );
+        }
     }
 
     #[test]

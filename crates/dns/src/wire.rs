@@ -11,6 +11,11 @@ use crate::rdata::{Dnskey, Ds, Nsec, Nsec3, Nsec3Param, RData, Rrsig, Soa};
 use crate::rrset::Record;
 use crate::types::{Rcode, RrClass, RrType, TypeBitmap};
 
+/// Maximum number of compression-pointer hops followed while reading one
+/// name. Pointers must also go strictly backwards, which already rules out
+/// loops; the explicit budget bounds pathological (but acyclic) chains.
+pub const MAX_POINTER_CHASES: usize = 64;
+
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -22,6 +27,8 @@ pub enum WireError {
     BadName,
     /// RDATA did not parse for its declared type.
     BadRdata(u16),
+    /// Bytes remained after the last record promised by the header.
+    TrailingGarbage,
 }
 
 impl std::fmt::Display for WireError {
@@ -31,11 +38,41 @@ impl std::fmt::Display for WireError {
             WireError::BadPointer => write!(f, "bad compression pointer"),
             WireError::BadName => write!(f, "malformed name"),
             WireError::BadRdata(t) => write!(f, "malformed rdata for type {t}"),
+            WireError::TrailingGarbage => write!(f, "trailing bytes after message"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Decode-path counters, shared by [`decode`] and the zero-copy
+/// [`crate::view::MessageView`] parser. Cached in a `OnceLock` because the
+/// registry lookup in `ddx_obs::counter` is a map probe — too slow to pay
+/// per datagram.
+pub(crate) mod decode_obs {
+    use std::sync::OnceLock;
+
+    pub(crate) struct DecodeCounters {
+        /// Successfully decoded messages (owned or view path).
+        pub messages: ddx_obs::Counter,
+        /// Wire bytes of successfully decoded messages.
+        pub bytes: ddx_obs::Counter,
+        /// Buffers rejected by the decoder.
+        pub rejects: ddx_obs::Counter,
+        /// Full owned materializations bridged from a `MessageView`.
+        pub to_owned: ddx_obs::Counter,
+    }
+
+    pub(crate) fn counters() -> &'static DecodeCounters {
+        static CACHE: OnceLock<DecodeCounters> = OnceLock::new();
+        CACHE.get_or_init(|| DecodeCounters {
+            messages: ddx_obs::counter("dns.decode.messages", &[]),
+            bytes: ddx_obs::counter("dns.decode.bytes", &[]),
+            rejects: ddx_obs::counter("dns.decode.rejects", &[]),
+            to_owned: ddx_obs::counter("dns.view.to_owned", &[]),
+        })
+    }
+}
 
 // ---------------------------------------------------------------- encoding
 
@@ -229,27 +266,27 @@ fn encode_with(mut e: Encoder, msg: &Message) -> Vec<u8> {
 
 // ---------------------------------------------------------------- decoding
 
-struct Decoder<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Decoder<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Decoder<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Decoder { buf, pos: 0 }
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         let v = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(v)
     }
 
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_be_bytes([
             self.u8()?,
             self.u8()?,
@@ -258,7 +295,7 @@ impl<'a> Decoder<'a> {
         ]))
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.pos + n > self.buf.len() {
             return Err(WireError::Truncated);
         }
@@ -273,11 +310,17 @@ impl<'a> Decoder<'a> {
         self.pos = next;
         Ok(name)
     }
+
+    /// Validates and skips a possibly-compressed name without building it.
+    pub(crate) fn skip_name(&mut self) -> Result<(), WireError> {
+        self.pos = skip_name_at(self.buf, self.pos)?;
+        Ok(())
+    }
 }
 
 /// Reads a name at `start`, following compression pointers; returns the name
 /// and the position just after the name's in-line representation.
-fn read_name_at(buf: &[u8], start: usize) -> Result<(Name, usize), WireError> {
+pub(crate) fn read_name_at(buf: &[u8], start: usize) -> Result<(Name, usize), WireError> {
     let mut labels = Vec::new();
     let mut pos = start;
     let mut after: Option<usize> = None;
@@ -295,7 +338,7 @@ fn read_name_at(buf: &[u8], start: usize) -> Result<(Name, usize), WireError> {
                 return Err(WireError::BadPointer);
             }
             jumps += 1;
-            if jumps > 64 {
+            if jumps > MAX_POINTER_CHASES {
                 return Err(WireError::BadPointer);
             }
             pos = target;
@@ -321,7 +364,150 @@ fn read_name_at(buf: &[u8], start: usize) -> Result<(Name, usize), WireError> {
     Ok((name, after.unwrap_or(pos)))
 }
 
-fn decode_rdata(
+/// Allocation-free twin of [`read_name_at`]: performs the identical
+/// validation walk (same checks, same order, same errors) but returns only
+/// the position after the name's in-line bytes. `MessageView` relies on this
+/// accepting and rejecting exactly the inputs `read_name_at` does; keep the
+/// two in lockstep.
+pub(crate) fn skip_name_at(buf: &[u8], start: usize) -> Result<usize, WireError> {
+    let mut labels = 0usize;
+    // Wire length: per-label length octets plus the root terminator, as
+    // `Name::wire_len` computes it.
+    let mut wire_len = 1usize;
+    let mut pos = start;
+    let mut after: Option<usize> = None;
+    let mut jumps = 0;
+    loop {
+        let len = *buf.get(pos).ok_or(WireError::Truncated)? as usize;
+        if len & 0xC0 == 0xC0 {
+            let b2 = *buf.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+            let target = ((len & 0x3F) << 8) | b2;
+            if after.is_none() {
+                after = Some(pos + 2);
+            }
+            if target >= pos {
+                return Err(WireError::BadPointer);
+            }
+            jumps += 1;
+            if jumps > MAX_POINTER_CHASES {
+                return Err(WireError::BadPointer);
+            }
+            pos = target;
+            continue;
+        }
+        if len & 0xC0 != 0 {
+            return Err(WireError::BadName);
+        }
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if buf.get(pos + 1..pos + 1 + len).is_none() {
+            return Err(WireError::Truncated);
+        }
+        // `Label::new` cannot fail here: len has no 0xC0 bits, so len <= 63.
+        labels += 1;
+        wire_len += 1 + len;
+        pos += 1 + len;
+        if labels > 127 {
+            return Err(WireError::BadName);
+        }
+    }
+    if wire_len > crate::name::MAX_NAME_LEN {
+        return Err(WireError::BadName);
+    }
+    Ok(after.unwrap_or(pos))
+}
+
+/// Allocation-free twin of [`decode_rdata`]: validates that the RDATA window
+/// parses for its declared type without constructing the `RData`. Accepts
+/// and rejects exactly the inputs `decode_rdata` does, with identical
+/// errors; `MessageView::parse` validates with this so that lazy
+/// `RecordView::rdata()` calls cannot fail later.
+pub(crate) fn check_rdata(
+    rtype: RrType,
+    buf: &[u8],
+    rd_start: usize,
+    rd_len: usize,
+) -> Result<(), WireError> {
+    let bad = || WireError::BadRdata(rtype.code());
+    if buf.get(rd_start..rd_start + rd_len).is_none() {
+        return Err(WireError::Truncated);
+    }
+    let mut d = Decoder { buf, pos: rd_start };
+    let end = rd_start + rd_len;
+    match rtype {
+        RrType::A => {
+            d.take(4)?;
+        }
+        RrType::Aaaa => {
+            d.take(16)?;
+        }
+        RrType::Ns | RrType::Cname => d.skip_name()?,
+        RrType::Soa => {
+            d.skip_name()?;
+            d.skip_name()?;
+            d.take(20)?; // serial, refresh, retry, expire, minimum
+        }
+        RrType::Mx => {
+            d.take(2)?;
+            d.skip_name()?;
+        }
+        RrType::Txt => {
+            while d.pos < end {
+                let len = d.u8()? as usize;
+                d.take(len)?;
+            }
+        }
+        RrType::Dnskey | RrType::Cdnskey => {
+            d.take(4)?; // flags, protocol, algorithm
+            d.take(end.checked_sub(d.pos).ok_or_else(bad)?)?;
+        }
+        RrType::Rrsig => {
+            d.take(18)?; // covered, alg, labels, ttl, expiration, inception, tag
+            d.skip_name()?;
+            d.take(end.checked_sub(d.pos).ok_or_else(bad)?)?;
+        }
+        RrType::Ds | RrType::Cds => {
+            d.take(4)?; // key tag, algorithm, digest type
+            d.take(end.checked_sub(d.pos).ok_or_else(bad)?)?;
+        }
+        RrType::Nsec => {
+            d.skip_name()?;
+            let bm = buf.get(d.pos..end).ok_or(WireError::Truncated)?;
+            if !TypeBitmap::validate_wire(bm) {
+                return Err(bad());
+            }
+            d.pos = end;
+        }
+        RrType::Nsec3 => {
+            d.take(4)?; // hash alg, flags, iterations
+            let salt_len = d.u8()? as usize;
+            d.take(salt_len)?;
+            let hash_len = d.u8()? as usize;
+            d.take(hash_len)?;
+            let bm = buf.get(d.pos..end).ok_or(WireError::Truncated)?;
+            if !TypeBitmap::validate_wire(bm) {
+                return Err(bad());
+            }
+            d.pos = end;
+        }
+        RrType::Nsec3Param => {
+            d.take(4)?;
+            let salt_len = d.u8()? as usize;
+            d.take(salt_len)?;
+        }
+        // Unknown types are a raw slice copy on the owned path; the window
+        // bounds check at the top is the only constraint.
+        _ => {}
+    }
+    if d.pos > end {
+        return Err(bad());
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_rdata(
     rtype: RrType,
     buf: &[u8],
     rd_start: usize,
@@ -484,6 +670,24 @@ fn decode_rdata(
 
 /// Parses a wire-format message.
 pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+    let counters = decode_obs::counters();
+    match decode_inner(buf) {
+        Ok(msg) => {
+            counters.messages.inc();
+            counters.bytes.add(buf.len() as u64);
+            Ok(msg)
+        }
+        Err(e) => {
+            counters.rejects.inc();
+            Err(e)
+        }
+    }
+}
+
+/// The decode walk itself, minus observability. `MessageView::to_owned`
+/// bridges through this too, so the owned and view paths cannot drift: there
+/// is exactly one implementation of owned decoding.
+pub(crate) fn decode_inner(buf: &[u8]) -> Result<Message, WireError> {
     let mut d = Decoder::new(buf);
     let id = d.u16()?;
     let word = d.u16()?;
@@ -550,6 +754,12 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
     // Extended RCODE upper bits live in the OPT TTL; our testbed only uses
     // the low four bits, so nothing further to merge here.
     let _ = &mut rcode;
+    // The header promised exactly this much content; anything after it is
+    // either an attack or a framing bug upstream. Every transport in the
+    // workspace hands the decoder an exact-length buffer.
+    if d.pos != buf.len() {
+        return Err(WireError::TrailingGarbage);
+    }
 
     Ok(Message {
         id,
@@ -777,5 +987,73 @@ mod tests {
         let mut r = Message::query(4, name("nope.example.com"), RrType::A).response();
         r.rcode = Rcode::NxDomain;
         assert_eq!(round_trip(&r).rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut wire = encode(&sample_response());
+        wire.push(0);
+        assert_eq!(decode(&wire), Err(WireError::TrailingGarbage));
+    }
+
+    /// A chain of strictly-backwards pointers longer than the chase budget
+    /// must be rejected, and a chain exactly at the budget must resolve, on
+    /// both the owned and the skip walk.
+    #[test]
+    fn pointer_chase_budget_is_enforced() {
+        let chain = |hops: usize| -> Vec<u8> {
+            let mut buf = vec![0u8]; // root label at offset 0
+            for i in 0..hops {
+                let target = if i == 0 { 0 } else { 1 + 2 * (i - 1) };
+                buf.push(0xC0 | ((target >> 8) as u8));
+                buf.push((target & 0xFF) as u8);
+            }
+            buf
+        };
+
+        let over = chain(MAX_POINTER_CHASES + 1);
+        let start = over.len() - 2;
+        assert_eq!(
+            read_name_at(&over, start).unwrap_err(),
+            WireError::BadPointer
+        );
+        assert_eq!(
+            skip_name_at(&over, start).unwrap_err(),
+            WireError::BadPointer
+        );
+
+        let at_limit = chain(MAX_POINTER_CHASES);
+        let start = at_limit.len() - 2;
+        let (resolved, after) = read_name_at(&at_limit, start).expect("within budget");
+        assert!(resolved.is_root());
+        assert_eq!(after, start + 2);
+        assert_eq!(skip_name_at(&at_limit, start).unwrap(), start + 2);
+    }
+
+    /// The allocation-free skip walk must agree with the allocating reader
+    /// byte-for-byte on real messages.
+    #[test]
+    fn skip_name_matches_read_name_on_real_messages() {
+        let wire = encode(&sample_response());
+        // Walk the question name and every record owner name.
+        let mut offsets = vec![12usize];
+        let mut d = Decoder::new(&wire);
+        d.pos = 12;
+        d.skip_name().unwrap();
+        d.pos += 4; // qtype + qclass
+        for _ in 0..6 {
+            if d.pos >= wire.len() {
+                break;
+            }
+            offsets.push(d.pos);
+            d.skip_name().unwrap();
+            d.pos += 8; // type, class, ttl
+            let rd_len = d.u16().unwrap() as usize;
+            d.pos += rd_len;
+        }
+        for off in offsets {
+            let (_, after) = read_name_at(&wire, off).expect("read");
+            assert_eq!(skip_name_at(&wire, off).expect("skip"), after, "at {off}");
+        }
     }
 }

@@ -1,0 +1,61 @@
+//! Exact accounting for the `dns.decode.*` / `dns.view.to_owned` counters.
+//!
+//! Deliberately a single `#[test]` in its own integration binary: the
+//! counters are process-global, and any concurrently running decode (every
+//! other test decodes messages) would make exact delta assertions racy.
+
+use ddx_dns::{wire, Message, MessageView, RrType};
+
+#[test]
+fn decode_counters_account_exactly() {
+    let messages = ddx_obs::counter("dns.decode.messages", &[]);
+    let bytes_ctr = ddx_obs::counter("dns.decode.bytes", &[]);
+    let rejects = ddx_obs::counter("dns.decode.rejects", &[]);
+    let to_owned = ddx_obs::counter("dns.view.to_owned", &[]);
+
+    let query = Message::query(42, "www.example.com".parse().unwrap(), RrType::A);
+    let encoded = wire::encode(&query);
+
+    let (m0, b0, r0, t0) = (
+        messages.get(),
+        bytes_ctr.get(),
+        rejects.get(),
+        to_owned.get(),
+    );
+
+    // One owned decode: messages +1, bytes +len, nothing else.
+    wire::decode(&encoded).expect("decodes");
+    assert_eq!(messages.get(), m0 + 1);
+    assert_eq!(bytes_ctr.get(), b0 + encoded.len() as u64);
+    assert_eq!(rejects.get(), r0);
+    assert_eq!(to_owned.get(), t0);
+
+    // One view parse: same accounting — a view parse is a decode.
+    let view = MessageView::parse(&encoded).expect("parses");
+    assert_eq!(messages.get(), m0 + 2);
+    assert_eq!(bytes_ctr.get(), b0 + 2 * encoded.len() as u64);
+    assert_eq!(rejects.get(), r0);
+    assert_eq!(to_owned.get(), t0);
+
+    // Lazy accessors are free: walking the view moves no counter.
+    let _ = view.question().expect("question").qname().label_count();
+    assert_eq!(messages.get(), m0 + 2);
+    assert_eq!(to_owned.get(), t0);
+
+    // Bridging to an owned message is counted — and only on the
+    // to_owned counter, not as a fresh decode.
+    let owned = view.to_owned();
+    assert_eq!(owned, wire::decode(&encoded).expect("decodes"));
+    assert_eq!(to_owned.get(), t0 + 1);
+    assert_eq!(messages.get(), m0 + 3, "the comparison decode counts");
+    assert_eq!(rejects.get(), r0);
+
+    // Rejections: both paths bump rejects, never messages/bytes.
+    let (m1, b1, r1) = (messages.get(), bytes_ctr.get(), rejects.get());
+    let truncated = &encoded[..encoded.len() - 3];
+    assert!(wire::decode(truncated).is_err());
+    assert!(MessageView::parse(truncated).is_err());
+    assert_eq!(rejects.get(), r1 + 2);
+    assert_eq!(messages.get(), m1);
+    assert_eq!(bytes_ctr.get(), b1);
+}

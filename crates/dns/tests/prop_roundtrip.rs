@@ -1,214 +1,25 @@
 //! Property-based round-trip tests: arbitrary messages survive the wire
-//! codec, and the decoder never panics on arbitrary bytes.
+//! codec, the decoder never panics on arbitrary bytes, and the zero-copy
+//! [`MessageView`] fails closed on exactly the inputs the owned decoder
+//! rejects.
+
+mod strategies;
 
 use proptest::prelude::*;
 
-use ddx_dns::{
-    wire, Dnskey, Ds, Edns, Message, Name, Nsec, Nsec3, Nsec3Param, RData, Rcode, Record, RrType,
-    Rrsig, Soa, TypeBitmap,
-};
+use ddx_dns::{wire, MessageView, RrType};
+use strategies::{arb_message, arb_record, dense_response, header};
 
-fn arb_label() -> impl Strategy<Value = String> {
-    "[a-z0-9]{1,12}"
-}
-
-fn arb_name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(arb_label(), 1..5)
-        .prop_map(|labels| labels.join(".").parse().expect("valid name"))
-}
-
-fn arb_bitmap() -> impl Strategy<Value = TypeBitmap> {
-    proptest::collection::vec(0u16..300, 0..8)
-        .prop_map(|codes| TypeBitmap::from_types(codes.into_iter().map(RrType::from_code)))
-}
-
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
-        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Cname),
-        (
-            arb_name(),
-            arb_name(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u32>()
-        )
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(Soa {
-                    mname,
-                    rname,
-                    serial,
-                    refresh,
-                    retry,
-                    expire,
-                    minimum,
-                })
-            }),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
-            preference,
-            exchange
-        }),
-        proptest::collection::vec("[a-zA-Z0-9 ]{0,40}", 1..4).prop_map(RData::Txt),
-        (
-            any::<u16>(),
-            any::<u8>(),
-            any::<u8>(),
-            proptest::collection::vec(any::<u8>(), 1..64)
-        )
-            .prop_map(|(flags, protocol, algorithm, public_key)| {
-                RData::Dnskey(Dnskey {
-                    flags,
-                    protocol,
-                    algorithm,
-                    public_key,
-                })
-            }),
-        (
-            any::<u16>(),
-            any::<u8>(),
-            any::<u8>(),
-            proptest::collection::vec(any::<u8>(), 1..48)
-        )
-            .prop_map(|(key_tag, algorithm, digest_type, digest)| {
-                RData::Ds(Ds {
-                    key_tag,
-                    algorithm,
-                    digest_type,
-                    digest,
-                })
-            }),
-        (
-            0u16..=300,
-            any::<u8>(),
-            any::<u8>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u16>(),
-            arb_name(),
-            proptest::collection::vec(any::<u8>(), 1..80)
-        )
-            .prop_map(
-                |(
-                    tc,
-                    algorithm,
-                    labels,
-                    original_ttl,
-                    expiration,
-                    inception,
-                    key_tag,
-                    signer_name,
-                    signature,
-                )| {
-                    RData::Rrsig(Rrsig {
-                        type_covered: RrType::from_code(tc),
-                        algorithm,
-                        labels,
-                        original_ttl,
-                        expiration,
-                        inception,
-                        key_tag,
-                        signer_name,
-                        signature,
-                    })
-                }
-            ),
-        (arb_name(), arb_bitmap()).prop_map(|(next_name, type_bitmap)| RData::Nsec(Nsec {
-            next_name,
-            type_bitmap
-        })),
-        (
-            any::<u8>(),
-            any::<u8>(),
-            any::<u16>(),
-            proptest::collection::vec(any::<u8>(), 0..16),
-            proptest::collection::vec(any::<u8>(), 1..33),
-            arb_bitmap()
-        )
-            .prop_map(
-                |(hash_algorithm, flags, iterations, salt, next_hashed_owner, type_bitmap)| {
-                    RData::Nsec3(Nsec3 {
-                        hash_algorithm,
-                        flags,
-                        iterations,
-                        salt,
-                        next_hashed_owner,
-                        type_bitmap,
-                    })
-                }
-            ),
-        (
-            any::<u8>(),
-            any::<u8>(),
-            any::<u16>(),
-            proptest::collection::vec(any::<u8>(), 0..16)
-        )
-            .prop_map(|(hash_algorithm, flags, iterations, salt)| {
-                RData::Nsec3Param(Nsec3Param {
-                    hash_algorithm,
-                    flags,
-                    iterations,
-                    salt,
-                })
-            }),
-        (
-            any::<u16>(),
-            any::<u8>(),
-            any::<u8>(),
-            proptest::collection::vec(any::<u8>(), 1..48)
-        )
-            .prop_map(|(key_tag, algorithm, digest_type, digest)| {
-                RData::Cds(Ds {
-                    key_tag,
-                    algorithm,
-                    digest_type,
-                    digest,
-                })
-            }),
-    ]
-}
-
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
-}
-
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        arb_name(),
-        0u16..300,
-        proptest::collection::vec(arb_record(), 0..5),
-        proptest::collection::vec(arb_record(), 0..4),
-        proptest::collection::vec(arb_record(), 0..3),
-        any::<bool>(),
-        0u8..6,
-        proptest::option::of((512u16..4096, any::<bool>())),
-    )
-        .prop_map(
-            |(id, qname, qtype, answers, authorities, additionals, aa, rcode, edns)| {
-                let mut m = Message::query(id, qname, RrType::from_code(qtype));
-                let mut m = {
-                    let mut r = m.response();
-                    r.flags.aa = aa;
-                    r.rcode = Rcode::from_code(rcode);
-                    r.answers = answers;
-                    r.authorities = authorities;
-                    r.additionals = additionals;
-                    r.edns = edns.map(|(udp_size, dnssec_ok)| Edns {
-                        udp_size,
-                        dnssec_ok,
-                    });
-                    std::mem::swap(&mut m, &mut r);
-                    m
-                };
-                m.flags.ra = false;
-                m
-            },
-        )
+/// Both decode paths on the same bytes: accepted messages must be equal,
+/// rejections must carry the same error.
+fn assert_paths_agree(bytes: &[u8]) {
+    let owned = wire::decode(bytes);
+    let viewed = MessageView::parse(bytes).map(|v| v.to_owned());
+    match (&owned, &viewed) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "accepted messages must agree"),
+        (Err(a), Err(b)) => assert_eq!(a, b, "rejection errors must agree"),
+        _ => panic!("paths disagree: owned={owned:?} view={viewed:?}"),
+    }
 }
 
 proptest! {
@@ -227,13 +38,19 @@ proptest! {
     }
 
     #[test]
+    fn view_parser_never_panics_and_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        assert_paths_agree(&bytes);
+    }
+
+    #[test]
     fn decoder_tolerates_truncation(msg in arb_message(), cut in any::<proptest::sample::Index>()) {
         let bytes = wire::encode(&msg);
         if bytes.len() > 1 {
             let cut = 1 + cut.index(bytes.len() - 1);
             if cut < bytes.len() {
-                // Must not panic; may or may not error.
-                let _ = wire::decode(&bytes[..cut]);
+                // Must not panic; may or may not error — but both decode
+                // paths must say the same thing.
+                assert_paths_agree(&bytes[..cut]);
             }
         }
     }
@@ -257,81 +74,35 @@ proptest! {
             let i = idx.index(bytes.len());
             bytes[i] ^= mask;
         }
-        // Must not panic; Ok or Err are both acceptable.
-        let _ = wire::decode(&bytes);
+        // Must not panic; Ok or Err are both acceptable — and identical
+        // across the owned and view decode paths.
+        assert_paths_agree(&bytes);
     }
 }
 
 // -------------------------------------------------- adversarial wire inputs
 
-/// A richly-featured response exercising compression, DNSSEC rdata, and
-/// EDNS, used as the substrate for the deterministic adversarial cases.
-fn dense_response() -> Message {
-    let mut r =
-        Message::query(0x4242, "www.sub.example.com".parse().unwrap(), RrType::A).response();
-    r.flags.aa = true;
-    r.answers.push(Record::new(
-        "www.sub.example.com".parse().unwrap(),
-        300,
-        RData::A([192, 0, 2, 7].into()),
-    ));
-    r.answers.push(Record::new(
-        "www.sub.example.com".parse().unwrap(),
-        300,
-        RData::Rrsig(Rrsig {
-            type_covered: RrType::A,
-            algorithm: 13,
-            labels: 4,
-            original_ttl: 300,
-            expiration: 5_000,
-            inception: 1_000,
-            key_tag: 4242,
-            signer_name: "sub.example.com".parse().unwrap(),
-            signature: vec![7; 64],
-        }),
-    ));
-    r.authorities.push(Record::new(
-        "sub.example.com".parse().unwrap(),
-        300,
-        RData::Nsec(Nsec {
-            next_name: "zzz.sub.example.com".parse().unwrap(),
-            type_bitmap: TypeBitmap::from_types([RrType::Soa, RrType::Ns, RrType::Dnskey]),
-        }),
-    ));
-    r.additionals.push(Record::new(
-        "ns1.example.com".parse().unwrap(),
-        3600,
-        RData::Aaaa([0x20, 0x01, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1].into()),
-    ));
-    r.edns = Some(Edns {
-        udp_size: 1232,
-        dnssec_ok: true,
-    });
-    r
-}
-
 /// Truncation at EVERY prefix length: each strict prefix must return an
 /// error — the section counts in the header promise content the buffer no
-/// longer holds — and must never panic.
+/// longer holds — and must never panic. The view parser must reject every
+/// prefix with the identical error.
 #[test]
 fn truncation_at_every_prefix_length_errs() {
     let wire_bytes = wire::encode(&dense_response());
     assert!(wire::decode(&wire_bytes).is_ok(), "substrate must decode");
     for cut in 0..wire_bytes.len() {
+        let owned = wire::decode(&wire_bytes[..cut]);
         assert!(
-            wire::decode(&wire_bytes[..cut]).is_err(),
+            owned.is_err(),
             "prefix of {cut}/{} bytes must not decode",
             wire_bytes.len()
         );
+        assert_eq!(
+            MessageView::parse(&wire_bytes[..cut]).err(),
+            owned.err(),
+            "view must reject prefix {cut} with the same error"
+        );
     }
-}
-
-/// Builds a 12-byte header with the given section counts.
-fn header(qd: u16, an: u16) -> Vec<u8> {
-    let mut buf = vec![0u8; 12];
-    buf[4..6].copy_from_slice(&qd.to_be_bytes());
-    buf[6..8].copy_from_slice(&an.to_be_bytes());
-    buf
 }
 
 #[test]
@@ -355,6 +126,14 @@ fn compression_pointer_loops_rejected() {
     relooped.extend_from_slice(&[1, b'a', 0xC0, 0x0C]);
     relooped.extend_from_slice(&[0, 1, 0, 1]);
     assert_eq!(wire::decode(&relooped), Err(wire::WireError::BadPointer));
+
+    // The zero-copy path fails closed on all three, identically.
+    for buf in [&direct, &cycle, &relooped] {
+        assert_eq!(
+            MessageView::parse(buf).err(),
+            Some(wire::WireError::BadPointer)
+        );
+    }
 }
 
 #[test]
@@ -376,6 +155,13 @@ fn overlong_names_rejected() {
     fat_label.push(0);
     fat_label.extend_from_slice(&[0, 1, 0, 1]);
     assert_eq!(wire::decode(&fat_label), Err(wire::WireError::BadName));
+
+    for buf in [&long, &fat_label] {
+        assert_eq!(
+            MessageView::parse(buf).err(),
+            Some(wire::WireError::BadName)
+        );
+    }
 }
 
 /// A record whose RDLENGTH under-declares its content must not silently
@@ -394,6 +180,10 @@ fn rdata_overrunning_declared_length_rejected() {
         wire::decode(&buf),
         Err(wire::WireError::BadRdata(RrType::A.code()))
     );
+    assert_eq!(
+        MessageView::parse(&buf).err(),
+        Some(wire::WireError::BadRdata(RrType::A.code()))
+    );
 }
 
 /// Same shape for a name-bearing RDATA: an NS whose name extends past the
@@ -410,5 +200,87 @@ fn name_rdata_overrunning_declared_length_rejected() {
     assert_eq!(
         wire::decode(&buf),
         Err(wire::WireError::BadRdata(RrType::Ns.code()))
+    );
+    assert_eq!(
+        MessageView::parse(&buf).err(),
+        Some(wire::WireError::BadRdata(RrType::Ns.code()))
+    );
+}
+
+/// Builds a message whose second record's owner name is a pointer chain of
+/// `chain` backwards hops (plus the owner pointer itself), with the chain
+/// bytes hidden inside an unknown-type record's raw RDATA so every pointer
+/// legally targets earlier bytes.
+fn message_with_pointer_chain(chain: usize) -> Vec<u8> {
+    let mut buf = header(1, 2);
+    // Question: root name, type A, class IN.
+    buf.extend_from_slice(&[0, 0, 1, 0, 1]);
+    // Record 1: root owner, unknown type 999 (raw-skipped rdata), class IN,
+    // ttl 0, RDLENGTH = 1 root terminator + 2 bytes per chain pointer.
+    buf.push(0);
+    buf.extend_from_slice(&999u16.to_be_bytes());
+    buf.extend_from_slice(&[0, 1]);
+    buf.extend_from_slice(&[0, 0, 0, 0]);
+    buf.extend_from_slice(&((1 + 2 * chain) as u16).to_be_bytes());
+    let chain_start = buf.len();
+    buf.push(0); // chain terminator: root label
+    for i in 0..chain {
+        // Pointer i targets the previous chain entry — always backwards.
+        let target = if i == 0 {
+            chain_start
+        } else {
+            chain_start + 1 + 2 * (i - 1)
+        };
+        buf.push(0xC0 | ((target >> 8) as u8));
+        buf.push(target as u8);
+    }
+    let chain_head = buf.len() - 2;
+    // Record 2: owner = pointer to the chain head, type A, class IN.
+    buf.push(0xC0 | ((chain_head >> 8) as u8));
+    buf.push(chain_head as u8);
+    buf.extend_from_slice(&[0, 1, 0, 1]);
+    buf.extend_from_slice(&[0, 0, 0, 0]);
+    buf.extend_from_slice(&[0, 4, 192, 0, 2, 1]);
+    buf
+}
+
+/// A pointer chain longer than [`wire::MAX_POINTER_CHASES`] hops is cut off
+/// by the explicit chase budget — on both decode paths — even though every
+/// hop is individually backwards (so the backwards-only rule alone would
+/// admit it).
+#[test]
+fn pointer_chains_past_the_chase_budget_rejected() {
+    // Owner pointer + MAX chain pointers = MAX + 1 jumps: one past budget.
+    let over = message_with_pointer_chain(wire::MAX_POINTER_CHASES);
+    assert_eq!(wire::decode(&over), Err(wire::WireError::BadPointer));
+    assert_eq!(
+        MessageView::parse(&over).err(),
+        Some(wire::WireError::BadPointer)
+    );
+
+    // One hop fewer sits exactly at the budget and must decode on both
+    // paths, proving the cutoff is the budget and not the chain shape.
+    let at_budget = message_with_pointer_chain(wire::MAX_POINTER_CHASES - 1);
+    let owned = wire::decode(&at_budget).expect("budget-deep chain decodes");
+    let view = MessageView::parse(&at_budget).expect("view accepts the same chain");
+    assert_eq!(view.to_owned(), owned);
+    assert!(owned.answers[1].name.is_root());
+}
+
+/// Bytes past the end of the last section are an error, not silently
+/// ignored — on both decode paths, with the same error.
+#[test]
+fn trailing_garbage_rejected_on_both_paths() {
+    let mut bytes = wire::encode(&dense_response());
+    assert!(wire::decode(&bytes).is_ok());
+    assert!(MessageView::parse(&bytes).is_ok());
+    bytes.push(0);
+    assert_eq!(
+        wire::decode(&bytes),
+        Err(wire::WireError::TrailingGarbage)
+    );
+    assert_eq!(
+        MessageView::parse(&bytes).err(),
+        Some(wire::WireError::TrailingGarbage)
     );
 }

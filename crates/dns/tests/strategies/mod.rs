@@ -1,0 +1,271 @@
+//! Shared proptest strategies and deterministic substrates for the wire
+//! codec test suites (`prop_roundtrip`, `view_owned_equivalence`).
+//!
+//! Not a test target itself: each integration test pulls this in with
+//! `mod strategies;`.
+
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+use ddx_dns::{
+    Dnskey, Ds, Edns, Message, Name, Nsec, Nsec3, Nsec3Param, RData, Rcode, Record, RrType, Rrsig,
+    Soa, TypeBitmap,
+};
+
+pub fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}"
+}
+
+pub fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| labels.join(".").parse().expect("valid name"))
+}
+
+pub fn arb_bitmap() -> impl Strategy<Value = TypeBitmap> {
+    proptest::collection::vec(0u16..300, 0..8)
+        .prop_map(|codes| TypeBitmap::from_types(codes.into_iter().map(RrType::from_code)))
+}
+
+pub fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec("[a-zA-Z0-9 ]{0,40}", 1..4).prop_map(RData::Txt),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
+            .prop_map(|(flags, protocol, algorithm, public_key)| {
+                RData::Dnskey(Dnskey {
+                    flags,
+                    protocol,
+                    algorithm,
+                    public_key,
+                })
+            }),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..48)
+        )
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| {
+                RData::Ds(Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                })
+            }),
+        (
+            0u16..=300,
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            arb_name(),
+            proptest::collection::vec(any::<u8>(), 1..80)
+        )
+            .prop_map(
+                |(
+                    tc,
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer_name,
+                    signature,
+                )| {
+                    RData::Rrsig(Rrsig {
+                        type_covered: RrType::from_code(tc),
+                        algorithm,
+                        labels,
+                        original_ttl,
+                        expiration,
+                        inception,
+                        key_tag,
+                        signer_name,
+                        signature,
+                    })
+                }
+            ),
+        (arb_name(), arb_bitmap()).prop_map(|(next_name, type_bitmap)| RData::Nsec(Nsec {
+            next_name,
+            type_bitmap
+        })),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            proptest::collection::vec(any::<u8>(), 1..33),
+            arb_bitmap()
+        )
+            .prop_map(
+                |(hash_algorithm, flags, iterations, salt, next_hashed_owner, type_bitmap)| {
+                    RData::Nsec3(Nsec3 {
+                        hash_algorithm,
+                        flags,
+                        iterations,
+                        salt,
+                        next_hashed_owner,
+                        type_bitmap,
+                    })
+                }
+            ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16)
+        )
+            .prop_map(|(hash_algorithm, flags, iterations, salt)| {
+                RData::Nsec3Param(Nsec3Param {
+                    hash_algorithm,
+                    flags,
+                    iterations,
+                    salt,
+                })
+            }),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..48)
+        )
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| {
+                RData::Cds(Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                })
+            }),
+    ]
+}
+
+pub fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
+}
+
+pub fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        0u16..300,
+        proptest::collection::vec(arb_record(), 0..5),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        any::<bool>(),
+        0u8..6,
+        proptest::option::of((512u16..4096, any::<bool>())),
+    )
+        .prop_map(
+            |(id, qname, qtype, answers, authorities, additionals, aa, rcode, edns)| {
+                let mut m = Message::query(id, qname, RrType::from_code(qtype));
+                let mut m = {
+                    let mut r = m.response();
+                    r.flags.aa = aa;
+                    r.rcode = Rcode::from_code(rcode);
+                    r.answers = answers;
+                    r.authorities = authorities;
+                    r.additionals = additionals;
+                    r.edns = edns.map(|(udp_size, dnssec_ok)| Edns {
+                        udp_size,
+                        dnssec_ok,
+                    });
+                    std::mem::swap(&mut m, &mut r);
+                    m
+                };
+                m.flags.ra = false;
+                m
+            },
+        )
+}
+
+/// A richly-featured response exercising compression, DNSSEC rdata, and
+/// EDNS, used as the substrate for the deterministic adversarial cases.
+pub fn dense_response() -> Message {
+    let mut r =
+        Message::query(0x4242, "www.sub.example.com".parse().unwrap(), RrType::A).response();
+    r.flags.aa = true;
+    r.answers.push(Record::new(
+        "www.sub.example.com".parse().unwrap(),
+        300,
+        RData::A([192, 0, 2, 7].into()),
+    ));
+    r.answers.push(Record::new(
+        "www.sub.example.com".parse().unwrap(),
+        300,
+        RData::Rrsig(Rrsig {
+            type_covered: RrType::A,
+            algorithm: 13,
+            labels: 4,
+            original_ttl: 300,
+            expiration: 5_000,
+            inception: 1_000,
+            key_tag: 4242,
+            signer_name: "sub.example.com".parse().unwrap(),
+            signature: vec![7; 64],
+        }),
+    ));
+    r.authorities.push(Record::new(
+        "sub.example.com".parse().unwrap(),
+        300,
+        RData::Nsec(Nsec {
+            next_name: "zzz.sub.example.com".parse().unwrap(),
+            type_bitmap: TypeBitmap::from_types([RrType::Soa, RrType::Ns, RrType::Dnskey]),
+        }),
+    ));
+    r.additionals.push(Record::new(
+        "ns1.example.com".parse().unwrap(),
+        3600,
+        RData::Aaaa([0x20, 0x01, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1].into()),
+    ));
+    r.edns = Some(Edns {
+        udp_size: 1232,
+        dnssec_ok: true,
+    });
+    r
+}
+
+/// Builds a 12-byte header with the given question/answer section counts.
+pub fn header(qd: u16, an: u16) -> Vec<u8> {
+    let mut buf = vec![0u8; 12];
+    buf[4..6].copy_from_slice(&qd.to_be_bytes());
+    buf[6..8].copy_from_slice(&an.to_be_bytes());
+    buf
+}

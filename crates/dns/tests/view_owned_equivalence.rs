@@ -1,0 +1,169 @@
+//! The zero-copy contract, property-tested: for every message the corpus
+//! can produce, every [`MessageView`] accessor must report exactly what the
+//! owned decoder materializes — and on bytes the owned decoder rejects, the
+//! view parser must fail closed with the identical error.
+
+mod strategies;
+
+use proptest::prelude::*;
+
+use ddx_dns::{wire, Message, MessageView, Question, Record};
+use strategies::arb_message;
+
+/// Compares every accessor of `view` against the owned decode `msg` of the
+/// same bytes. This is the exhaustive bridge check: if it holds, a consumer
+/// can switch any read from the owned message to the view without observing
+/// a difference.
+fn assert_view_matches(view: &MessageView<'_>, msg: &Message, bytes: &[u8]) {
+    // Raw buffer access.
+    assert_eq!(view.wire(), bytes);
+
+    // Header.
+    assert_eq!(view.id(), msg.id);
+    let f = view.flags();
+    assert_eq!(f.qr, msg.flags.qr);
+    assert_eq!(f.aa, msg.flags.aa);
+    assert_eq!(f.tc, msg.flags.tc);
+    assert_eq!(f.rd, msg.flags.rd);
+    assert_eq!(f.ra, msg.flags.ra);
+    assert_eq!(f.ad, msg.flags.ad);
+    assert_eq!(f.cd, msg.flags.cd);
+    assert_eq!(view.rcode(), msg.rcode);
+
+    // EDNS.
+    assert_eq!(view.edns(), msg.edns);
+    assert_eq!(view.dnssec_ok(), msg.dnssec_ok());
+
+    // Question: NameRef equality/order-free comparison plus full
+    // materialization.
+    match (&view.question(), &msg.question) {
+        (Some(qv), Some(q)) => {
+            assert!(qv.qname().eq_name(&q.qname), "qname mismatch");
+            assert_eq!(qv.qname().to_name(), q.qname);
+            assert_eq!(
+                qv.qname().label_count(),
+                q.qname.labels().len(),
+                "label count"
+            );
+            assert_eq!(qv.qtype(), q.qtype);
+            assert_eq!(qv.qclass(), q.qclass);
+            assert!(qv.matches(q));
+            let rebuilt: Question = qv.to_question();
+            assert_eq!(&rebuilt, q);
+        }
+        (None, None) => {}
+        (qv, q) => panic!("question presence disagrees: view={qv:?} owned={q:?}"),
+    }
+
+    // Sections, record by record, field by field.
+    let sections: [(&str, Vec<_>, &[Record]); 3] = [
+        ("answers", view.answers().collect(), &msg.answers),
+        ("authorities", view.authorities().collect(), &msg.authorities),
+        ("additionals", view.additionals().collect(), &msg.additionals),
+    ];
+    for (label, viewed, owned) in sections {
+        assert_eq!(viewed.len(), owned.len(), "{label}: record count");
+        for (rv, rec) in viewed.iter().zip(owned) {
+            assert!(rv.name().eq_name(&rec.name), "{label}: owner name");
+            assert_eq!(rv.name().to_name(), rec.name, "{label}: owner name");
+            assert_eq!(rv.rtype(), rec.rtype(), "{label}: rtype");
+            assert_eq!(rv.class(), rec.class, "{label}: class");
+            assert_eq!(rv.ttl(), rec.ttl, "{label}: ttl");
+            assert_eq!(rv.rdata(), rec.rdata, "{label}: lazy rdata");
+            assert_eq!(&rv.to_record(), rec, "{label}: full record bridge");
+        }
+    }
+
+    // The owned bridge is byte-for-byte the owned decode.
+    assert_eq!(&view.to_owned(), msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every corpus variant: parse both ways, compare every accessor.
+    #[test]
+    fn every_accessor_matches_owned_decode(msg in arb_message()) {
+        let bytes = wire::encode(&msg);
+        let owned = wire::decode(&bytes).expect("owned decode");
+        let view = MessageView::parse(&bytes).expect("view parse");
+        assert_view_matches(&view, &owned, &bytes);
+    }
+
+    /// Arbitrary bytes: acceptance and rejection (including the error
+    /// value) must be identical across the two paths, and on acceptance
+    /// every accessor must agree.
+    #[test]
+    fn arbitrary_bytes_agree(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match (wire::decode(&bytes), MessageView::parse(&bytes)) {
+            (Ok(owned), Ok(view)) => assert_view_matches(&view, &owned, &bytes),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (owned, viewed) => {
+                return Err(TestCaseError::fail(format!(
+                    "paths disagree: owned={owned:?} view={viewed:?}"
+                )));
+            }
+        }
+    }
+
+    /// Bit-flipped real encodings: a nastier error corpus than uniform
+    /// random bytes, since most of the structure stays intact.
+    #[test]
+    fn corrupted_encodings_agree(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = wire::encode(&msg);
+        for (idx, mask) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask;
+        }
+        match (wire::decode(&bytes), MessageView::parse(&bytes)) {
+            (Ok(owned), Ok(view)) => assert_view_matches(&view, &owned, &bytes),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (owned, viewed) => {
+                return Err(TestCaseError::fail(format!(
+                    "paths disagree: owned={owned:?} view={viewed:?}"
+                )));
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid encoding: both paths reject, with the
+    /// same error, at every cut point.
+    #[test]
+    fn truncations_fail_closed_identically(msg in arb_message()) {
+        let bytes = wire::encode(&msg);
+        for cut in 0..bytes.len() {
+            let owned = wire::decode(&bytes[..cut]);
+            let viewed = MessageView::parse(&bytes[..cut]).map(|v| v.to_owned());
+            match (&owned, &viewed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => {
+                    return Err(TestCaseError::fail(format!(
+                        "prefix {cut}: owned={owned:?} view={viewed:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// NameRef hashing must agree with Name hashing for every name the
+    /// corpus produces, so wire-borrowed keys index the same buckets as
+    /// owned keys.
+    #[test]
+    fn nameref_hash_matches_name_hash(msg in arb_message()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let bytes = wire::encode(&msg);
+        let view = MessageView::parse(&bytes).expect("view parse");
+        let Some(qv) = view.question() else { return Ok(()); };
+        let owned_name = qv.qname().to_name();
+        let mut h1 = DefaultHasher::new();
+        owned_name.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        qv.qname().hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -264,6 +264,8 @@ impl<'a> Prober<'a> {
     ) -> Option<Arc<Message>> {
         let attempts = self.retry.attempts.max(1);
         let mut last: Option<(FailureKind, Option<Arc<Message>>)> = None;
+        // Build the query message once; every retry sends the same bytes.
+        let query = Message::query(id, qname.clone(), qtype);
         for attempt in 0..attempts {
             if attempt > 0 {
                 // Exponential backoff, in virtual time only.
@@ -273,9 +275,7 @@ impl<'a> Prober<'a> {
                 self.obs.backoff_virtual_ms.add(backoff);
             }
             self.virtual_ms += QUERY_COST_MS;
-            let outcome = self
-                .net
-                .query_outcome(server, &Message::query(id, qname.clone(), qtype));
+            let outcome = self.net.query_outcome(server, &query);
             let health = self.health.entry(server.clone()).or_default();
             health.sent += 1;
             self.obs.sent.inc();

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use ddx_dns::{wire, Message, Name, Rcode, RrType};
+use ddx_dns::{wire, Message, MessageView, Name, Rcode, RrType};
 
 /// SplitMix64: tiny, seedable, statistically fine for traffic shaping.
 /// (Same generator the chaos harness uses for fault schedules.)
@@ -334,14 +334,24 @@ fn client_loop(
         stats.sent += 1;
         obs_sent.inc();
         // Wait for a datagram attributable to this query; stale answers
-        // from timed-out exchanges are skipped.
+        // from timed-out exchanges are skipped. Validation and tallying run
+        // entirely on the borrowed MessageView — the loadgen never
+        // materializes an owned response.
         let outcome = loop {
             match sock.recv_from(&mut in_buf) {
-                Ok((len, peer)) if peer == addr => match wire::decode(&in_buf[..len]) {
-                    Ok(msg) if msg.id == query.id && msg.question == query.question => {
-                        break Some(msg);
+                Ok((len, peer)) if peer == addr => match MessageView::parse(&in_buf[..len]) {
+                    Ok(view) => {
+                        let question_matches = match (view.question(), &query.question) {
+                            (Some(qv), Some(q)) => qv.matches(q),
+                            (None, None) => true,
+                            _ => false,
+                        };
+                        if view.id() == query.id && question_matches {
+                            break Some((view.rcode(), view.flags().tc));
+                        }
+                        continue;
                     }
-                    _ => continue,
+                    Err(_) => continue,
                 },
                 Ok(_) => continue,
                 Err(e)
@@ -356,16 +366,16 @@ fn client_loop(
             }
         };
         match outcome {
-            Some(msg) => {
+            Some((rcode, tc)) => {
                 let us = t0.elapsed().as_micros() as u64;
                 stats.received += 1;
                 stats.samples.push(us);
                 obs_recv.inc();
                 obs_lat.record(us);
-                if msg.rcode == Rcode::Refused {
+                if rcode == Rcode::Refused {
                     stats.refused += 1;
                 }
-                if msg.flags.tc {
+                if tc {
                     stats.truncated += 1;
                 }
             }

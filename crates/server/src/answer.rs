@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ddx_dns::{Edns, Message, Name, RrClass, RrType, Zone};
+use ddx_dns::{Edns, Message, MessageView, Name, RrClass, RrType, Zone};
 
 use crate::index::ZoneIndex;
 
@@ -63,6 +63,21 @@ impl AnswerKey {
             qclass: q.qclass,
             rd: query.flags.rd,
             edns: query.edns,
+        })
+    }
+
+    /// Builds the key straight from a zero-copy wire view. The qname is the
+    /// only allocation (the key must own it to live in the memo map); no
+    /// owned `Message` is ever constructed. Produces a key equal to what
+    /// [`AnswerKey::for_query`] would build for the decoded message.
+    pub fn from_view(view: &MessageView<'_>) -> Option<AnswerKey> {
+        let q = view.question()?;
+        Some(AnswerKey {
+            qname: q.qname().to_name(),
+            qtype: q.qtype(),
+            qclass: q.qclass(),
+            rd: view.flags().rd,
+            edns: view.edns(),
         })
     }
 }

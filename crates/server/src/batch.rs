@@ -108,6 +108,70 @@ pub struct SendItem {
     pub peer: SocketAddr,
 }
 
+/// Reusable send-side state: a pool of [`SendItem`]s whose byte buffers
+/// are recycled across batches, so the steady-state response path encodes
+/// into already-allocated capacity instead of growing a fresh `Vec` per
+/// datagram.
+///
+/// Usage per response: write into [`SendQueue::slot`] (cleared, capacity
+/// intact), then [`SendQueue::commit`] it with the peer address. Uncommitted
+/// slots are simply reused by the next `slot` call, so a handler that
+/// declines to answer leaves no trace. After [`BatchSocket::send_batch`]
+/// on [`SendQueue::items`], call [`SendQueue::clear`] to start the next
+/// batch without dropping any buffer.
+#[derive(Debug, Default)]
+pub struct SendQueue {
+    items: Vec<SendItem>,
+    committed: usize,
+}
+
+impl SendQueue {
+    pub fn with_capacity(batch: usize) -> Self {
+        SendQueue {
+            items: Vec::with_capacity(batch),
+            committed: 0,
+        }
+    }
+
+    /// The next outgoing buffer: cleared, but retaining whatever capacity
+    /// it grew in earlier batches.
+    pub fn slot(&mut self) -> &mut Vec<u8> {
+        if self.committed == self.items.len() {
+            self.items.push(SendItem {
+                bytes: Vec::with_capacity(RECV_SLOT_BYTES),
+                peer: SocketAddr::from(([127, 0, 0, 1], 0)),
+            });
+        }
+        let item = &mut self.items[self.committed];
+        item.bytes.clear();
+        &mut item.bytes
+    }
+
+    /// Enqueues the buffer last returned by [`SendQueue::slot`] for `peer`.
+    pub fn commit(&mut self, peer: SocketAddr) {
+        self.items[self.committed].peer = peer;
+        self.committed += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.committed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.committed == 0
+    }
+
+    /// The committed datagrams, ready for [`BatchSocket::send_batch`].
+    pub fn items(&self) -> &[SendItem] {
+        &self.items[..self.committed]
+    }
+
+    /// Forgets the committed items but keeps every buffer for reuse.
+    pub fn clear(&mut self) {
+        self.committed = 0;
+    }
+}
+
 /// A UDP socket with batch send/receive on top of either the mmsg fast
 /// path or the portable single-datagram fallback.
 #[derive(Debug)]
@@ -548,6 +612,33 @@ mod tests {
             assert_eq!(len, 2);
             echoed += 1;
         }
+    }
+
+    #[test]
+    fn send_queue_recycles_buffers_across_batches() {
+        let mut q = SendQueue::with_capacity(4);
+        let peer = SocketAddr::from(([127, 0, 0, 1], 53));
+
+        q.slot().extend_from_slice(&[1u8; 512]);
+        q.commit(peer);
+        // An uncommitted slot must not leak into the batch.
+        q.slot().extend_from_slice(b"dropped");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.items().len(), 1);
+        assert_eq!(q.items()[0].bytes.len(), 512);
+        assert_eq!(q.items()[0].peer, peer);
+
+        q.clear();
+        assert!(q.is_empty());
+        // The recycled slot comes back cleared but with its old capacity.
+        let slot = q.slot();
+        assert!(slot.is_empty());
+        assert!(slot.capacity() >= 512);
+        let before = slot.as_ptr();
+        slot.extend_from_slice(&[2u8; 100]);
+        q.commit(peer);
+        assert_eq!(q.items()[0].bytes.as_ptr(), before, "no reallocation");
+        assert_eq!(q.items()[0].bytes, vec![2u8; 100]);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod udp;
 pub use answer::{AnswerKey, AnswerMemo, ShardStats};
 pub use batch::{
     bind_worker_socket, mmsg_supported, reuseport_supported, BatchMode, BatchSocket, RecvBatch,
-    SendItem,
+    SendItem, SendQueue,
 };
 pub use cache::CachingNetwork;
 pub use fault::{FaultNetwork, FaultPlan, FaultStats, FlapSchedule};

@@ -17,7 +17,10 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use ddx_dns::{base32, Message, Name, Nsec3, RData, RRset, Rcode, Record, RrType, Zone};
+use ddx_dns::{
+    base32, Flags, Message, MessageView, Name, Nsec3, Question, RData, RRset, Rcode, Record,
+    RrType, Zone,
+};
 use ddx_dnssec::nsec3_hash;
 
 use crate::answer::{AnswerKey, AnswerMemo};
@@ -154,41 +157,70 @@ impl Server {
             resp.rcode = Rcode::FormErr;
             return Some(Arc::new(resp));
         };
-        let Some(zone) = self.best_zone(&key.qname) else {
-            let mut resp = query.response();
-            resp.rcode = Rcode::Refused;
+        Some(patch_id(self.resolve_key(query.id, key), query.id))
+    }
+
+    /// Answers a parsed wire view without ever materializing an owned query
+    /// `Message` — the zero-copy request path for the UDP/TCP transports.
+    ///
+    /// Unlike [`Server::handle_arc`], the returned `Arc` is NOT id-patched:
+    /// a memo hit comes back under whatever id it was first computed for.
+    /// Transports stamp the real id into the first two wire bytes after
+    /// encoding — the id does not participate in name compression, so the
+    /// restamped bytes are identical to encoding an id-patched message.
+    pub fn handle_view(&self, view: &MessageView<'_>) -> Option<Arc<Message>> {
+        match self.behavior {
+            ServerBehavior::Unresponsive => return None,
+            ServerBehavior::Refuses => {
+                let mut resp = response_skeleton(view);
+                resp.rcode = Rcode::Refused;
+                return Some(Arc::new(resp));
+            }
+            ServerBehavior::Normal => {}
+        }
+        let Some(key) = AnswerKey::from_view(view) else {
+            let mut resp = response_skeleton(view);
+            resp.rcode = Rcode::FormErr;
             return Some(Arc::new(resp));
+        };
+        Some(self.resolve_key(view.id(), key))
+    }
+
+    /// The shared resolution core behind [`Server::handle_arc`] and
+    /// [`Server::handle_view`]: resolves an extracted key for a
+    /// Normal-behavior server. On a memo hit the cached `Arc` comes back
+    /// unpatched — its id is whatever query first populated the entry;
+    /// callers own id fidelity.
+    fn resolve_key(&self, id: u16, key: AnswerKey) -> Arc<Message> {
+        let Some(zone) = self.best_zone(&key.qname) else {
+            let mut resp = response_for(id, &key);
+            resp.rcode = Rcode::Refused;
+            return Arc::new(resp);
         };
         // AXFR (RFC 5936): full zone transfer, SOA-bracketed. Only served
         // for an exact apex match, and never memoized — transfers are rare
         // and large, exactly what the memo should not hold.
         if key.qtype == RrType::Axfr {
-            let mut resp = query.response();
+            let mut resp = response_for(id, &key);
             if &key.qname != zone.apex() {
                 resp.rcode = Rcode::Refused;
-                return Some(Arc::new(resp));
+                return Arc::new(resp);
             }
             resp.flags.aa = true;
             resp.answers = axfr_records(zone);
-            return Some(Arc::new(resp));
+            return Arc::new(resp);
         }
         let generation = zone.generation();
         if let Some(cached) = self.memo.get(generation, &key) {
-            return Some(patch_id(cached, query.id));
+            return cached;
         }
+        let dnssec = key.edns.map(|e| e.dnssec_ok).unwrap_or(false);
         let index = self.memo.index_for(zone, &key.qname);
-        let mut resp = query.response();
-        answer_from_zone(
-            zone,
-            &key.qname,
-            key.qtype,
-            query.dnssec_ok(),
-            &mut resp,
-            Some(&index),
-        );
+        let mut resp = response_for(id, &key);
+        answer_from_zone(zone, &key.qname, key.qtype, dnssec, &mut resp, Some(&index));
         let resp = Arc::new(resp);
         self.memo.insert(generation, key, Arc::clone(&resp));
-        Some(resp)
+        resp
     }
 
     /// Answers a query, returning an owned message (the memoized path plus
@@ -231,6 +263,50 @@ impl Server {
         let dnssec = query.dnssec_ok();
         answer_from_zone(zone, &q.qname, q.qtype, dnssec, &mut resp, None);
         Some(resp)
+    }
+}
+
+/// Replicates `Message::response()` for the query that `key` was extracted
+/// from: same flags (qr set, rd echoed), NOERROR, the question restored
+/// from the key, EDNS echoed. Keeping this identical to `query.response()`
+/// is what makes the keyed path byte-for-byte equal to the owned path.
+fn response_for(id: u16, key: &AnswerKey) -> Message {
+    Message {
+        id,
+        flags: Flags {
+            qr: true,
+            rd: key.rd,
+            ..Flags::default()
+        },
+        rcode: Rcode::NoError,
+        question: Some(Question {
+            qname: key.qname.clone(),
+            qtype: key.qtype,
+            qclass: key.qclass,
+        }),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: Vec::new(),
+        edns: key.edns,
+    }
+}
+
+/// Replicates `Message::response()` for a wire view, including the
+/// question-less case (FORMERR/REFUSED replies to broken queries).
+pub(crate) fn response_skeleton(view: &MessageView<'_>) -> Message {
+    Message {
+        id: view.id(),
+        flags: Flags {
+            qr: true,
+            rd: view.flags().rd,
+            ..Flags::default()
+        },
+        rcode: Rcode::NoError,
+        question: view.question().map(|q| q.to_question()),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: Vec::new(),
+        edns: view.edns(),
     }
 }
 
@@ -987,6 +1063,59 @@ mod tests {
             .is_none());
         let (hits2, misses2) = s.answer_cache_stats();
         assert_eq!((hits2, misses2), (hits, misses + 1));
+    }
+
+    #[test]
+    fn view_path_matches_owned_path_modulo_id_stamp() {
+        use ddx_dns::wire;
+        for behavior in [ServerBehavior::Normal, ServerBehavior::Refuses] {
+            let mut s = server(signed_zone(false));
+            s.behavior = behavior;
+            for (qname, qtype) in [
+                ("www.example.com", RrType::A),
+                ("nope.example.com", RrType::A),
+                ("x.sub.example.com", RrType::A),
+                ("example.com", RrType::Soa),
+                ("example.com", RrType::Axfr),
+                ("sub.example.com", RrType::Axfr),
+                ("other.org", RrType::A),
+            ] {
+                let q = Message::query(0x55AA, name(qname), qtype);
+                let bytes = wire::encode(&q);
+                let view = MessageView::parse(&bytes).expect("query parses");
+                // Twice so the second round exercises the memo-hit path.
+                for round in 0..2 {
+                    let owned = s.handle_arc(&q).expect("answer");
+                    let viewed = s.handle_view(&view).expect("answer");
+                    // handle_view leaves memo-hit ids unpatched by contract;
+                    // stamp the id as the transports do before comparing.
+                    let mut enc = wire::encode(&viewed);
+                    enc[0..2].copy_from_slice(&q.id.to_be_bytes());
+                    assert_eq!(
+                        enc,
+                        wire::encode(&owned),
+                        "{behavior:?} {qname}/{qtype:?} round {round}"
+                    );
+                }
+            }
+        }
+
+        // Question-less queries: FORMERR from both paths.
+        let s = server(signed_zone(false));
+        let mut broken = Message::query(9, name("www.example.com"), RrType::A);
+        broken.question = None;
+        let bytes = wire::encode(&broken);
+        let view = MessageView::parse(&bytes).expect("parses");
+        assert_eq!(
+            s.handle_view(&view).map(|r| (*r).clone()),
+            s.handle(&broken)
+        );
+        assert_eq!(s.handle(&broken).unwrap().rcode, Rcode::FormErr);
+
+        // Unresponsive servers answer neither path.
+        let mut mute = server(plain_zone());
+        mute.behavior = ServerBehavior::Unresponsive;
+        assert!(mute.handle_view(&view).is_none());
     }
 
     #[test]

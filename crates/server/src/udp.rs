@@ -21,9 +21,9 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
-use ddx_dns::{wire, Message, Rcode};
+use ddx_dns::{wire, Message, MessageView, Rcode};
 
-use crate::batch::{BatchMode, BatchSocket, RecvBatch, SendItem, DEFAULT_BATCH};
+use crate::batch::{BatchMode, BatchSocket, RecvBatch, SendQueue, DEFAULT_BATCH};
 use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::server::{Server, ServerId};
 use crate::testbed::{Network, QueryOutcome};
@@ -200,7 +200,7 @@ fn udp_worker_loop(
     let bsock = BatchSocket::new(sock, cfg.mode);
     let mut batch = RecvBatch::new(cfg.batch);
     let mut limiter = cfg.rate_limit.map(RateLimiter::new);
-    let mut out: Vec<SendItem> = Vec::with_capacity(cfg.batch);
+    let mut out = SendQueue::with_capacity(cfg.batch);
     while !stop.load(Ordering::Relaxed) {
         let n = match bsock.recv_batch(&mut batch) {
             Ok(n) => n,
@@ -225,7 +225,9 @@ fn udp_worker_loop(
         {
             let server = server.read();
             for (bytes, peer) in batch.received() {
-                let Ok(query) = wire::decode(bytes) else {
+                // Zero-copy parse: the view borrows the receive slot; no
+                // owned Message is built unless the memo misses.
+                let Ok(view) = MessageView::parse(bytes) else {
                     continue;
                 };
                 obs_queries.inc();
@@ -233,37 +235,45 @@ fn udp_worker_loop(
                     if !rl.allow(peer.ip()) {
                         // Bucket dry: answer REFUSED without touching the
                         // zone store.
-                        let mut resp = query.response();
+                        let mut resp = crate::server::response_skeleton(&view);
                         resp.rcode = Rcode::Refused;
-                        out.push(SendItem {
-                            bytes: wire::encode(&resp),
-                            peer,
-                        });
+                        wire::encode_into(&resp, out.slot());
+                        out.commit(peer);
                         continue;
                     }
                 }
-                if let Some(bytes) = respond(&server, &query) {
-                    out.push(SendItem { bytes, peer });
+                if respond_into(&server, &view, out.slot()) {
+                    out.commit(peer);
                 }
             }
         }
         if !out.is_empty() {
             obs_sent.add(out.len() as u64);
-            let _ = bsock.send_batch(&out);
+            let _ = bsock.send_batch(out.items());
         }
     }
 }
 
-/// Answers one decoded query, applying the UDP truncation rule.
-fn respond(server: &Server, query: &Message) -> Option<Vec<u8>> {
+/// Answers one parsed query view into `buf` (a recycled [`SendQueue`]
+/// slot), applying the UDP truncation rule. Returns whether `buf` holds a
+/// response to send.
+///
+/// [`Server::handle_view`] returns memo-hit answers without patching the
+/// message id (the cached `Arc` is shared), so the query id is stamped
+/// directly into the first two wire bytes after encoding — the id never
+/// participates in name compression, making this byte-identical to
+/// encoding a patched message.
+fn respond_into(server: &Server, view: &MessageView<'_>, buf: &mut Vec<u8>) -> bool {
     // The client's advertised maximum UDP payload.
-    let limit = query
-        .edns
+    let limit = view
+        .edns()
         .map(|e| e.udp_size.max(512) as usize)
         .unwrap_or(512);
-    let resp = server.handle_arc(query)?;
-    let mut bytes = wire::encode(&resp);
-    if bytes.len() > limit {
+    let Some(resp) = server.handle_view(view) else {
+        return false;
+    };
+    wire::encode_into(&resp, buf);
+    if buf.len() > limit {
         // RFC 1035 §4.2.1/RFC 2181 §9: answer doesn't fit — return a
         // truncated response with TC so the client retries over TCP.
         let mut truncated = (*resp).clone();
@@ -271,9 +281,10 @@ fn respond(server: &Server, query: &Message) -> Option<Vec<u8>> {
         truncated.answers.clear();
         truncated.authorities.clear();
         truncated.additionals.clear();
-        bytes = wire::encode(&truncated);
+        wire::encode_into(&truncated, buf);
     }
-    Some(bytes)
+    buf[0..2].copy_from_slice(&view.id().to_be_bytes());
+    true
 }
 
 /// Serves one TCP connection: length-framed queries and responses
@@ -285,11 +296,14 @@ fn handle_tcp_client(mut stream: TcpStream, server: &Arc<RwLock<Server>>) -> std
     let len = u16::from_be_bytes(len_buf) as usize;
     let mut msg = vec![0u8; len];
     stream.read_exact(&mut msg)?;
-    let Ok(query) = wire::decode(&msg) else {
+    let Ok(view) = MessageView::parse(&msg) else {
         return Ok(());
     };
-    if let Some(resp) = server.read().handle_arc(&query) {
-        let bytes = wire::encode(&resp);
+    let resp = server.read().handle_view(&view);
+    if let Some(resp) = resp {
+        let mut bytes = wire::encode(&resp);
+        // handle_view leaves memo-hit ids unpatched; stamp the wire bytes.
+        bytes[0..2].copy_from_slice(&view.id().to_be_bytes());
         stream.write_all(&(bytes.len() as u16).to_be_bytes())?;
         stream.write_all(&bytes)?;
     }
@@ -365,12 +379,24 @@ fn with_client_socket<R>(f: impl FnOnce(&UdpSocket) -> Option<R>) -> Option<R> {
     })
 }
 
+/// What one UDP exchange produced, before any TCP fallback decision.
+enum UdpReply {
+    Outcome(QueryOutcome),
+    /// The answer came back with TC set and the caller wants TCP fallback:
+    /// the truncated body was never materialized into an owned `Message`.
+    Truncated,
+}
+
 impl UdpNetwork {
     /// One UDP exchange: send, then wait for a datagram attributable to
     /// this query. Bytes that echo the query ID but do not parse surface as
     /// [`QueryOutcome::Malformed`] instead of silently waiting out the
     /// timeout.
-    fn udp_exchange(&self, addr: &SocketAddr, query: &Message) -> QueryOutcome {
+    ///
+    /// Response verification (id, question echo) runs entirely on the
+    /// borrowed [`MessageView`]; `to_owned` runs once, only for the
+    /// accepted answer that the caller retains.
+    fn udp_exchange(&self, addr: &SocketAddr, query: &Message) -> UdpReply {
         let out = with_client_socket(|socket| {
             socket.set_read_timeout(Some(self.timeout)).ok()?;
             socket.send_to(&wire::encode(query), addr).ok()?;
@@ -384,21 +410,35 @@ impl UdpNetwork {
                 if peer != *addr {
                     continue;
                 }
-                match wire::decode(&buf[..len]) {
-                    Ok(msg) if msg.id == query.id && msg.question == query.question => {
-                        return Some(QueryOutcome::Answer(Arc::new(msg)));
+                match MessageView::parse(&buf[..len]) {
+                    Ok(view) => {
+                        let question_matches = match (view.question(), &query.question) {
+                            (Some(qv), Some(q)) => qv.matches(q),
+                            (None, None) => true,
+                            _ => false,
+                        };
+                        if view.id() != query.id || !question_matches {
+                            continue;
+                        }
+                        if view.flags().tc && self.tcp_fallback {
+                            // The full answer comes over TCP; don't pay to
+                            // materialize the truncated one.
+                            return Some(UdpReply::Truncated);
+                        }
+                        return Some(UdpReply::Outcome(QueryOutcome::Answer(Arc::new(
+                            view.to_owned(),
+                        ))));
                     }
-                    Ok(_) => continue,
                     Err(_) => {
                         if len >= 2 && buf[..2] == query.id.to_be_bytes() {
-                            return Some(QueryOutcome::Malformed);
+                            return Some(UdpReply::Outcome(QueryOutcome::Malformed));
                         }
                         continue;
                     }
                 }
             }
         });
-        out.unwrap_or(QueryOutcome::Timeout)
+        out.unwrap_or(UdpReply::Outcome(QueryOutcome::Timeout))
     }
 }
 
@@ -412,13 +452,11 @@ impl Network for UdpNetwork {
             return QueryOutcome::Timeout;
         };
         match self.udp_exchange(addr, query) {
-            QueryOutcome::Answer(msg) if msg.flags.tc && self.tcp_fallback => {
-                match tcp_query(*addr, query, self.timeout) {
-                    Some(m) => QueryOutcome::Answer(Arc::new(m)),
-                    None => QueryOutcome::Timeout,
-                }
-            }
-            out => out,
+            UdpReply::Truncated => match tcp_query(*addr, query, self.timeout) {
+                Some(m) => QueryOutcome::Answer(Arc::new(m)),
+                None => QueryOutcome::Timeout,
+            },
+            UdpReply::Outcome(out) => out,
         }
     }
 
