@@ -1,13 +1,20 @@
 //! The Table 6 pipeline, per snapshot: replicate → grok (GE) → DFixer →
-//! grok (AE) for the S1 (NZIC-only) and a representative S2 scenario.
+//! grok (AE) for the S1 (NZIC-only) and a representative S2 scenario, plus
+//! the scratch-vs-incremental revalidation rows backing `BENCH_pr8.json`:
+//! a deep delegation chain converged by the fixer with memoization off/on,
+//! and steady-state revalidation sweeps over 8/64/256 sibling zones.
 
 use std::collections::BTreeSet;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
-use ddx_dnsviz::{grok, probe, ErrorCode};
+use ddx_dns::{name, RrType};
+use ddx_dnsviz::{grok, probe, ErrorCode, GrokMemo, ProbeConfig, RetryPolicy};
 use ddx_fixer::{run_fixer, FixerOptions};
 use ddx_replicator::{replicate, Nsec3Meta, ReplicationRequest, ZoneMeta};
+use ddx_server::{build_sandbox, Sandbox, ZoneSpec};
+
+const NOW: u32 = 1_000_000;
 
 fn meta_nsec3() -> ZoneMeta {
     ZoneMeta {
@@ -18,6 +25,60 @@ fn meta_nsec3() -> ZoneMeta {
         }),
         ..ZoneMeta::default()
     }
+}
+
+fn probe_cfg_for(sb: &Sandbox, leaf: &str, hint_apexes: &[&str]) -> ProbeConfig {
+    ProbeConfig {
+        anchor_zone: sb.anchor().apex.clone(),
+        anchor_servers: sb.anchor().servers.clone(),
+        query_domain: name(&format!("www.{leaf}")),
+        target_types: vec![RrType::A],
+        time: NOW,
+        retry: RetryPolicy::default(),
+        hints: sb
+            .zones
+            .iter()
+            .filter(|z| hint_apexes.iter().any(|a| z.apex == name(a)))
+            .map(|z| (z.apex.clone(), z.servers.clone()))
+            .collect(),
+    }
+}
+
+/// An anchor-to-leaf delegation chain `depth` zones deep, with the leaf's
+/// RRSIGs stripped so the fixer has real multi-iteration work to do.
+fn broken_chain(depth: usize) -> (Sandbox, ProbeConfig) {
+    let mut apexes = vec!["a.com".to_string()];
+    for i in 1..depth {
+        apexes.push(format!("z{i}.{}", apexes[i - 1]));
+    }
+    let specs: Vec<ZoneSpec> = apexes
+        .iter()
+        .map(|a| ZoneSpec::conventional(name(a)))
+        .collect();
+    let mut sb = build_sandbox(&specs, NOW, 0xC4A1);
+    let leaf = apexes.last().unwrap();
+    sb.testbed
+        .mutate_zone_everywhere(&name(leaf), |z| z.strip_type(RrType::Rrsig));
+    let hint_refs: Vec<&str> = apexes.iter().map(String::as_str).collect();
+    let cfg = probe_cfg_for(&sb, leaf, &hint_refs);
+    (sb, cfg)
+}
+
+/// One anchor with `n` sibling leaf zones — the wide-campaign shape where
+/// steady-state revalidation dominates. Each leaf gets its own probe
+/// config hinting only its two-chain.
+fn sibling_campaign(n: usize) -> (Sandbox, Vec<ProbeConfig>) {
+    let mut specs = vec![ZoneSpec::conventional(name("a.com"))];
+    let leaves: Vec<String> = (0..n).map(|i| format!("leaf{i}.a.com")).collect();
+    for leaf in &leaves {
+        specs.push(ZoneSpec::conventional(name(leaf)));
+    }
+    let sb = build_sandbox(&specs, NOW, 0xCA3B);
+    let cfgs = leaves
+        .iter()
+        .map(|leaf| probe_cfg_for(&sb, leaf, &["a.com", leaf]))
+        .collect();
+    (sb, cfgs)
 }
 
 fn bench(c: &mut Criterion) {
@@ -56,6 +117,53 @@ fn bench(c: &mut Criterion) {
             run
         })
     });
+
+    // Scratch-vs-incremental fixer convergence over a deep chain: each
+    // iteration re-validates 8 zones; the memoized variant should re-probe
+    // only the zones the previous fix touched.
+    for (label, incremental) in [
+        ("fixer_convergence_scratch_chain8", false),
+        ("fixer_convergence_incremental_chain8", true),
+    ] {
+        c.bench_function(label, |b| {
+            b.iter_batched(
+                || broken_chain(8),
+                |(mut sb, cfg)| {
+                    let opts = FixerOptions {
+                        incremental,
+                        ..Default::default()
+                    };
+                    black_box(run_fixer(&mut sb, &cfg, &opts))
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Steady-state campaign revalidation: N sibling zones, nothing changed
+    // since the last pass. Scratch re-walks every chain; the memoized pass
+    // answers from generation checks alone.
+    for n in [8usize, 64, 256] {
+        let (sb, cfgs) = sibling_campaign(n);
+        c.bench_function(&format!("campaign_revalidate_scratch_{n}"), |b| {
+            b.iter(|| {
+                for cfg in &cfgs {
+                    black_box(grok(&probe(&sb.testbed, cfg)));
+                }
+            })
+        });
+        let mut memos: Vec<GrokMemo> = (0..n).map(|_| GrokMemo::new()).collect();
+        for (memo, cfg) in memos.iter_mut().zip(&cfgs) {
+            memo.probe_grok(&sb.testbed, &sb.testbed, cfg);
+        }
+        c.bench_function(&format!("campaign_revalidate_incremental_{n}"), |b| {
+            b.iter(|| {
+                for (memo, cfg) in memos.iter_mut().zip(&cfgs) {
+                    black_box(memo.probe_grok(&sb.testbed, &sb.testbed, cfg));
+                }
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench);

@@ -48,8 +48,11 @@ fn signed_a_response(id: u16) -> Message {
     let owner = name("www.inv-chd.par.a.com");
     let mut resp = Message::query(id, owner.clone(), RrType::A).response();
     resp.flags.aa = true;
-    resp.answers
-        .push(Record::new(owner.clone(), 300, RData::A([192, 0, 2, 7].into())));
+    resp.answers.push(Record::new(
+        owner.clone(),
+        300,
+        RData::A([192, 0, 2, 7].into()),
+    ));
     resp.answers.push(Record::new(
         owner,
         300,
@@ -164,7 +167,12 @@ fn bench(c: &mut Criterion) {
             for bytes in &mix {
                 let view = MessageView::parse(black_box(bytes)).unwrap();
                 let q = view.question().unwrap();
-                black_box((q.qname().label_count(), q.qtype(), view.flags().rd, view.edns()));
+                black_box((
+                    q.qname().label_count(),
+                    q.qtype(),
+                    view.flags().rd,
+                    view.edns(),
+                ));
             }
         })
     });

@@ -8,13 +8,25 @@
 //! ```text
 //! dfixer --errors RrsigExpired,DsDigestInvalid [--nsec3] [--flavor bind|nsd|knot|pdns]
 //!        [--auto] [--cds] [--json] [--seed N] [--metrics-out metrics.json]
+//! dfixer --errors RrsigExpired --watch 10 [--auto]
 //! dfixer --list-errors
 //! ```
+//!
+//! `--watch N` enters a long-lived revalidation loop: up to `N` rounds of
+//! *incremental* probe→grok through a generation-keyed memo, so each round
+//! re-examines only the zones whose content changed since the previous one
+//! (first round: full walk). With `--auto`, each round also applies one
+//! DResolver plan, turning the loop into a delta-driven fixer; without it,
+//! the loop just reports status and memo deltas per round.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use ddx::prelude::*;
+use ddx_dnsviz::GrokMemo;
+use ddx_fixer::{apply_plan, resolve, FixContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct Args {
     errors: Vec<String>,
@@ -26,6 +38,8 @@ struct Args {
     seed: u64,
     list: bool,
     metrics_out: Option<String>,
+    /// Maximum incremental revalidation rounds (None = watch mode off).
+    watch: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         list: false,
         metrics_out: None,
+        watch: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -71,9 +86,19 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
             }
+            "--watch" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--watch needs a round count")?;
+                if n == 0 {
+                    return Err("--watch needs at least 1 round".into());
+                }
+                args.watch = Some(n);
+            }
             "-h" | "--help" => {
                 println!(
-                    "dfixer --errors <Code,...> [--nsec3] [--flavor bind|nsd|knot|pdns] [--auto] [--cds] [--json] [--seed N] [--metrics-out <path>]\n       dfixer --list-errors"
+                    "dfixer --errors <Code,...> [--nsec3] [--flavor bind|nsd|knot|pdns] [--auto] [--cds] [--json] [--seed N] [--watch N] [--metrics-out <path>]\n       dfixer --list-errors"
                 );
                 std::process::exit(0);
             }
@@ -185,7 +210,57 @@ fn main() -> ExitCode {
     }
 
     let mut exit = ExitCode::SUCCESS;
-    if args.auto {
+    if let Some(rounds) = args.watch {
+        // Long-lived incremental revalidation: one memo across all rounds;
+        // after the first full walk, each round re-probes only what changed.
+        let mut memo = GrokMemo::new();
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut now = rep.probe.time;
+        let mut clean = false;
+        println!("\n== watch ({rounds} round max) ==");
+        for round in 1..=rounds {
+            let mut pcfg = rep.probe.clone();
+            pcfg.time = now;
+            let before = memo.stats();
+            let report = memo.probe_grok(&rep.sandbox.testbed, &rep.sandbox.testbed, &pcfg);
+            let after = memo.stats();
+            println!(
+                "round {round}: status={} errors={} [zones: {} reused, {} probed, {} invalidated]",
+                report.status,
+                report.codes().len(),
+                after.hits - before.hits,
+                after.misses - before.misses,
+                after.invalidations - before.invalidations,
+            );
+            if report.clean() {
+                clean = true;
+                println!("watch: clean after {round} round(s)");
+                break;
+            }
+            if !args.auto {
+                continue;
+            }
+            // Apply one DResolver plan per round; the next round's
+            // incremental walk picks up exactly the zones it touched.
+            let mut ctx = FixContext::from_sandbox(&rep.sandbox, &report, now);
+            ctx.use_cds = args.cds;
+            let resolution = resolve(&report, &ctx);
+            if resolution.plan.is_empty() {
+                println!(
+                    "watch: no applicable fix (root cause {:?}); stopping",
+                    resolution.addressed
+                );
+                break;
+            }
+            for instr in &resolution.plan {
+                println!("  apply: {}", instr.describe());
+            }
+            now = apply_plan(&mut rep.sandbox, &resolution.plan, now, &mut rng);
+        }
+        if args.auto && !clean {
+            exit = ExitCode::FAILURE;
+        }
+    } else if args.auto {
         let cfg = rep.probe.clone();
         let opts = FixerOptions {
             flavor: args.flavor,

@@ -6,8 +6,8 @@
 use std::collections::BTreeSet;
 
 use ddx_dataset::{Corpus, Snapshot};
-use ddx_dnsviz::{grok, probe, ErrorCode, ErrorDetail};
-use ddx_fixer::{run_fixer, FixerOptions, InstructionKind};
+use ddx_dnsviz::{grok, probe, ErrorCode, ErrorDetail, GrokMemo};
+use ddx_fixer::{run_fixer_with_memo, FixerOptions, InstructionKind};
 use ddx_replicator::{parent_apex, replicate, ReplicationRequest};
 
 /// Pipeline configuration.
@@ -168,17 +168,51 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
     if let Some(retry) = &cfg.retry {
         probe_cfg.retry = retry.clone();
     }
-    let probe_timer = stage_timer("probe_grok").start_timer();
+    // One memo follows the snapshot through GE and the fixer loop: the GE
+    // walk warms it, so the fixer's first iteration (same state, same
+    // clock) revalidates without a single query.
+    let mut memo = GrokMemo::new();
+    // `probe_grok` is the deprecated combined stage label (kept one release
+    // for dashboards); the split `probe` / `grok` labels attribute walk
+    // time and analysis time separately.
+    let combined_timer = stage_timer("probe_grok").start_timer();
     let report = match &cfg.fault_plan {
         Some(plan) => {
+            // A flapping fault network is order-dependent, so the GE walk
+            // under faults is never memoized; the memo reaches the fixer
+            // cold and warms up on its first (un-faulted) iteration.
             let mut plan = plan.clone();
             plan.seed ^= seed;
             let faulty = ddx_server::FaultNetwork::new(&rep.sandbox.testbed, plan);
-            grok(&probe(&faulty, &probe_cfg))
+            let probe_timer = stage_timer("probe").start_timer();
+            let probe_result = probe(&faulty, &probe_cfg);
+            drop(probe_timer);
+            let grok_timer = stage_timer("grok").start_timer();
+            let report = grok(&probe_result);
+            drop(grok_timer);
+            report
         }
-        None => grok(&probe(&rep.sandbox.testbed, &probe_cfg)),
+        None if cfg.fixer.incremental => {
+            let probe_timer = stage_timer("probe").start_timer();
+            let probe_result =
+                memo.probe_incremental(&rep.sandbox.testbed, &rep.sandbox.testbed, &probe_cfg);
+            drop(probe_timer);
+            let grok_timer = stage_timer("grok").start_timer();
+            let report = memo.grok_incremental(&probe_result);
+            drop(grok_timer);
+            report
+        }
+        None => {
+            let probe_timer = stage_timer("probe").start_timer();
+            let probe_result = probe(&rep.sandbox.testbed, &probe_cfg);
+            drop(probe_timer);
+            let grok_timer = stage_timer("grok").start_timer();
+            let report = grok(&probe_result);
+            drop(grok_timer);
+            report
+        }
     };
-    drop(probe_timer);
+    drop(combined_timer);
     let generated = report.codes();
     let replicated = !intended.is_empty() && intended.is_subset(&generated);
     if !replicated || generated.is_empty() {
@@ -197,7 +231,7 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
     let mut fixer_opts = cfg.fixer.clone();
     fixer_opts.seed = seed ^ 0xF1;
     let fix_timer = stage_timer("fix").start_timer();
-    let run = run_fixer(&mut rep.sandbox, &probe_cfg, &fixer_opts);
+    let run = run_fixer_with_memo(&mut rep.sandbox, &probe_cfg, &fixer_opts, &mut memo);
     drop(fix_timer);
     let instructions = run
         .iterations

@@ -296,10 +296,7 @@ impl<'buf> MessageView<'buf> {
             question = Some((qname_off, qtype, qclass));
         }
 
-        fn scan_section(
-            d: &mut Decoder,
-            n: u16,
-        ) -> Result<(usize, Option<Edns>), WireError> {
+        fn scan_section(d: &mut Decoder, n: u16) -> Result<(usize, Option<Edns>), WireError> {
             let start = d.pos;
             let mut edns = None;
             for _ in 0..n {
@@ -380,12 +377,11 @@ impl<'buf> MessageView<'buf> {
     }
 
     pub fn question(&self) -> Option<QuestionView<'buf>> {
-        self.question
-            .map(|(off, qtype, qclass)| QuestionView {
-                qname: NameRef::new(self.buf, off),
-                qtype,
-                qclass,
-            })
+        self.question.map(|(off, qtype, qclass)| QuestionView {
+            qname: NameRef::new(self.buf, off),
+            qtype,
+            qclass,
+        })
     }
 
     pub fn answers(&self) -> RecordIter<'buf> {
@@ -742,8 +738,8 @@ mod tests {
             (b"with\x80high", b"with\xa0high"),
         ];
         for (a, b) in cases {
-            let scalar = a.len() == b.len()
-                && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y));
+            let scalar =
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y));
             assert_eq!(swar::eq_ignore_case(a, b), scalar, "{a:?} vs {b:?}");
         }
     }

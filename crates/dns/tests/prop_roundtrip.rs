@@ -275,10 +275,7 @@ fn trailing_garbage_rejected_on_both_paths() {
     assert!(wire::decode(&bytes).is_ok());
     assert!(MessageView::parse(&bytes).is_ok());
     bytes.push(0);
-    assert_eq!(
-        wire::decode(&bytes),
-        Err(wire::WireError::TrailingGarbage)
-    );
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::TrailingGarbage));
     assert_eq!(
         MessageView::parse(&bytes).err(),
         Some(wire::WireError::TrailingGarbage)

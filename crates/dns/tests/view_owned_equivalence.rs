@@ -58,8 +58,16 @@ fn assert_view_matches(view: &MessageView<'_>, msg: &Message, bytes: &[u8]) {
     // Sections, record by record, field by field.
     let sections: [(&str, Vec<_>, &[Record]); 3] = [
         ("answers", view.answers().collect(), &msg.answers),
-        ("authorities", view.authorities().collect(), &msg.authorities),
-        ("additionals", view.additionals().collect(), &msg.additionals),
+        (
+            "authorities",
+            view.authorities().collect(),
+            &msg.authorities,
+        ),
+        (
+            "additionals",
+            view.additionals().collect(),
+            &msg.additionals,
+        ),
     ];
     for (label, viewed, owned) in sections {
         assert_eq!(viewed.len(), owned.len(), "{label}: record count");

@@ -21,6 +21,7 @@
 //! the variants instead of parsing strings.
 
 pub mod detail;
+pub mod memo;
 
 mod algorithms;
 mod classify;
@@ -289,74 +290,89 @@ static PASSES: [&dyn AnalysisPass; 6] = [
     &algorithms::AlgorithmCompletenessPass,
 ];
 
+/// One wall-time histogram handle per pass, resolved once per grok call
+/// (not per zone × pass) — `grok.pass_us{pass=…}` aggregates across runs.
+pub(crate) fn pass_histograms() -> Vec<ddx_obs::Histogram> {
+    PASSES
+        .iter()
+        .map(|p| ddx_obs::histogram("grok.pass_us", &[("pass", p.name())]))
+        .collect()
+}
+
+/// Runs every analysis pass over one zone's observations and produces its
+/// report. Pure in `(zp, now)` — the property the incremental layer
+/// ([`memo`]) relies on to splice cached [`ZoneReport`]s into a fresh
+/// [`GrokReport`] byte-for-byte.
+pub(crate) fn analyze_zone(
+    zp: &ZoneProbe,
+    now: u32,
+    pass_timings: &[ddx_obs::Histogram],
+) -> ZoneReport {
+    ddx_dns::trace_span!(_zone_span, target: "dnsviz::grok", "zone", zone = zp.zone);
+    let mut za = ZoneAnalysis {
+        zp,
+        now,
+        errors: Vec::new(),
+        dnskeys: collect_dnskeys(zp),
+        ds_set: collect_ds(zp),
+        signed: false,
+        algorithms_seen_valid: BTreeSet::new(),
+        algorithms_in_sigs: BTreeSet::new(),
+    };
+    za.signed =
+        !za.dnskeys.is_empty() || !za.ds_set.is_empty() || zp.servers.iter().any(server_has_sigs);
+
+    if za.signed && !zp.is_lame() {
+        for (pass, timing) in PASSES.iter().zip(pass_timings) {
+            let before = za.errors.len();
+            let timer = timing.start_timer();
+            pass.run(&mut za);
+            drop(timer);
+            ddx_dns::trace_event!(
+                target: "dnsviz::grok",
+                "pass complete",
+                zone = zp.zone,
+                pass = pass.name(),
+                new_errors = za.errors.len() - before,
+            );
+        }
+    }
+
+    let warnings = if za.signed && !zp.is_lame() {
+        classify::collect_warnings(&za)
+    } else {
+        Vec::new()
+    };
+    ZoneReport {
+        zone: zp.zone.clone(),
+        signed: za.signed,
+        has_ds: !za.ds_set.is_empty(),
+        is_anchor: zp.parent.is_none(),
+        errors: za.errors,
+        warnings,
+        observation_gaps: collect_observation_gaps(zp),
+    }
+}
+
+/// Computes the chain-level `(any_lame, any_orphaned)` flags feeding the
+/// snapshot classifier.
+pub(crate) fn chain_flags(zones: &[ZoneProbe]) -> (bool, bool) {
+    let any_lame = zones.iter().any(|zp| zp.is_lame());
+    let any_orphaned = zones.iter().any(|zp| zp.orphaned && !zp.is_lame());
+    (any_lame, any_orphaned)
+}
+
 /// Runs the full analysis.
 pub fn grok(probe: &ProbeResult) -> GrokReport {
     ddx_obs::counter("grok.runs", &[]).inc();
-    // One wall-time histogram handle per pass, resolved once per grok call
-    // (not per zone × pass) — `grok.pass_us{pass=…}` aggregates across runs.
-    let pass_timings: Vec<ddx_obs::Histogram> = PASSES
-        .iter()
-        .map(|p| ddx_obs::histogram("grok.pass_us", &[("pass", p.name())]))
-        .collect();
+    let pass_timings = pass_histograms();
     let now = probe.time;
-    let mut zone_reports = Vec::new();
-    let mut any_lame = false;
-    let mut any_orphaned = false;
-
-    for zp in &probe.zones {
-        ddx_dns::trace_span!(_zone_span, target: "dnsviz::grok", "zone", zone = zp.zone);
-        if zp.is_lame() {
-            any_lame = true;
-        }
-        if zp.orphaned && !zp.is_lame() {
-            any_orphaned = true;
-        }
-        let mut za = ZoneAnalysis {
-            zp,
-            now,
-            errors: Vec::new(),
-            dnskeys: collect_dnskeys(zp),
-            ds_set: collect_ds(zp),
-            signed: false,
-            algorithms_seen_valid: BTreeSet::new(),
-            algorithms_in_sigs: BTreeSet::new(),
-        };
-        za.signed = !za.dnskeys.is_empty()
-            || !za.ds_set.is_empty()
-            || zp.servers.iter().any(server_has_sigs);
-
-        if za.signed && !zp.is_lame() {
-            for (pass, timing) in PASSES.iter().zip(&pass_timings) {
-                let before = za.errors.len();
-                let timer = timing.start_timer();
-                pass.run(&mut za);
-                drop(timer);
-                ddx_dns::trace_event!(
-                    target: "dnsviz::grok",
-                    "pass complete",
-                    zone = zp.zone,
-                    pass = pass.name(),
-                    new_errors = za.errors.len() - before,
-                );
-            }
-        }
-
-        let warnings = if za.signed && !zp.is_lame() {
-            classify::collect_warnings(&za)
-        } else {
-            Vec::new()
-        };
-        zone_reports.push(ZoneReport {
-            zone: zp.zone.clone(),
-            signed: za.signed,
-            has_ds: !za.ds_set.is_empty(),
-            is_anchor: zp.parent.is_none(),
-            errors: za.errors,
-            warnings,
-            observation_gaps: collect_observation_gaps(zp),
-        });
-    }
-
+    let zone_reports: Vec<ZoneReport> = probe
+        .zones
+        .iter()
+        .map(|zp| analyze_zone(zp, now, &pass_timings))
+        .collect();
+    let (any_lame, any_orphaned) = chain_flags(&probe.zones);
     let status = classify::classify(&zone_reports, any_lame, any_orphaned);
     GrokReport {
         query_domain: probe.query_domain.clone(),

@@ -15,6 +15,7 @@ pub mod status;
 
 pub use codes::{Category, ErrorCode, Subcategory, WarningCode};
 pub use ede::{ede_for, Ede};
+pub use grok::memo::{GrokMemo, MemoStats};
 pub use grok::{
     grok, AlgorithmScope, DsProblem, ErrorDetail, ErrorInstance, GrokReport, ZoneReport,
 };

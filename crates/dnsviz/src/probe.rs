@@ -226,7 +226,9 @@ impl ProbeObs {
 
 /// The walk's query engine: wraps the network with the retry/backoff
 /// policy, tracks per-server health, and accumulates virtual time.
-struct Prober<'a> {
+/// `pub(crate)` so the incremental layer (`grok::memo`) can resume a walk
+/// mid-chain with the same engine.
+pub(crate) struct Prober<'a> {
     net: &'a dyn Network,
     retry: RetryPolicy,
     health: BTreeMap<ServerId, ServerHealth>,
@@ -238,7 +240,7 @@ struct Prober<'a> {
 const QUERY_COST_MS: u64 = 10;
 
 impl<'a> Prober<'a> {
-    fn new(net: &'a dyn Network, retry: RetryPolicy) -> Self {
+    pub(crate) fn new(net: &'a dyn Network, retry: RetryPolicy) -> Self {
         Prober {
             net,
             retry,
@@ -324,6 +326,17 @@ impl<'a> Prober<'a> {
             attempts,
         });
         result
+    }
+
+    /// Consumes the engine into the walk's result envelope.
+    pub(crate) fn into_result(self, cfg: &ProbeConfig, zones: Vec<ZoneProbe>) -> ProbeResult {
+        ProbeResult {
+            query_domain: cfg.query_domain.clone(),
+            time: cfg.time,
+            zones,
+            health: self.health.into_iter().collect(),
+            virtual_ms: self.virtual_ms,
+        }
     }
 
     /// Probes one server for one zone's material.
@@ -418,30 +431,80 @@ impl<'a> Prober<'a> {
     }
 }
 
-/// Runs the full probe walk.
-pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
-    ddx_obs::counter("probe.walks", &[]).inc();
-    let _walk_timer = ddx_obs::histogram("probe.walk_us", &[]).start_timer();
-    ddx_dns::trace_span!(
-        _walk_span,
-        target: "dnsviz::probe",
-        "walk",
-        query_domain = cfg.query_domain,
-        anchor = cfg.anchor_zone,
-    );
-    let mut prober = Prober::new(net, cfg.retry.clone());
-    let mut zones = Vec::new();
-    let mut zone = cfg.anchor_zone.clone();
-    let mut servers = cfg.anchor_servers.clone();
-    let mut parent: Option<Name> = None;
-    let mut delegation_ns: Vec<Name> = Vec::new();
-    let mut unresolved: Vec<Name> = Vec::new();
-    let mut ds_responses: Vec<(ServerId, Option<Arc<Message>>)> = Vec::new();
-    // Failures of the DS queries feeding `ds_responses`: gathered at the
-    // parent, recorded on the child's zone probe one lap later.
-    let mut ds_failures: Vec<(ServerId, QueryFailure)> = Vec::new();
+/// Maximum delegation-walk depth (laps) from the anchor.
+pub(crate) const MAX_WALK_DEPTH: usize = 16;
 
-    for _depth in 0..16 {
+/// The loop-carried state at the entry of one walk lap. Capturing it per
+/// lap is what lets the incremental layer resume a walk at the first dirty
+/// zone instead of restarting from the anchor: everything a lap consumes
+/// (referral NS names, parent-side DS responses, pending DS failures) was
+/// produced by the *previous* lap, so a clean prefix implies a valid entry
+/// state.
+#[derive(Debug, Clone)]
+pub(crate) struct WalkStart {
+    pub(crate) zone: Name,
+    pub(crate) servers: Vec<ServerId>,
+    pub(crate) parent: Option<Name>,
+    pub(crate) delegation_ns: Vec<Name>,
+    pub(crate) unresolved_ns: Vec<Name>,
+    pub(crate) ds_responses: Vec<(ServerId, Option<Arc<Message>>)>,
+    /// Failures of the DS queries feeding `ds_responses`: gathered at the
+    /// parent, recorded on the child's zone probe one lap later.
+    pub(crate) ds_failures: Vec<(ServerId, QueryFailure)>,
+    /// Remaining lap budget ([`MAX_WALK_DEPTH`] at the anchor).
+    pub(crate) depth: usize,
+}
+
+impl WalkStart {
+    pub(crate) fn anchor(cfg: &ProbeConfig) -> Self {
+        WalkStart {
+            zone: cfg.anchor_zone.clone(),
+            servers: cfg.anchor_servers.clone(),
+            parent: None,
+            delegation_ns: Vec::new(),
+            unresolved_ns: Vec::new(),
+            ds_responses: Vec::new(),
+            ds_failures: Vec::new(),
+            depth: MAX_WALK_DEPTH,
+        }
+    }
+}
+
+/// Per-lap byproducts a [`ZoneProbe`] does not carry: the server list the
+/// lap actually queried, and the incoming DS failures *before* they were
+/// merged into `lookup_failures` (which also absorbs this lap's referral
+/// failures). Together with the `ZoneProbe` they reconstruct the lap's
+/// [`WalkStart`].
+#[derive(Debug, Clone)]
+pub(crate) struct LapMeta {
+    pub(crate) servers: Vec<ServerId>,
+    pub(crate) ds_failures: Vec<(ServerId, QueryFailure)>,
+}
+
+/// Runs the delegation walk from `start` until the query zone, a fully
+/// lame cut, or the depth budget. Returns the probed zones with one
+/// [`LapMeta`] each, in walk order.
+pub(crate) fn walk_chain(
+    prober: &mut Prober<'_>,
+    cfg: &ProbeConfig,
+    start: WalkStart,
+) -> (Vec<ZoneProbe>, Vec<LapMeta>) {
+    let net = prober.net;
+    let mut zones = Vec::new();
+    let mut metas = Vec::new();
+    let mut zone = start.zone;
+    let mut servers = start.servers;
+    let mut parent = start.parent;
+    let mut delegation_ns = start.delegation_ns;
+    let mut unresolved = start.unresolved_ns;
+    let mut ds_responses = start.ds_responses;
+    let mut ds_failures = start.ds_failures;
+
+    for _depth in 0..start.depth {
+        metas.push(LapMeta {
+            servers: servers.clone(),
+            ds_failures: ds_failures.clone(),
+        });
         // Is this the query zone (no further cut toward the target)?
         let mut lookup_failures = std::mem::take(&mut ds_failures);
         let cut = prober.next_cut(&servers, &cfg.query_domain, &zone, &mut lookup_failures);
@@ -507,6 +570,10 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
         servers = next_servers;
         if servers.is_empty() {
             // Fully lame delegation: record the empty zone probe and stop.
+            metas.push(LapMeta {
+                servers: Vec::new(),
+                ds_failures: ds_failures.clone(),
+            });
             zones.push(ZoneProbe {
                 zone,
                 parent,
@@ -520,10 +587,13 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             break;
         }
     }
+    (zones, metas)
+}
 
-    // Hint pass: a hinted zone on the query path that the walk never reached
-    // (its delegation is missing from the parent) gets probed directly and
-    // recorded as orphaned.
+/// The hint pass: a hinted zone on the query path that the walk never
+/// reached (its delegation is missing from the parent) gets probed directly
+/// and appended as orphaned.
+pub(crate) fn hint_pass(prober: &mut Prober<'_>, cfg: &ProbeConfig, zones: &mut Vec<ZoneProbe>) {
     let deepest = zones.last().map(|z| z.zone.clone());
     if let Some(deepest) = deepest {
         let mut missing: Vec<&(Name, Vec<ServerId>)> = cfg
@@ -568,14 +638,23 @@ pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
             });
         }
     }
+}
 
-    ProbeResult {
-        query_domain: cfg.query_domain.clone(),
-        time: cfg.time,
-        zones,
-        health: prober.health.into_iter().collect(),
-        virtual_ms: prober.virtual_ms,
-    }
+/// Runs the full probe walk.
+pub fn probe(net: &dyn Network, cfg: &ProbeConfig) -> ProbeResult {
+    ddx_obs::counter("probe.walks", &[]).inc();
+    let _walk_timer = ddx_obs::histogram("probe.walk_us", &[]).start_timer();
+    ddx_dns::trace_span!(
+        _walk_span,
+        target: "dnsviz::probe",
+        "walk",
+        query_domain = cfg.query_domain,
+        anchor = cfg.anchor_zone,
+    );
+    let mut prober = Prober::new(net, cfg.retry.clone());
+    let (mut zones, _metas) = walk_chain(&mut prober, cfg, WalkStart::anchor(cfg));
+    hint_pass(&mut prober, cfg, &mut zones);
+    prober.into_result(cfg, zones)
 }
 
 #[cfg(test)]

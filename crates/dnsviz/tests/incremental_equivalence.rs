@@ -1,0 +1,280 @@
+//! Equivalence harness for the incremental probe→grok layer: a
+//! [`GrokMemo`]-driven revalidation must be **byte-for-byte identical**
+//! (report JSON) to a from-scratch `grok(&probe(..))` of the same state,
+//! across the shared zone-variant corpus, random mutation sequences, and
+//! deterministic fault plans — while reusing every zone the mutations did
+//! not touch.
+
+use std::net::Ipv4Addr;
+
+use ddx_dns::{name, RData, Record, RrType};
+use ddx_dnsviz::{grok, probe, GrokMemo};
+use ddx_server::{FaultNetwork, FaultPlan, Sandbox};
+use proptest::prelude::*;
+
+mod common;
+use common::{build_variant, probe_cfg, ANCHOR_APEX, LEAF_APEX, NOW, PAR_APEX, VARIANT_NAMES};
+
+/// One deterministic sandbox mutation, selected by `op`. `round` feeds
+/// fresh record names so repeated adds stay distinct.
+fn apply_mutation(sb: &mut Sandbox, op: u8, round: usize) {
+    let a = |last: u8| RData::A(Ipv4Addr::new(192, 0, 2, last));
+    match op % 8 {
+        0 => sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+            z.add(Record::new(
+                name(&format!("extra{round}.{LEAF_APEX}")),
+                300,
+                a(100 + round as u8),
+            ));
+        }),
+        1 => {
+            let _ = sb.resign_zone(&name(LEAF_APEX), NOW);
+        }
+        2 => sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+            z.strip_type(RrType::Rrsig);
+        }),
+        3 => sb.set_ds(&name(LEAF_APEX), Vec::new(), NOW),
+        4 => sb.testbed.mutate_zone_everywhere(&name(PAR_APEX), |z| {
+            z.add(Record::new(
+                name(&format!("extra{round}.{PAR_APEX}")),
+                300,
+                a(150 + round as u8),
+            ));
+        }),
+        5 => sb.testbed.mutate_zone_everywhere(&name(ANCHOR_APEX), |z| {
+            z.add(Record::new(
+                name(&format!("extra{round}.{ANCHOR_APEX}")),
+                300,
+                a(200 + round as u8),
+            ));
+        }),
+        6 => {
+            let _ = sb.resign_zone(&name(PAR_APEX), NOW);
+        }
+        _ => sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
+            z.strip_type(RrType::Nsec);
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline pin: across every corpus variant and a random sequence
+    /// of zone mutations, incremental revalidation through one long-lived
+    /// memo serializes byte-for-byte like a from-scratch run after every
+    /// step, and the memo's accounting stays balanced.
+    #[test]
+    fn incremental_report_equals_scratch(
+        variant_idx in 0usize..8,
+        ops in prop::collection::vec(0u8..8, 1..6),
+    ) {
+        let label = VARIANT_NAMES[variant_idx];
+        let mut sb = build_variant(label);
+        let cfg = probe_cfg(&sb);
+        let mut memo = GrokMemo::new();
+        let first = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+        prop_assert_eq!(
+            first.to_json(),
+            grok(&probe(&sb.testbed, &cfg)).to_json(),
+            "variant={} cold run diverged", label
+        );
+        for (round, op) in ops.iter().enumerate() {
+            apply_mutation(&mut sb, *op, round);
+            let inc = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+            let scratch = grok(&probe(&sb.testbed, &cfg));
+            prop_assert_eq!(
+                inc.to_json(),
+                scratch.to_json(),
+                "variant={} op={} round={}", label, op, round
+            );
+        }
+        let s = memo.stats();
+        prop_assert_eq!(s.lookups, s.hits + s.misses);
+    }
+
+    /// Chaos pin: under a deterministic fault plan (fresh [`FaultNetwork`]
+    /// per walk, same seed, no flap — flapping advances a per-instance
+    /// clock and is order-dependent by design), incremental and scratch
+    /// runs still agree after every mutation: clean cached observations
+    /// were taken under identical per-query draws, and any gapped zone is
+    /// forced dirty and re-probed live.
+    #[test]
+    fn incremental_equals_scratch_under_chaos(
+        variant_idx in 0usize..8,
+        seed in 0u64..64,
+        ops in prop::collection::vec(0u8..8, 1..4),
+    ) {
+        let label = VARIANT_NAMES[variant_idx];
+        let mut sb = build_variant(label);
+        let cfg = probe_cfg(&sb);
+        let permille = 40 + (seed % 7) as u16 * 20;
+        let plan = FaultPlan {
+            max_faulty_attempts: if seed % 2 == 0 { Some(2) } else { None },
+            ..FaultPlan::uniform(seed, permille)
+        };
+        let mut memo = GrokMemo::new();
+        for (round, op) in ops.iter().enumerate() {
+            if round > 0 {
+                apply_mutation(&mut sb, *op, round);
+            }
+            let inc_net = FaultNetwork::new(&sb.testbed, plan.clone());
+            let inc = memo.probe_grok(&inc_net, &sb.testbed, &cfg);
+            let scratch_net = FaultNetwork::new(&sb.testbed, plan.clone());
+            let scratch = grok(&probe(&scratch_net, &cfg));
+            prop_assert_eq!(
+                inc.to_json(),
+                scratch.to_json(),
+                "variant={} seed={} op={} round={}", label, seed, op, round
+            );
+        }
+        let s = memo.stats();
+        prop_assert_eq!(s.lookups, s.hits + s.misses);
+    }
+}
+
+/// A warm memo over unchanged state reuses every zone without a query.
+#[test]
+fn warm_rerun_reuses_every_zone() {
+    let sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    let first = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s1 = memo.stats();
+    assert_eq!((s1.hits, s1.misses), (0, 3), "cold run: all misses");
+    let second = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s2 = memo.stats();
+    assert_eq!((s2.hits, s2.misses), (3, 3), "warm run: all hits");
+    assert_eq!(s2.invalidations, 0);
+    assert_eq!(first.to_json(), second.to_json());
+}
+
+/// A leaf-content change dirties exactly the leaf; the anchor and the
+/// intermediate zone splice from cache.
+#[test]
+fn leaf_change_reprobes_only_the_leaf() {
+    let mut sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    sb.testbed
+        .mutate_zone_everywhere(&name(LEAF_APEX), |z| z.bump_serial());
+    let report = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s = memo.stats();
+    assert_eq!(
+        (s.hits, s.misses),
+        (2, 4),
+        "anchor+par reused, leaf re-probed"
+    );
+    assert_eq!(s.invalidations, 1);
+    assert_eq!(report.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}
+
+/// A parent-side change (DS update) dirties the parent **and** its child
+/// through the parent edge of the memo key.
+#[test]
+fn parent_change_dirties_the_child_too() {
+    let mut sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    sb.set_ds(&name(LEAF_APEX), Vec::new(), NOW);
+    let report = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s = memo.stats();
+    assert_eq!((s.hits, s.misses), (1, 5), "only the anchor survives");
+    assert_eq!(report.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}
+
+/// An anchor (trust-anchor zone) change flushes the whole chain.
+#[test]
+fn anchor_change_flushes_everything() {
+    let mut sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    sb.testbed
+        .mutate_zone_everywhere(&name(ANCHOR_APEX), |z| z.bump_serial());
+    let report = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s = memo.stats();
+    assert_eq!(
+        (s.hits, s.misses),
+        (0, 6),
+        "nothing survives an anchor change"
+    );
+    assert_eq!(report.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}
+
+/// A clock move keeps every cached probe (zero queries) but re-runs the
+/// analysis: RRSIG validity windows read the clock.
+#[test]
+fn clock_move_reuses_probes_and_reruns_analysis() {
+    let sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let mut later = cfg.clone();
+    later.time = NOW + 500;
+    let report = memo.probe_grok(&sb.testbed, &sb.testbed, &later);
+    let s = memo.stats();
+    assert_eq!(
+        (s.hits, s.misses),
+        (3, 3),
+        "clock move alone re-probes nothing"
+    );
+    assert_eq!(report.time, NOW + 500);
+    assert_eq!(
+        report.to_json(),
+        grok(&probe(&sb.testbed, &later)).to_json()
+    );
+}
+
+/// A topology change (NS registration) is an epoch change: even though no
+/// zone content moved, the whole memo flushes and the next walk re-observes
+/// everything under the new server map.
+#[test]
+fn topology_change_flushes_the_epoch() {
+    let mut sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let target = sb.anchor().servers[0].clone();
+    sb.testbed.register_ns(name("ns-spare.a.com"), target);
+    let report = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s = memo.stats();
+    assert_eq!(
+        (s.hits, s.misses),
+        (0, 6),
+        "epoch change leaves nothing to reuse"
+    );
+    assert_eq!(report.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}
+
+/// An observation gap (dead server) forces its zone dirty on the next
+/// round even though no generation moved — the probe must either re-observe
+/// the fault or watch it heal; it may never reuse "couldn't see".
+#[test]
+fn observation_gap_forces_reprobe_until_healed() {
+    let sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    let dead = sb.leaf().servers[0].clone();
+    let plan = FaultPlan {
+        timeout_permille: 1000,
+        only_server: Some(dead),
+        ..FaultPlan::none(99)
+    };
+    let net = FaultNetwork::new(&sb.testbed, plan);
+    let gapped = memo.probe_grok(&net, &sb.testbed, &cfg);
+    assert!(!gapped.fully_observed(), "dead server must leave a gap");
+    let misses_after_gap = memo.stats().misses;
+    // Same state, same clock — but the gapped leaf must be re-probed, and
+    // against the healthy network the gap heals.
+    let healed = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    let s = memo.stats();
+    assert!(healed.fully_observed(), "gap did not heal on re-probe");
+    assert!(
+        s.misses > misses_after_gap,
+        "gapped zone was spliced from cache instead of re-probed"
+    );
+    assert_eq!(healed.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}

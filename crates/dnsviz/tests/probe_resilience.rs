@@ -14,120 +14,12 @@
 //! `CHAOS_SEEDS=<n>` caps the sweep (CI smoke runs use a small fixed set).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
 
-use ddx_dns::{name, Name, RData, RrType};
-use ddx_dnssec::Nsec3Config;
-use ddx_dnsviz::{grok, probe, ErrorDetail, GrokReport, ProbeConfig, RetryPolicy};
-use ddx_server::{build_sandbox, FaultNetwork, FaultPlan, FlapSchedule, Sandbox, ZoneSpec};
+use ddx_dnsviz::{grok, probe, ErrorDetail, GrokReport, RetryPolicy};
+use ddx_server::{FaultNetwork, FaultPlan, FlapSchedule, Sandbox};
 
-const NOW: u32 = 1_000_000;
-const SANDBOX_SEED: u64 = 0xC7A0;
-const QUERY_DOMAIN: &str = "www.chd.par.a.com";
-const LEAF_APEX: &str = "chd.par.a.com";
-
-/// Builds one three-level sandbox (anchor → par → leaf) with the given leaf
-/// spec tweaks and post-build zone mutation.
-fn sandbox(tweak: impl FnOnce(&mut ZoneSpec), mutate: impl FnOnce(&mut Sandbox)) -> Sandbox {
-    let mut leaf = ZoneSpec::conventional(name(LEAF_APEX));
-    tweak(&mut leaf);
-    let mut sb = build_sandbox(
-        &[
-            ZoneSpec::conventional(name("a.com")),
-            ZoneSpec::conventional(name("par.a.com")),
-            leaf,
-        ],
-        NOW,
-        SANDBOX_SEED,
-    );
-    mutate(&mut sb);
-    sb
-}
-
-/// The zone-variant corpus: well-signed NSEC/NSEC3 shapes plus post-signing
-/// breakage, mirroring the server-side query-equivalence variants.
-fn variants() -> &'static Vec<(&'static str, Sandbox)> {
-    static VARIANTS: OnceLock<Vec<(&'static str, Sandbox)>> = OnceLock::new();
-    VARIANTS.get_or_init(|| {
-        vec![
-            ("nsec", sandbox(|_| {}, |_| {})),
-            ("nsec-wildcard", sandbox(|s| s.wildcard = true, |_| {})),
-            (
-                "nsec3",
-                sandbox(|s| s.nsec3 = Some(Nsec3Config::default()), |_| {}),
-            ),
-            (
-                "nsec3-optout-wildcard",
-                sandbox(
-                    |s| {
-                        s.nsec3 = Some(Nsec3Config {
-                            opt_out: true,
-                            ..Nsec3Config::default()
-                        });
-                        s.wildcard = true;
-                    },
-                    |_| {},
-                ),
-            ),
-            (
-                "nsec-broken-chain",
-                sandbox(
-                    |_| {},
-                    |sb| {
-                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
-                            z.remove(&name(QUERY_DOMAIN), RrType::Nsec);
-                        });
-                    },
-                ),
-            ),
-            (
-                "nsec-corrupt-next",
-                sandbox(
-                    |_| {},
-                    |sb| {
-                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
-                            if let Some(set) = z.get_mut(&name(LEAF_APEX), RrType::Nsec) {
-                                for rdata in &mut set.rdatas {
-                                    if let RData::Nsec(n) = rdata {
-                                        n.next_name = name("zzz.outside.test");
-                                    }
-                                }
-                            }
-                        });
-                    },
-                ),
-            ),
-            (
-                "nsec3-stripped-sigs",
-                sandbox(
-                    |s| s.nsec3 = Some(Nsec3Config::default()),
-                    |sb| {
-                        sb.testbed.mutate_zone_everywhere(&name(LEAF_APEX), |z| {
-                            z.strip_type(RrType::Rrsig);
-                        });
-                    },
-                ),
-            ),
-            ("no-ds", sandbox(|s| s.publish_ds = false, |_| {})),
-        ]
-    })
-}
-
-fn probe_cfg(sb: &Sandbox) -> ProbeConfig {
-    ProbeConfig {
-        anchor_zone: sb.anchor().apex.clone(),
-        anchor_servers: sb.anchor().servers.clone(),
-        query_domain: name(QUERY_DOMAIN),
-        target_types: vec![RrType::A],
-        time: NOW,
-        retry: RetryPolicy::default(),
-        hints: sb
-            .zones
-            .iter()
-            .map(|z| (z.apex.clone(), z.servers.clone()))
-            .collect(),
-    }
-}
+mod common;
+use common::{probe_cfg, variants};
 
 /// The deterministic fault mix for one sweep seed: rate, flap, and healing
 /// horizon all derive from the seed so the sweep covers persistent faults,

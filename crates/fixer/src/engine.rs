@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 use ddx_dns::RData;
 use ddx_dnssec::{make_ds, KeyPair, KeyRole, SignerConfig};
-use ddx_dnsviz::{grok, probe, ErrorCode, ErrorDetail, GrokReport, ProbeConfig, SnapshotStatus};
+use ddx_dnsviz::{
+    grok, probe, ErrorCode, ErrorDetail, GrokMemo, GrokReport, ProbeConfig, SnapshotStatus,
+};
 use ddx_server::Sandbox;
 
 use crate::commands::{render_plan, ServerFlavor, ShellCommand};
@@ -29,6 +31,12 @@ pub struct FixerOptions {
     /// Use CDS/CDNSKEY (RFC 7344/8078) for DS maintenance instead of manual
     /// registrar steps (paper §5.5.2 extension).
     pub use_cds: bool,
+    /// Revalidate incrementally between iterations (generation-keyed
+    /// [`GrokMemo`]): each fix mutates one zone, so only that zone (and its
+    /// children, through the parent edge of the memo key) is re-probed and
+    /// re-analyzed. Off = from-scratch probe→grok every iteration (the
+    /// pre-memo behavior, kept as the benchmark baseline).
+    pub incremental: bool,
 }
 
 impl Default for FixerOptions {
@@ -38,6 +46,7 @@ impl Default for FixerOptions {
             seed: 0xF1F1,
             flavor: ServerFlavor::Bind,
             use_cds: false,
+            incremental: true,
         }
     }
 }
@@ -151,18 +160,52 @@ pub fn suggest_remote(
     (report, resolution, commands)
 }
 
+/// One revalidation of the sandbox: incremental through the memo when
+/// enabled, from-scratch probe→grok otherwise. The fixer always probes the
+/// un-faulted testbed, so memoized observations are byte-identical to what
+/// a fresh walk would see.
+fn revalidate(
+    sb: &Sandbox,
+    probe_cfg: &ProbeConfig,
+    opts: &FixerOptions,
+    memo: &mut GrokMemo,
+) -> GrokReport {
+    if opts.incremental {
+        memo.probe_grok(&sb.testbed, &sb.testbed, probe_cfg)
+    } else {
+        grok(&probe(&sb.testbed, probe_cfg))
+    }
+}
+
 /// Runs DFixer in auto-apply mode against the sandbox until the zone
 /// verifies clean or the iteration budget runs out.
 pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> FixRun {
+    let mut memo = GrokMemo::new();
+    run_fixer_with_memo(sb, cfg, opts, &mut memo)
+}
+
+/// [`run_fixer`] with a caller-provided [`GrokMemo`], so revalidation state
+/// can persist across runs (the pipeline's probe→grok stage and the
+/// `dfixer --watch` loop share one memo with the fixer).
+pub fn run_fixer_with_memo(
+    sb: &mut Sandbox,
+    cfg: &ProbeConfig,
+    opts: &FixerOptions,
+    memo: &mut GrokMemo,
+) -> FixRun {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut now = cfg.time;
     let mut iterations = Vec::new();
     let mut final_report = None;
+    // Last in-loop report plus the sandbox fingerprint and clock it was
+    // taken at — reused as the final verdict when nothing changed since.
+    let mut last: Option<(GrokReport, u64, u32)> = None;
 
     for iteration in 1..=opts.max_iterations {
         let mut probe_cfg = cfg.clone();
         probe_cfg.time = now;
-        let report = grok(&probe(&sb.testbed, &probe_cfg));
+        let report = revalidate(sb, &probe_cfg, opts, memo);
+        let report_fp = sb.state_fingerprint();
         let errors: BTreeSet<ErrorCode> = report.codes();
         if errors.is_empty() {
             final_report = Some(report);
@@ -201,6 +244,7 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
         );
         let empty_plan = resolution.plan.is_empty();
         record_iteration_metrics(&log);
+        let probed_at = now;
         now = apply_plan(sb, &resolution.plan, now, &mut rng);
         iterations.push(log);
         if empty_plan {
@@ -209,13 +253,11 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             final_report = Some(report);
             break;
         }
+        last = Some((report, report_fp, probed_at));
     }
 
-    let final_report = final_report.unwrap_or_else(|| {
-        let mut probe_cfg = cfg.clone();
-        probe_cfg.time = now;
-        grok(&probe(&sb.testbed, &probe_cfg))
-    });
+    let final_report =
+        final_report.unwrap_or_else(|| final_verdict(sb, cfg, opts, memo, now, last));
     let final_errors = final_report.codes();
     let run = FixRun {
         iterations,
@@ -227,18 +269,57 @@ pub fn run_fixer(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
     run
 }
 
+/// The post-loop verdict: the last in-loop report is still authoritative
+/// when neither the sandbox fingerprint nor the clock moved since it was
+/// taken — otherwise one more revalidation runs. Skipping the redundant
+/// re-grok is observable as `fixer.final_regrok_skipped`.
+fn final_verdict(
+    sb: &mut Sandbox,
+    cfg: &ProbeConfig,
+    opts: &FixerOptions,
+    memo: &mut GrokMemo,
+    now: u32,
+    last: Option<(GrokReport, u64, u32)>,
+) -> GrokReport {
+    match last {
+        Some((report, fp, probed_at)) if probed_at == now && fp == sb.state_fingerprint() => {
+            ddx_obs::counter("fixer.final_regrok_skipped", &[]).inc();
+            report
+        }
+        _ => {
+            let mut probe_cfg = cfg.clone();
+            probe_cfg.time = now;
+            revalidate(sb, &probe_cfg, opts, memo)
+        }
+    }
+}
+
 /// Runs the naive baseline planner (paper Appendix A.2 stand-in) in the
 /// same iterative harness, for head-to-head comparison with DFixer.
 pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> FixRun {
+    let mut memo = GrokMemo::new();
+    run_naive_with_memo(sb, cfg, opts, &mut memo)
+}
+
+/// [`run_naive`] with a caller-provided [`GrokMemo`] (see
+/// [`run_fixer_with_memo`]).
+pub fn run_naive_with_memo(
+    sb: &mut Sandbox,
+    cfg: &ProbeConfig,
+    opts: &FixerOptions,
+    memo: &mut GrokMemo,
+) -> FixRun {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut now = cfg.time;
     let mut iterations = Vec::new();
     let mut final_report = None;
+    let mut last: Option<(GrokReport, u64, u32)> = None;
 
     for iteration in 1..=opts.max_iterations {
         let mut probe_cfg = cfg.clone();
         probe_cfg.time = now;
-        let report = grok(&probe(&sb.testbed, &probe_cfg));
+        let report = revalidate(sb, &probe_cfg, opts, memo);
+        let report_fp = sb.state_fingerprint();
         let errors: BTreeSet<ErrorCode> = report.codes();
         if errors.is_empty() {
             final_report = Some(report);
@@ -266,19 +347,18 @@ pub fn run_naive(sb: &mut Sandbox, cfg: &ProbeConfig, opts: &FixerOptions) -> Fi
             .map(|prev: &IterationLog| prev.plan == plan)
             .unwrap_or(false);
         record_iteration_metrics(&log);
+        let probed_at = now;
         now = apply_plan(sb, &plan, now, &mut rng);
         iterations.push(log);
         if empty_plan || stalled {
             final_report = Some(report);
             break;
         }
+        last = Some((report, report_fp, probed_at));
     }
 
-    let final_report = final_report.unwrap_or_else(|| {
-        let mut probe_cfg = cfg.clone();
-        probe_cfg.time = now;
-        grok(&probe(&sb.testbed, &probe_cfg))
-    });
+    let final_report =
+        final_report.unwrap_or_else(|| final_verdict(sb, cfg, opts, memo, now, last));
     let final_errors = final_report.codes();
     let run = FixRun {
         iterations,

@@ -30,5 +30,5 @@ pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use rollover::{botched_ksk_rollover, Rollover, RolloverKind, RolloverStep};
 pub use sandbox::{build_sandbox, Sandbox, SandboxZone, ZoneSpec};
 pub use server::{Server, ServerBehavior, ServerId};
-pub use testbed::{Network, QueryOutcome, Testbed, UncachedNetwork};
+pub use testbed::{GenerationSource, Network, QueryOutcome, Testbed, UncachedNetwork};
 pub use udp::{TransportConfig, UdpNetwork, UdpServerHandle};

@@ -164,6 +164,24 @@ impl Sandbox {
         });
         let _ = self.resign_zone(&parent_apex, now);
     }
+
+    /// One stamp over the whole sandbox: the testbed topology generation
+    /// folded with every zone's content fingerprint. Equality means no
+    /// server, mapping, or zone copy changed since the last reading — the
+    /// precondition for reusing a diagnosis taken at the same clock.
+    pub fn state_fingerprint(&self) -> u64 {
+        use crate::testbed::{fnv1a, GenerationSource, FNV_OFFSET};
+        let mut acc = fnv1a(
+            FNV_OFFSET,
+            &self.testbed.topology_generation().to_le_bytes(),
+        );
+        for z in &self.zones {
+            acc = fnv1a(acc, z.apex.key().as_bytes());
+            let fp = self.testbed.zone_fingerprint(&z.apex).unwrap_or(0);
+            acc = fnv1a(acc, &fp.to_le_bytes());
+        }
+        acc
+    }
 }
 
 /// Builds the hierarchy described by `specs` (anchor first, each subsequent
@@ -478,6 +496,18 @@ mod tests {
             "divergence must not fan out"
         );
         assert_ne!(z0, z1);
+    }
+
+    #[test]
+    fn state_fingerprint_tracks_any_mutation() {
+        let mut sb = three_level();
+        let fp0 = sb.state_fingerprint();
+        assert_eq!(sb.state_fingerprint(), fp0, "stable when idle");
+        sb.set_ds(&name("chd.par.a.com"), vec![], NOW);
+        let fp1 = sb.state_fingerprint();
+        assert_ne!(fp0, fp1, "DS change must move the fingerprint");
+        sb.resign_zone(&name("chd.par.a.com"), NOW + 5).unwrap();
+        assert_ne!(sb.state_fingerprint(), fp1, "resign must move it");
     }
 
     #[test]

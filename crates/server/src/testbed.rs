@@ -3,11 +3,54 @@
 //! [`Network`] abstraction over "send this server a query".
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ddx_dns::{Message, Name};
 
 use crate::server::{Server, ServerId};
+
+/// Process-global stamp source for testbed *topology* changes (server set,
+/// NS-host registrations) — the structural counterpart of the per-zone
+/// content generations in `ddx_dns::Zone`. Monotonic, never reused.
+static TOPOLOGY_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_topology_generation() -> u64 {
+    TOPOLOGY_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Cheap change detection over the zones behind a [`Network`]: combined
+/// generation fingerprints an incremental analyzer (`ddx_dnsviz`'s
+/// `GrokMemo`) keys its cache on. Stamp equality implies "every observation
+/// the prober could make is unchanged"; the reverse need not hold (a stamp
+/// may change without an observable difference — that only costs a
+/// recomputation, never a stale answer).
+pub trait GenerationSource {
+    /// Folds the content generation of **every** copy of the zone rooted at
+    /// `apex` (divergent replicas carry distinct generations, so per-server
+    /// inconsistency changes the fingerprint too). `None` when no server
+    /// hosts the zone.
+    fn zone_fingerprint(&self, apex: &Name) -> Option<u64>;
+
+    /// Stamp of the server/NS-host topology: bumped whenever a server is
+    /// added or an NS-host mapping changes, i.e. whenever `resolve_ns` or
+    /// the hosting set may answer differently.
+    fn topology_generation(&self) -> u64;
+}
+
+/// FNV-1a over a byte slice, continuing from `acc` (offset-basis for the
+/// first call). Stable, dependency-free — fingerprints never leave the
+/// process.
+pub(crate) fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        acc ^= u64::from(*b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// The FNV-1a offset basis — seed for [`fnv1a`] chains.
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// What one query attempt produced, distinguishing the failure modes a
 /// real-world prober must treat differently: a timeout can be retried, a
@@ -63,12 +106,25 @@ pub trait Network {
 }
 
 /// An in-process testbed holding every server of the sandbox hierarchy.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Testbed {
     servers: HashMap<ServerId, Server>,
     /// NS hostname → hosting server (the testbed's substitute for glue
     /// resolution).
     ns_hosts: HashMap<Name, ServerId>,
+    /// Topology stamp: advanced by every server/NS-mapping mutation. A
+    /// clone keeps its stamp — content equality still holds.
+    topology_generation: u64,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed {
+            servers: HashMap::new(),
+            ns_hosts: HashMap::new(),
+            topology_generation: fresh_topology_generation(),
+        }
+    }
 }
 
 impl Testbed {
@@ -79,16 +135,19 @@ impl Testbed {
     /// Registers a server instance.
     pub fn add_server(&mut self, server: Server) {
         self.servers.insert(server.id.clone(), server);
+        self.topology_generation = fresh_topology_generation();
     }
 
     /// Declares that the NS hostname `host` resolves to `server`.
     pub fn register_ns(&mut self, host: Name, server: ServerId) {
         self.ns_hosts.insert(host, server);
+        self.topology_generation = fresh_topology_generation();
     }
 
     /// Removes an NS-host mapping, making that nameserver unresolvable
     /// (one way a delegation goes lame).
     pub fn unregister_ns(&mut self, host: &Name) -> Option<ServerId> {
+        self.topology_generation = fresh_topology_generation();
         self.ns_hosts.remove(host)
     }
 
@@ -151,6 +210,27 @@ impl Network for Testbed {
 
     fn resolve_ns(&self, host: &Name) -> Option<ServerId> {
         self.ns_hosts.get(host).cloned()
+    }
+}
+
+impl GenerationSource for Testbed {
+    fn zone_fingerprint(&self, apex: &Name) -> Option<u64> {
+        let mut acc = FNV_OFFSET;
+        let mut hosted = false;
+        for id in self.servers_hosting(apex) {
+            let zone = self
+                .server(&id)
+                .and_then(|s| s.zone(apex))
+                .expect("servers_hosting only returns hosting servers");
+            acc = fnv1a(acc, id.0.as_bytes());
+            acc = fnv1a(acc, &zone.generation().to_le_bytes());
+            hosted = true;
+        }
+        hosted.then_some(acc)
+    }
+
+    fn topology_generation(&self) -> u64 {
+        self.topology_generation
     }
 }
 
@@ -266,6 +346,61 @@ mod tests {
             .zone(&name("a.com"))
             .unwrap()
             .has_name(&name("x.a.com")));
+    }
+
+    #[test]
+    fn zone_fingerprint_tracks_content_and_divergence() {
+        let mut tb = Testbed::new();
+        for i in 0..2 {
+            let mut s = Server::new(ServerId(format!("a#{i}")));
+            s.load_zone(mini_zone("a.com"));
+            tb.add_server(s);
+        }
+        let apex = name("a.com");
+        let fp0 = tb.zone_fingerprint(&apex).expect("hosted");
+        assert_eq!(tb.zone_fingerprint(&apex), Some(fp0), "stable when idle");
+        assert_eq!(tb.zone_fingerprint(&name("other.com")), None);
+
+        // Consistent mutation everywhere changes the fingerprint.
+        tb.mutate_zone_everywhere(&apex, |z| {
+            z.add(Record::new(
+                name("x.a.com"),
+                60,
+                RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+            ));
+        });
+        let fp1 = tb.zone_fingerprint(&apex).expect("hosted");
+        assert_ne!(fp0, fp1);
+
+        // Divergence on one replica also changes it.
+        tb.server_mut(&ServerId("a#0".into()))
+            .unwrap()
+            .zone_mut(&apex)
+            .unwrap()
+            .remove(&name("x.a.com"), RrType::A);
+        let fp2 = tb.zone_fingerprint(&apex).expect("hosted");
+        assert_ne!(fp1, fp2);
+    }
+
+    #[test]
+    fn topology_generation_tracks_structural_mutations() {
+        let mut tb = Testbed::new();
+        let g0 = tb.topology_generation();
+        let mut s = Server::new(ServerId("a#0".into()));
+        s.load_zone(mini_zone("a.com"));
+        tb.add_server(s);
+        let g1 = tb.topology_generation();
+        assert!(g1 > g0, "add_server must bump the topology stamp");
+        tb.register_ns(name("ns1.a.com"), ServerId("a#0".into()));
+        let g2 = tb.topology_generation();
+        assert!(g2 > g1, "register_ns must bump the topology stamp");
+        tb.unregister_ns(&name("ns1.a.com"));
+        assert!(tb.topology_generation() > g2);
+        // Pure queries leave it alone.
+        let before = tb.topology_generation();
+        let _ = tb.zone_fingerprint(&name("a.com"));
+        let _ = tb.servers_hosting(&name("a.com"));
+        assert_eq!(tb.topology_generation(), before);
     }
 
     #[test]

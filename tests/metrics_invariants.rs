@@ -59,6 +59,20 @@ fn pipeline_metrics_balance_and_match_legacy_accessors() {
         lookups,
     );
 
+    // Grok memo: every zone the incremental revalidator accounts for is
+    // either spliced from cache or probed live, and the probe layer's
+    // zones-skipped counter mirrors the hits exactly.
+    let gm_lookups = counter(m, "grok.memo.lookups");
+    assert!(gm_lookups > 0, "fixer ran no incremental revalidations");
+    assert_eq!(
+        counter(m, "grok.memo.hits") + counter(m, "grok.memo.misses"),
+        gm_lookups,
+    );
+    assert_eq!(
+        counter(m, "probe.zones_skipped"),
+        counter(m, "grok.memo.hits")
+    );
+
     // Fault accounting: passed + Σ injected == draws.
     let draws = counter(m, "server.fault.queries");
     assert!(draws > 0, "the fault plan saw no traffic");
@@ -119,4 +133,23 @@ fn pipeline_metrics_balance_and_match_legacy_accessors() {
         counter(&delta, "server.answer_memo.misses"),
         misses_after - misses_before,
     );
+
+    // --- Grok-memo registry parity: two incremental revalidations of one
+    // unchanged sandbox — the second is all hits, and the registry deltas
+    // must mirror the memo's own stats exactly.
+    let before = ddx_obs::snapshot();
+    let mut memo = ddx_dnsviz::GrokMemo::new();
+    let first = memo.probe_grok(&rep.sandbox.testbed, &rep.sandbox.testbed, &rep.probe);
+    let second = memo.probe_grok(&rep.sandbox.testbed, &rep.sandbox.testbed, &rep.probe);
+    assert_eq!(first.to_json(), second.to_json());
+    let delta = ddx_obs::snapshot().diff(&before);
+    let s = memo.stats();
+    assert_eq!(s.lookups, s.hits + s.misses);
+    assert!(s.hits > 0, "warm revalidation reused nothing");
+    assert!(s.misses > 0, "cold revalidation missed nothing");
+    assert_eq!(counter(&delta, "grok.memo.lookups"), s.lookups);
+    assert_eq!(counter(&delta, "grok.memo.hits"), s.hits);
+    assert_eq!(counter(&delta, "grok.memo.misses"), s.misses);
+    assert_eq!(counter(&delta, "grok.memo.invalidations"), s.invalidations);
+    assert_eq!(counter(&delta, "probe.zones_skipped"), s.hits);
 }
