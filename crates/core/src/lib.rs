@@ -44,14 +44,18 @@ pub mod prelude {
     pub use ddx_dns::{name, Name, RData, RRset, Record, RrType, Zone};
     pub use ddx_dnssec::{Algorithm, DigestType, KeyPair, KeyRing, KeyRole, Nsec3Config};
     pub use ddx_dnsviz::{
-        grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus, Subcategory,
+        grok, grok_with_budget, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus,
+        Subcategory, ValidationBudget,
     };
     pub use ddx_fixer::{
         run_fixer, run_naive, suggest, FixRun, FixerOptions, Instruction, InstructionKind,
         ServerFlavor,
     };
     pub use ddx_obs::MetricsSnapshot;
-    pub use ddx_replicator::{replicate, Nsec3Meta, Replication, ReplicationRequest, ZoneMeta};
+    pub use ddx_replicator::{
+        replicate, replicate_attack, AttackFamily, Nsec3Meta, Replication, ReplicationRequest,
+        ZoneMeta,
+    };
     pub use ddx_server::{build_sandbox, Sandbox, Server, ServerId, Testbed, ZoneSpec};
 }
 

@@ -322,6 +322,10 @@ fn code_for_subcategory(rng: &mut StdRng, sub: Subcategory, mode: DenialAffinity
         S::InvalidNsec3OwnerName => Nsec3OwnerNotBase32, // unreplicable
         S::IncorrectOptOutFlag => Nsec3OptOutViolation,
         S::UnsupportedNsec3Algorithm => Nsec3UnsupportedAlgorithm,
+        // Not one of the paper's 26 subcategories: the synthetic corpus
+        // mirrors the dataset's Table 3 distribution, which predates the
+        // validation-budget extension.
+        S::ExcessiveValidationWork => ValidationBudgetExceeded,
     }
 }
 

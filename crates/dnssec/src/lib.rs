@@ -15,6 +15,7 @@ pub mod keys;
 pub mod nsec3;
 pub mod sign;
 pub mod signer;
+pub mod workload;
 
 pub use algorithm::{Algorithm, DigestType, ALL_ALGORITHMS};
 pub use cache::{SigCache, SigCacheStats};
@@ -30,6 +31,7 @@ pub use nsec3::{
     Nsec3Config, NSEC3_HASH_SHA1,
 };
 pub use sign::{sign_rrset, sign_rrset_cached, verify_rrset, SignOptions, VerifyError};
+pub use workload::{work_snapshot, WorkSnapshot};
 pub use signer::{
     remove_sigs_covering, resign_rrset, sign_zone, sign_zone_cached, sigs_covering, SignError,
     SignerConfig, DNSKEY_TTL,

@@ -94,6 +94,9 @@ thread_local! {
 /// hashes (the RFC 9276 default) are a single SHA-1 round — cheaper than
 /// the memo lookup — and bypass the table.
 pub fn nsec3_hash(name: &Name, salt: &[u8], iterations: u16) -> Vec<u8> {
+    // Logical-work ledger: `1 + iterations` SHA-1 rounds per hash request,
+    // recorded before the memo lookup so cache temperature never shows.
+    crate::workload::record_nsec3_rounds(1 + iterations as u64);
     if iterations == 0 {
         return nsec3_hash_uncached(name, salt, iterations);
     }
@@ -159,7 +162,7 @@ pub fn nsec3_memo_clear() {
 }
 
 #[cfg(test)]
-mod tests {
+mod memo_metrics_tests {
     use super::*;
     use ddx_dns::name;
 

@@ -205,6 +205,10 @@ pub fn verify_rrset(
     zone: &Name,
     now: u32,
 ) -> Result<(), VerifyError> {
+    // Ledger first: every *attempted* verification is one unit of logical
+    // work, whichever check rejects it — KeyTrap-style zones do their
+    // damage with signatures that fail early.
+    crate::workload::record_sig_verification();
     if rrsig.key_tag != dnskey.key_tag() {
         return Err(VerifyError::KeyTagMismatch {
             rrsig: rrsig.key_tag,

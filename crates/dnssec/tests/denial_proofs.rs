@@ -199,6 +199,64 @@ proptest! {
         }
     }
 
+    /// Closest-encloser search work on adversarial deep-ENT chains is
+    /// linear in the query's label count: the thread-local work ledger
+    /// must record at most `(labels + 3)` hashed names per proof — the
+    /// candidate ancestors plus next-closer and wildcard — each costing
+    /// `(iterations + 1)` rounds. A superlinear (or repeated-rehash)
+    /// implementation would blow this bound immediately at depth 8+.
+    #[test]
+    fn nsec3_closest_encloser_work_is_linear_in_labels(
+        depth in 1usize..10,
+        iterations in 0u16..3,
+        salt in proptest::collection::vec(any::<u8>(), 0..5),
+        miss in "nx[a-z0-9]{1,5}",
+    ) {
+        // One leaf hanging `depth` labels below the apex creates a
+        // depth-long empty-non-terminal chain — the adversarial shape that
+        // maximizes closest-encloser candidates.
+        let mut zone = base_zone(&[], &[], false);
+        let mut deep = String::new();
+        for i in 0..depth {
+            deep.push_str(&format!("e{i}."));
+        }
+        deep.push_str(APEX);
+        zone.add(Record::new(
+            name(&deep),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 83)),
+        ));
+        let cfg = Nsec3Config {
+            salt: salt.clone(),
+            iterations,
+            ..Default::default()
+        };
+        build_nsec3_chain(&mut zone, &cfg);
+        let views = nsec3_views(&zone);
+        let refs: Vec<Nsec3View> = views.iter().map(|(o, n)| (o, n)).collect();
+        let apex = name(APEX);
+
+        let absent = name(&format!("{miss}.{deep}"));
+        let before = ddx_dnssec::work_snapshot();
+        let outcome = verify_nsec3_denial(&absent, RrType::A, DenialKind::NxDomain, &refs, &apex);
+        let rounds = ddx_dnssec::work_snapshot().since(&before).nsec3_hash_rounds;
+        prop_assert_eq!(outcome, Ok(()));
+
+        let labels = absent.labels().len() as u64;
+        let per_hash = iterations as u64 + 1;
+        prop_assert!(
+            rounds <= (labels + 3) * per_hash,
+            "depth {}: {} hash rounds exceeds the linear bound {} \
+             (labels={}, iterations={})",
+            depth, rounds, (labels + 3) * per_hash, labels, iterations
+        );
+        prop_assert!(
+            rounds >= per_hash,
+            "depth {}: the proof hashed nothing — the ledger is not wired",
+            depth
+        );
+    }
+
     /// Fail-closed: stripping every NSEC record that covers or matches the
     /// query leaves the proof unverifiable — it must error, never pass.
     #[test]

@@ -93,6 +93,9 @@ pub enum Subcategory {
     InvalidNsec3OwnerName,
     IncorrectOptOutFlag,
     UnsupportedNsec3Algorithm,
+    /// Extension (not in Table 3, absent from [`Subcategory::ALL`]):
+    /// KeyTrap-class validation-work blowups.
+    ExcessiveValidationWork,
 }
 
 impl Subcategory {
@@ -151,6 +154,9 @@ impl Subcategory {
             | InvalidNsec3OwnerName
             | IncorrectOptOutFlag
             | UnsupportedNsec3Algorithm => Category::Nsec3Only,
+            // Budget trips are triggered by signature/NSEC3 workloads; the
+            // Signature parent keeps DFixer's priority ordering sensible.
+            ExcessiveValidationWork => Category::Signature,
         }
     }
 
@@ -184,6 +190,7 @@ impl Subcategory {
             InvalidNsec3OwnerName => "Invalid NSEC3 Owner Name",
             IncorrectOptOutFlag => "Incorrect Opt-out Flag",
             UnsupportedNsec3Algorithm => "Unsupported NSEC3 Algorithm",
+            ExcessiveValidationWork => "Excessive Validation Work",
         }
     }
 
@@ -316,6 +323,12 @@ pub enum ErrorCode {
     Nsec3OptOutViolation,
     /// NSEC3 hash algorithm is not SHA-1.
     Nsec3UnsupportedAlgorithm,
+    // -- Extensions beyond the paper's Table 3 -------------------------------
+    /// The zone demanded more validation work (signature verifications or
+    /// NSEC3 hash rounds) than the per-zone budget allows — the signature
+    /// of KeyTrap-class algorithmic-complexity attacks. Not one of the
+    /// paper's 47 codes, so deliberately absent from [`ErrorCode::ALL`].
+    ValidationBudgetExceeded,
 }
 
 impl ErrorCode {
@@ -414,6 +427,7 @@ impl ErrorCode {
             Nsec3OwnerNotBase32 => Subcategory::InvalidNsec3OwnerName,
             Nsec3OptOutViolation => Subcategory::IncorrectOptOutFlag,
             Nsec3UnsupportedAlgorithm => Subcategory::UnsupportedNsec3Algorithm,
+            ValidationBudgetExceeded => Subcategory::ExcessiveValidationWork,
         }
     }
 
@@ -445,6 +459,10 @@ impl ErrorCode {
             | RrsigUnknownKeyTag
             | RrsigInvalidRdata
             | RevokedKeyInUse => true,
+            // A zone that exhausts its validation budget is indistinguishable
+            // from bogus: analysis was cut short, so validation cannot
+            // succeed — and a defended resolver SERVFAILs it too.
+            ValidationBudgetExceeded => true,
             // Denial breakers: a validator cannot prove the negative.
             NsecProofMissing
             | Nsec3ProofMissing
@@ -581,6 +599,7 @@ impl ErrorCode {
             Nsec3OwnerNotBase32 => "An NSEC3 owner name is not a valid base32hex-encoded hash.",
             Nsec3OptOutViolation => "Opt-out flags are set inconsistently across the NSEC3 chain.",
             Nsec3UnsupportedAlgorithm => "The NSEC3 records use a hash algorithm validators do not support.",
+            ValidationBudgetExceeded => "Validating the zone's responses required more signature/NSEC3 work than the per-zone budget allows; analysis was cut short.",
         }
     }
 }
@@ -694,6 +713,22 @@ mod tests {
     fn unreplicable_set_is_small() {
         let unrep: Vec<_> = ErrorCode::ALL.iter().filter(|c| !c.replicable()).collect();
         assert_eq!(unrep.len(), 4);
+    }
+
+    #[test]
+    fn budget_extension_code_stays_outside_table3() {
+        // The KeyTrap-defense code is an extension: the paper's registry
+        // counts (47 codes, 26 subcategories) must not move.
+        let c = ErrorCode::ValidationBudgetExceeded;
+        assert!(!ErrorCode::ALL.contains(&c));
+        assert!(!Subcategory::ALL.contains(&c.subcategory()));
+        assert_eq!(c.subcategory(), Subcategory::ExcessiveValidationWork);
+        assert_eq!(c.category(), Category::Signature);
+        assert!(c.is_critical(), "a budget trip means validation cannot finish");
+        assert!(c.replicable(), "the attack corpus replicates it locally");
+        assert!(!c.evidence_is_absence());
+        assert_eq!(c.subcategory().marker(), None);
+        assert!(!c.message().is_empty());
     }
 
     #[test]

@@ -14,6 +14,12 @@ impl AnalysisPass for AlgorithmCompletenessPass {
     }
 
     fn run(&self, za: &mut ZoneAnalysis) {
+        if za.budget_tripped() {
+            // `algorithms_in_sigs` is only partially populated once the
+            // signature pass bailed; completeness verdicts from it would be
+            // spurious.
+            return;
+        }
         if za.algorithms_in_sigs.is_empty() && za.dnskeys.is_empty() {
             return;
         }

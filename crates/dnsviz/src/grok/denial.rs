@@ -19,6 +19,11 @@ impl AnalysisPass for DenialPass {
     }
 
     fn run(&self, za: &mut ZoneAnalysis) {
+        if za.budget_tripped() {
+            // The signature pass already blew the budget; denial proofs are
+            // the other KeyTrap lever, so stop before hashing anything.
+            return;
+        }
         let zone = za.zp.zone.clone();
         let nx_name = zone
             .child(NX_PROBE_LABEL)
@@ -55,6 +60,9 @@ impl AnalysisPass for DenialPass {
         });
 
         for sp in &servers {
+            if za.budget_tripped() {
+                break;
+            }
             // --- NXDOMAIN probes (low- and high-sorting labels) ---
             for (nx, msg) in [(&nx_name, &sp.nxdomain), (&nx_name_hi, &sp.nxdomain_hi)] {
                 let Some(msg) = msg else { continue };
@@ -69,7 +77,7 @@ impl AnalysisPass for DenialPass {
                         uses_nsec3,
                         &mut seen,
                     );
-                    if let Some(ce) = proven_closest_encloser(nx, &msg.authorities) {
+                    if let Some(ce) = proven_closest_encloser(za, nx, &msg.authorities) {
                         ancestors.insert(ce);
                     }
                 }
@@ -149,7 +157,9 @@ impl AnalysisPass for DenialPass {
             }
         }
 
-        if ancestors.len() > 1 {
+        // Cross-server ancestor agreement needs every server's evidence; a
+        // tripped budget means the set is partial, so stay silent.
+        if !za.budget_tripped() && ancestors.len() > 1 {
             za.push(
                 ErrorCode::Nsec3InconsistentAncestor,
                 None,
@@ -160,8 +170,14 @@ impl AnalysisPass for DenialPass {
 }
 
 /// The closest encloser a response's NSEC3 records actually match for
-/// `qname`, as a map key (None for NSEC zones / no match).
-fn proven_closest_encloser(qname: &Name, records: &[Record]) -> Option<String> {
+/// `qname`, as a map key (None for NSEC zones / no match). Each candidate
+/// hash is charged against the zone's NSEC3 budget; the walk stops (None)
+/// once the budget trips.
+fn proven_closest_encloser(
+    za: &mut ZoneAnalysis,
+    qname: &Name,
+    records: &[Record],
+) -> Option<String> {
     let n3s = nsec3_views(records);
     if n3s.is_empty() {
         return None;
@@ -170,8 +186,12 @@ fn proven_closest_encloser(qname: &Name, records: &[Record]) -> Option<String> {
         let n = &n3s[0].1;
         (n.salt.clone(), n.iterations)
     };
+    let per_hash = 1 + iterations as u64;
     let mut candidate = Some(qname.clone());
     while let Some(c) = candidate {
+        if !za.charge_nsec3_rounds(per_hash) {
+            return None;
+        }
         let h = nsec3_hash(&c, &salt, iterations);
         let matches = n3s.iter().any(|(owner, _)| {
             owner
@@ -201,6 +221,9 @@ fn check_one_denial(
     uses_nsec3: bool,
     seen: &mut BTreeSet<(ErrorCode, String)>,
 ) {
+    if za.budget_tripped() {
+        return;
+    }
     let nsecs = nsec_views(authorities);
     let n3s = nsec3_views(authorities);
     let mut emit = |za: &mut ZoneAnalysis, code: ErrorCode, detail: ErrorDetail| {
@@ -226,8 +249,24 @@ fn check_one_denial(
         return;
     }
     if !n3s.is_empty() {
+        // Pre-flight the hash bill before verifying: the closest-encloser
+        // search hashes every ancestor plus the next-closer and wildcard
+        // candidates, so bound it by (labels + 3) names at (1 + iterations)
+        // rounds each. A 3000-iteration KeyTrap chain trips here and costs
+        // nothing.
+        let iterations = n3s[0].1.iterations as u64;
+        let estimate = (iterations + 1) * (qname.label_count() as u64 + 3);
+        if za.nsec3_preflight_trips(estimate) {
+            return;
+        }
+        let before = ddx_dnssec::work_snapshot();
         let refs: Vec<(&Name, &Nsec3)> = n3s.iter().map(|(o, n)| (o, n)).collect();
-        if let Err(fail) = verify_nsec3_denial(qname, qtype, kind, &refs, zone) {
+        let outcome = verify_nsec3_denial(qname, qtype, kind, &refs, zone);
+        // Charge the rounds the verifier actually requested (its logical
+        // ledger is memo-independent, so this stays deterministic).
+        let spent = ddx_dnssec::work_snapshot().since(&before).nsec3_hash_rounds;
+        za.charge_nsec3_rounds(spent);
+        if let Err(fail) = outcome {
             let (code, detail) = match fail {
                 DenialFailure::MissingProof => (
                     ErrorCode::Nsec3ProofMissing,

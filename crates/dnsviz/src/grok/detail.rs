@@ -48,6 +48,25 @@ pub enum DsProblem {
     UnsupportedDigest,
 }
 
+/// Which validation-work counter tripped a per-zone `ValidationBudget`
+/// (defined in `grok::mod`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetCounter {
+    /// Attempted RRSIG verifications.
+    SigVerifications,
+    /// NSEC3 hash rounds (`1 + iterations` per hashed name).
+    Nsec3Hashes,
+}
+
+impl fmt::Display for BudgetCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetCounter::SigVerifications => write!(f, "sig_verifications"),
+            BudgetCounter::Nsec3Hashes => write!(f, "nsec3_hashes"),
+        }
+    }
+}
+
 /// Which RFC 6840 §5.11 completeness rule an algorithm violates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AlgorithmScope {
@@ -170,6 +189,16 @@ pub enum ErrorDetail {
     AlgorithmUnused {
         algorithm: u8,
         scope: AlgorithmScope,
+    },
+
+    // ---------------------------------------------------------- budgets
+    /// The zone's analysis exhausted its validation budget: `counter`
+    /// reached `used` units against a cap of `cap` and the remaining work
+    /// was skipped (KeyTrap-class complexity defense).
+    BudgetExceeded {
+        counter: BudgetCounter,
+        used: u64,
+        cap: u64,
     },
 
     // --------------------------------------------------- observability
@@ -413,6 +442,10 @@ impl fmt::Display for ErrorDetail {
                     write!(f, "RRSIG algorithm {algorithm} has no DNSKEY")
                 }
             },
+            BudgetExceeded { counter, used, cap } => write!(
+                f,
+                "validation budget exceeded: {counter} used={used} cap={cap}"
+            ),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! | probe config (anchor, query, targets, hints, retry) | everything flushed (epoch) |
 //! | clock (`cfg.time`) | probes reused, every cached *report* re-analyzed (RRSIG windows read the clock) |
 //! | observation gap recorded on a cut | that cut force-dirty next round (chaos semantics preserved) |
+//! | validation budget tripped on a cut | that cut force-dirty next round (a truncated analysis is never reused; the fix must re-prove itself) |
 //!
 //! The dirty-prefix rule is what makes mid-chain resumption sound: the
 //! loop-carried state entering lap *d* (referral NS names, parent-side DS
@@ -50,7 +51,10 @@ use crate::probe::{
     MAX_WALK_DEPTH,
 };
 
-use super::{analyze_zone, chain_flags, classify, pass_histograms, GrokReport, ZoneReport};
+use super::{
+    analyze_zone, chain_flags, classify, pass_histograms, GrokReport, ValidationBudget, ZoneReport,
+};
+use crate::codes::ErrorCode;
 
 /// Parent-fingerprint slot for the anchor (it has no parent in the walk).
 const NO_PARENT_FP: u64 = 0x414E_4348_4F52_0000;
@@ -120,6 +124,11 @@ struct MemoEntry {
     report_time: u32,
     /// Any retry-exhausted query observed at this cut → force-dirty.
     gapped: bool,
+    /// The cached report carries [`ErrorCode::ValidationBudgetExceeded`]
+    /// → force-dirty: the analysis was cut short, so the next round must
+    /// re-probe and re-analyze (and observe any remediation) instead of
+    /// replaying the truncated verdict from cache.
+    budget_tripped: bool,
 }
 
 fn is_gapped(zp: &ZoneProbe) -> bool {
@@ -262,12 +271,16 @@ impl GrokMemo {
         let chain_dirty: Vec<bool> = self
             .chain
             .iter()
-            .map(|e| e.gapped || e.key.is_none() || entry_key(gens, &e.probe) != e.key)
+            .map(|e| {
+                e.gapped || e.budget_tripped || e.key.is_none() || entry_key(gens, &e.probe) != e.key
+            })
             .collect();
         let orphan_dirty: Vec<bool> = self
             .orphans
             .iter()
-            .map(|e| e.gapped || e.key.is_none() || entry_key(gens, &e.probe) != e.key)
+            .map(|e| {
+                e.gapped || e.budget_tripped || e.key.is_none() || entry_key(gens, &e.probe) != e.key
+            })
             .collect();
         let first_dirty = chain_dirty.iter().position(|d| *d);
 
@@ -294,6 +307,7 @@ impl GrokMemo {
                             report: None,
                             report_time: 0,
                             gapped: is_gapped(zp),
+                            budget_tripped: false,
                         })
                         .collect();
                     prober.into_result(cfg, zones)
@@ -388,6 +402,7 @@ impl GrokMemo {
                 report: None,
                 report_time: 0,
                 gapped: is_gapped(zp),
+                budget_tripped: false,
             });
         }
         self.orphans = zones[n_chain..]
@@ -399,6 +414,7 @@ impl GrokMemo {
                 report: None,
                 report_time: 0,
                 gapped: is_gapped(zp),
+                budget_tripped: false,
             })
             .collect();
     }
@@ -428,7 +444,7 @@ impl GrokMemo {
                     // A cached report is only valid at the clock it was
                     // analyzed at — RRSIG windows read `now`.
                     Some(r) if e.report_time == now => r.clone(),
-                    _ => analyze_zone(zp, now, &pass_timings),
+                    _ => analyze_zone(zp, now, &pass_timings, &ValidationBudget::default()),
                 })
                 .collect();
             for (e, r) in self.entries_mut().zip(&reports) {
@@ -436,6 +452,12 @@ impl GrokMemo {
                     e.report = Some(r.clone());
                     e.report_time = now;
                 }
+                // A truncated analysis must never be replayed from cache:
+                // mark the entry so the next probe round force-dirties it.
+                e.budget_tripped = r
+                    .errors
+                    .iter()
+                    .any(|err| err.code == ErrorCode::ValidationBudgetExceeded);
             }
             reports
         } else {
@@ -443,7 +465,7 @@ impl GrokMemo {
             probe
                 .zones
                 .iter()
-                .map(|zp| analyze_zone(zp, now, &pass_timings))
+                .map(|zp| analyze_zone(zp, now, &pass_timings, &ValidationBudget::default()))
                 .collect()
         };
 

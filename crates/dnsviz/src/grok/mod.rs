@@ -45,7 +45,48 @@ use crate::codes::{ErrorCode, WarningCode};
 use crate::probe::{ProbeResult, ServerProbe, ZoneProbe};
 use crate::status::SnapshotStatus;
 
-pub use detail::{AlgorithmScope, DsProblem, ErrorDetail};
+pub use detail::{AlgorithmScope, BudgetCounter, DsProblem, ErrorDetail};
+
+/// Per-zone caps on the *logical* validation work grok will spend before
+/// degrading to [`ErrorCode::ValidationBudgetExceeded`] — the defense
+/// against KeyTrap-class algorithmic-complexity attacks (SigJam, LockCram,
+/// high-iteration NSEC3), where a hostile zone makes every signature fail
+/// *expensively* instead of cheaply.
+///
+/// Work is metered in memo-independent units (one per attempted RRSIG
+/// verification; `1 + iterations` per NSEC3 hash request), so analysis
+/// stays a pure function of `(probe, now, budget)` and the incremental
+/// layer's byte-parity pin survives cache temperature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationBudget {
+    /// Cap on attempted signature verifications per zone.
+    pub max_sig_verifications: u64,
+    /// Cap on NSEC3 hash rounds per zone.
+    pub max_nsec3_hashes: u64,
+}
+
+impl Default for ValidationBudget {
+    /// Defaults sized ~10× the worst benign corpus zone: the 8-variant
+    /// corpus needs tens of verifications and (with the golden zones'
+    /// iterations=10..15 chains) low thousands of hash rounds per zone.
+    fn default() -> Self {
+        ValidationBudget {
+            max_sig_verifications: 512,
+            max_nsec3_hashes: 16_384,
+        }
+    }
+}
+
+impl ValidationBudget {
+    /// No caps: pre-budget behavior, for harnesses that meter work
+    /// themselves.
+    pub fn unlimited() -> Self {
+        ValidationBudget {
+            max_sig_verifications: u64::MAX,
+            max_nsec3_hashes: u64::MAX,
+        }
+    }
+}
 
 /// One detected violation.
 ///
@@ -247,6 +288,14 @@ pub(crate) struct ZoneAnalysis<'a> {
     pub(crate) algorithms_seen_valid: BTreeSet<u8>,
     /// Algorithms appearing in any RRSIG.
     pub(crate) algorithms_in_sigs: BTreeSet<u8>,
+    /// The caps this zone's analysis works under.
+    pub(crate) budget: &'a ValidationBudget,
+    /// Attempted signature verifications charged so far.
+    pub(crate) sig_work: u64,
+    /// NSEC3 hash rounds charged so far.
+    pub(crate) nsec3_work: u64,
+    /// The first counter that blew its cap: `(counter, used, cap)`.
+    pub(crate) tripped: Option<(BudgetCounter, u64, u64)>,
 }
 
 impl<'a> ZoneAnalysis<'a> {
@@ -267,6 +316,59 @@ impl<'a> ZoneAnalysis<'a> {
 
     pub(crate) fn has(&self, code: ErrorCode) -> bool {
         self.errors.iter().any(|e| e.code == code)
+    }
+
+    /// True once any budget counter has blown its cap; passes that meter
+    /// work bail out instead of finishing on partial evidence.
+    pub(crate) fn budget_tripped(&self) -> bool {
+        self.tripped.is_some()
+    }
+
+    /// Charges `n` attempted signature verifications. Returns `false` once
+    /// the budget is exhausted — the caller must stop verifying.
+    pub(crate) fn charge_sig_verifications(&mut self, n: u64) -> bool {
+        self.sig_work += n;
+        if self.tripped.is_none() && self.sig_work > self.budget.max_sig_verifications {
+            self.tripped = Some((
+                BudgetCounter::SigVerifications,
+                self.sig_work,
+                self.budget.max_sig_verifications,
+            ));
+        }
+        self.tripped.is_none()
+    }
+
+    /// Charges `n` NSEC3 hash rounds. Returns `false` once the budget is
+    /// exhausted.
+    pub(crate) fn charge_nsec3_rounds(&mut self, n: u64) -> bool {
+        self.nsec3_work += n;
+        if self.tripped.is_none() && self.nsec3_work > self.budget.max_nsec3_hashes {
+            self.tripped = Some((
+                BudgetCounter::Nsec3Hashes,
+                self.nsec3_work,
+                self.budget.max_nsec3_hashes,
+            ));
+        }
+        self.tripped.is_none()
+    }
+
+    /// Pre-flight check before an NSEC3 proof verification: if spending
+    /// `estimate` more hash rounds would bust the cap, trips the budget
+    /// *without* doing the work (that is the point — a 3000-iteration chain
+    /// must cost nothing) and returns `true` so the caller skips the call.
+    pub(crate) fn nsec3_preflight_trips(&mut self, estimate: u64) -> bool {
+        if self.tripped.is_some() {
+            return true;
+        }
+        if self.nsec3_work.saturating_add(estimate) > self.budget.max_nsec3_hashes {
+            self.tripped = Some((
+                BudgetCounter::Nsec3Hashes,
+                self.nsec3_work.saturating_add(estimate),
+                self.budget.max_nsec3_hashes,
+            ));
+            return true;
+        }
+        false
     }
 }
 
@@ -307,6 +409,7 @@ pub(crate) fn analyze_zone(
     zp: &ZoneProbe,
     now: u32,
     pass_timings: &[ddx_obs::Histogram],
+    budget: &ValidationBudget,
 ) -> ZoneReport {
     ddx_dns::trace_span!(_zone_span, target: "dnsviz::grok", "zone", zone = zp.zone);
     let mut za = ZoneAnalysis {
@@ -318,6 +421,10 @@ pub(crate) fn analyze_zone(
         signed: false,
         algorithms_seen_valid: BTreeSet::new(),
         algorithms_in_sigs: BTreeSet::new(),
+        budget,
+        sig_work: 0,
+        nsec3_work: 0,
+        tripped: None,
     };
     za.signed =
         !za.dnskeys.is_empty() || !za.ds_set.is_empty() || zp.servers.iter().any(server_has_sigs);
@@ -336,6 +443,24 @@ pub(crate) fn analyze_zone(
                 new_errors = za.errors.len() - before,
             );
         }
+        // The budget error is pushed last: every finding the truncated
+        // passes did emit keeps its position, and downstream consumers see
+        // the trip alongside (not instead of) the partial evidence.
+        if let Some((counter, used, cap)) = za.tripped {
+            za.push(
+                ErrorCode::ValidationBudgetExceeded,
+                None,
+                ErrorDetail::BudgetExceeded { counter, used, cap },
+            );
+        }
+    }
+
+    // Work accounting is global and monotone; memo-spliced zones (which
+    // skip analyze_zone entirely) bump nothing.
+    ddx_obs::counter("grok.budget.sig_verifications", &[]).add(za.sig_work);
+    ddx_obs::counter("grok.budget.nsec3_hashes", &[]).add(za.nsec3_work);
+    if za.tripped.is_some() {
+        ddx_obs::counter("grok.budget.exceeded", &[]).inc();
     }
 
     let warnings = if za.signed && !zp.is_lame() {
@@ -362,15 +487,20 @@ pub(crate) fn chain_flags(zones: &[ZoneProbe]) -> (bool, bool) {
     (any_lame, any_orphaned)
 }
 
-/// Runs the full analysis.
+/// Runs the full analysis under the default [`ValidationBudget`].
 pub fn grok(probe: &ProbeResult) -> GrokReport {
+    grok_with_budget(probe, &ValidationBudget::default())
+}
+
+/// Runs the full analysis with explicit per-zone validation caps.
+pub fn grok_with_budget(probe: &ProbeResult, budget: &ValidationBudget) -> GrokReport {
     ddx_obs::counter("grok.runs", &[]).inc();
     let pass_timings = pass_histograms();
     let now = probe.time;
     let zone_reports: Vec<ZoneReport> = probe
         .zones
         .iter()
-        .map(|zp| analyze_zone(zp, now, &pass_timings))
+        .map(|zp| analyze_zone(zp, now, &pass_timings, budget))
         .collect();
     let (any_lame, any_orphaned) = chain_flags(&probe.zones);
     let status = classify::classify(&zone_reports, any_lame, any_orphaned);

@@ -53,6 +53,9 @@ impl AnalysisPass for SignaturesPass {
         // `za` across the `analyze_rrset(&mut za, ..)` calls below.
         let zone_keys: Vec<Dnskey> = za.dnskeys.clone();
         for sp in &server_probes {
+            if za.budget_tripped() {
+                break;
+            }
             let own_keys: Vec<&Dnskey> = sp.dnskeys().collect();
             let keys: Vec<&Dnskey> = if own_keys.is_empty() {
                 zone_keys.iter().collect()
@@ -81,6 +84,9 @@ impl AnalysisPass for SignaturesPass {
             }
             let mut checked: BTreeSet<(String, u16)> = BTreeSet::new();
             for msg in messages {
+                if za.budget_tripped() {
+                    break;
+                }
                 for section in [&msg.answers, &msg.authorities] {
                     for (set, sigs) in sets_with_sigs(section) {
                         // Only this zone's data, and only signable sets.
@@ -107,7 +113,12 @@ impl AnalysisPass for SignaturesPass {
             }
         }
 
-        // Cross-server missing-signature detection.
+        // Cross-server missing-signature detection. Skipped after a budget
+        // trip: the signed/unsigned tallies are partial, and a "missing"
+        // verdict from evidence we stopped collecting would be untrustworthy.
+        if za.budget_tripped() {
+            return;
+        }
         for ((_, type_code), (name, flags)) in &signed_on {
             let missing = flags.iter().filter(|f| !**f).count();
             if missing == 0 {
@@ -146,9 +157,18 @@ fn analyze_rrset(
     if sigs.is_empty() {
         return; // handled by the cross-server pass
     }
+    if za.budget_tripped() {
+        return;
+    }
     let mut any_valid = false;
     let mut failures: Vec<(ErrorCode, ErrorDetail)> = Vec::new();
     for sig in sigs {
+        // One logical unit per RRSIG considered, charged up front: SigJam
+        // and LockCram zones do their damage with signatures that *fail*,
+        // so the meter cannot wait for verify_rrset to run.
+        if !za.charge_sig_verifications(1) {
+            break;
+        }
         za.algorithms_in_sigs.insert(sig.algorithm);
         let key = keys.iter().find(|k| k.key_tag() == sig.key_tag);
         let Some(key) = key else {

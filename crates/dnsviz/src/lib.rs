@@ -17,7 +17,8 @@ pub use codes::{Category, ErrorCode, Subcategory, WarningCode};
 pub use ede::{ede_for, Ede};
 pub use grok::memo::{GrokMemo, MemoStats};
 pub use grok::{
-    grok, AlgorithmScope, DsProblem, ErrorDetail, ErrorInstance, GrokReport, ZoneReport,
+    grok, grok_with_budget, AlgorithmScope, BudgetCounter, DsProblem, ErrorDetail, ErrorInstance,
+    GrokReport, ValidationBudget, ZoneReport,
 };
 pub use probe::{
     probe, FailureKind, ProbeConfig, ProbeResult, QueryFailure, RetryPolicy, ServerHealth,

@@ -18,7 +18,10 @@ use std::path::PathBuf;
 
 use ddx_dns::{name, RrType};
 use ddx_dnssec::{resign_rrset, KeyRole, Nsec3Config, SignOptions};
-use ddx_dnsviz::{grok, probe, ErrorCode, GrokReport, ProbeConfig, SnapshotStatus};
+use ddx_dnsviz::{
+    grok, probe, BudgetCounter, ErrorCode, ErrorDetail, GrokReport, ProbeConfig, SnapshotStatus,
+};
+use ddx_replicator::{replicate_attack, AttackFamily};
 use ddx_server::{build_sandbox, FaultNetwork, FaultPlan, Sandbox, ZoneSpec};
 
 const NOW: u32 = 1_000_000;
@@ -112,6 +115,16 @@ fn nsec3_report() -> GrokReport {
     grok(&probe(&sb.testbed, &cfg))
 }
 
+/// One deterministic KeyTrap-class sandbox per attack family, groked under
+/// the default validation budget — these goldens pin the truncated-report
+/// shape, including the `ValidationBudgetExceeded` error and its typed
+/// `BudgetExceeded` payload.
+fn attack_report(family: AttackFamily) -> GrokReport {
+    let rep = replicate_attack(family, NOW, SEED).expect("attack replicates");
+    assert!(rep.skipped.is_empty(), "{family}: skipped {:?}", rep.skipped);
+    grok(&probe(&rep.sandbox.testbed, &rep.probe))
+}
+
 fn golden_path(tag: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
@@ -200,4 +213,73 @@ fn reports_are_deterministic() {
     assert_eq!(nsec_report().to_json(), nsec_report().to_json());
     assert_eq!(nsec3_report().to_json(), nsec3_report().to_json());
     assert_eq!(gapped_report().to_json(), gapped_report().to_json());
+    for family in AttackFamily::ALL {
+        assert_eq!(
+            attack_report(family).to_json(),
+            attack_report(family).to_json(),
+            "{family}"
+        );
+    }
+}
+
+// --- KeyTrap-class attack corpus: one golden per family pins the shape of
+// a budget-truncated report.
+
+#[test]
+fn sigjam_report_matches_golden() {
+    check_golden(
+        "attack_sigjam",
+        &attack_report(AttackFamily::SigJam),
+        ErrorCode::ValidationBudgetExceeded,
+    );
+}
+
+#[test]
+fn lockcram_report_matches_golden() {
+    check_golden(
+        "attack_lockcram",
+        &attack_report(AttackFamily::LockCram),
+        ErrorCode::ValidationBudgetExceeded,
+    );
+}
+
+#[test]
+fn nsec3_iterations_report_matches_golden() {
+    check_golden(
+        "attack_nsec3_iterations",
+        &attack_report(AttackFamily::Nsec3Iterations),
+        ErrorCode::ValidationBudgetExceeded,
+    );
+}
+
+#[test]
+fn oversized_rrset_report_matches_golden() {
+    check_golden(
+        "attack_oversized_rrset",
+        &attack_report(AttackFamily::OversizedRrset),
+        ErrorCode::ValidationBudgetExceeded,
+    );
+}
+
+/// The typed `BudgetExceeded` payload survives the JSON round-trip intact:
+/// counter, used, and cap all reconstruct, and the re-serialization is
+/// byte-stable.
+#[test]
+fn budget_detail_round_trips() {
+    let report = attack_report(AttackFamily::SigJam);
+    let json = report.to_json();
+    let parsed = GrokReport::from_json(&json).expect("attack report parses back");
+    assert_eq!(parsed.to_json(), json, "round-trip is byte-stable");
+    let detail = parsed
+        .errors()
+        .find(|e| e.code == ErrorCode::ValidationBudgetExceeded)
+        .map(|e| e.detail.clone())
+        .expect("typed budget finding survives the round-trip");
+    match detail {
+        ErrorDetail::BudgetExceeded { counter, used, cap } => {
+            assert_eq!(counter, BudgetCounter::SigVerifications);
+            assert!(used > cap, "used {used} <= cap {cap}");
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
 }

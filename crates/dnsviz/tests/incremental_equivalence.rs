@@ -8,7 +8,8 @@
 use std::net::Ipv4Addr;
 
 use ddx_dns::{name, RData, Record, RrType};
-use ddx_dnsviz::{grok, probe, GrokMemo};
+use ddx_dnsviz::{grok, probe, ErrorCode, GrokMemo};
+use ddx_replicator::{inject_attack, AttackFamily};
 use ddx_server::{FaultNetwork, FaultPlan, Sandbox};
 use proptest::prelude::*;
 
@@ -247,6 +248,52 @@ fn topology_change_flushes_the_epoch() {
         "epoch change leaves nothing to reuse"
     );
     assert_eq!(report.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
+}
+
+/// A budget trip (KeyTrap-class zone) forces its cut dirty on the next
+/// round even though no generation moved — a truncated analysis is never
+/// replayed from cache — and the incremental report still equals scratch
+/// both while tripped and after the zone is repaired.
+#[test]
+fn budget_trip_forces_reprobe_until_repaired() {
+    let mut sb = build_variant("nsec");
+    let cfg = probe_cfg(&sb);
+    let mut memo = GrokMemo::new();
+    memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+
+    inject_attack(&mut sb, AttackFamily::SigJam, NOW).expect("attack injects");
+    let tripped = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    assert!(
+        tripped.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+        "SigJam did not trip the budget: {:?}",
+        tripped.codes()
+    );
+    assert_eq!(
+        tripped.to_json(),
+        grok(&probe(&sb.testbed, &cfg)).to_json(),
+        "tripped incremental run diverged from scratch"
+    );
+    let misses_after_trip = memo.stats().misses;
+
+    // Same state, same clock: the tripped cut must be re-probed anyway,
+    // and deterministic truncation reproduces the same report.
+    let again = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    assert!(
+        memo.stats().misses > misses_after_trip,
+        "budget-tripped zone was spliced from cache instead of re-probed"
+    );
+    assert_eq!(again.to_json(), tripped.to_json());
+
+    // Repair: re-signing strips the signature flood; the next round must
+    // see the fix (not the cached truncation) and converge on the clean
+    // scratch report.
+    sb.resign_zone(&name(LEAF_APEX), NOW).expect("leaf re-signs");
+    let healed = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
+    assert!(
+        !healed.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+        "repaired zone still reports a budget trip"
+    );
+    assert_eq!(healed.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());
 }
 
 /// An observation gap (dead server) forces its zone dirty on the next

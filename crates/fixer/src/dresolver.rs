@@ -605,6 +605,15 @@ fn plan_for_cause(cause: ErrorCode, report: &GrokReport, ctx: &FixContext) -> Ve
         | Nsec3OwnerNotBase32 => {
             pb.sign = Some(denial.clone());
         }
+        // --------------------------------------------------- budgets
+        ValidationBudgetExceeded => {
+            // KeyTrap-class material. Purging stray published keys removes
+            // the key side of any sig×key cross product; the re-sign drops
+            // every stray RRSIG and rebuilds the denial chain with RFC
+            // 9276-compliant parameters (killing high-iteration NSEC3 work).
+            pb.remove_invalid = stray_published_tags(ctx);
+            pb.sign = Some(target_denial(ctx, true));
+        }
     }
     pb.build()
 }

@@ -58,6 +58,16 @@ pub fn cascades_of(cause: ErrorCode) -> &'static [ErrorCode] {
             Nsec3MissingWildcardProof,
             Nsec3NoClosestEncloser,
         ],
+        // A tripped validation budget truncates the analysis: the partial
+        // signature/denial findings collected before the cut are symptoms of
+        // the same KeyTrap-style material, not independent problems.
+        ValidationBudgetExceeded => &[
+            RrsigInvalid,
+            RrsigUnknownKeyTag,
+            RrsigAlgorithmWithoutDnskey,
+            RrsigMissingFromServers,
+            Nsec3IterationsNonzero,
+        ],
         _ => &[],
     }
 }

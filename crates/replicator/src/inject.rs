@@ -1055,6 +1055,19 @@ pub fn inject(sb: &mut Sandbox, code: ErrorCode, now: u32) -> Result<ErrorDetail
         Nsec3InconsistentAncestor | Nsec3HashInvalidLength | Nsec3OwnerNotBase32 => {
             return Err(SkipReason::Unreplicable)
         }
+        // Extension code: a representative KeyTrap-class injection. The
+        // full adversarial corpus (all four families) lives in
+        // [`crate::attack`]; picking by denial mode keeps this arm valid
+        // for both NSEC and NSEC3 metas.
+        ValidationBudgetExceeded => {
+            let family = if leaf_uses_nsec3(sb, &apex) {
+                crate::attack::AttackFamily::Nsec3Iterations
+            } else {
+                crate::attack::AttackFamily::SigJam
+            };
+            let (_, detail) = crate::attack::inject_attack(sb, family, now)?;
+            detail
+        }
     };
     Ok(detail)
 }

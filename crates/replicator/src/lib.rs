@@ -8,10 +8,12 @@
 //! algorithms are substituted per §5.5.1; and each intended error code is
 //! injected by surgical zone tampering.
 
+pub mod attack;
 pub mod inject;
 pub mod meta;
 pub mod replicate;
 
+pub use attack::{inject_attack, replicate_attack, AttackFamily};
 pub use inject::{inject, injection_phase, SkipReason};
 pub use meta::{
     plan_digests, plan_keys, KeyPlan, KeySpec, MetaError, Nsec3Meta, Substitution, ZoneMeta,

@@ -43,6 +43,17 @@ fn pipeline_metrics_balance_and_match_legacy_accessors() {
     let m = &summary.metrics;
 
     assert_eq!(counter(m, "pipeline.snapshots"), summary.total().snapshots);
+    // The synthetic corpus is algorithmically benign: grok meters real
+    // validation work, but nothing in it trips the default budget.
+    assert!(
+        counter(m, "grok.budget.sig_verifications") > 0,
+        "no signature work metered across a full pipeline run"
+    );
+    assert_eq!(
+        counter(m, "grok.budget.exceeded"),
+        0,
+        "benign corpus tripped a validation budget"
+    );
     // One probe walk per GE diagnosis plus one per fixer iteration.
     assert!(counter(m, "probe.walks") >= summary.total().snapshots);
     let sent = counter(m, "probe.queries.sent");
@@ -152,4 +163,44 @@ fn pipeline_metrics_balance_and_match_legacy_accessors() {
     assert_eq!(counter(&delta, "grok.memo.misses"), s.misses);
     assert_eq!(counter(&delta, "grok.memo.invalidations"), s.invalidations);
     assert_eq!(counter(&delta, "probe.zones_skipped"), s.hits);
+
+    // --- Validation-budget ledger: building an adversarial sandbox meters
+    // nothing; each truncated analysis trips at most once per zone the memo
+    // actually re-analyzed; and the work counters are monotone across a
+    // two-pass run (the tripped cut force-dirties, so the second pass does
+    // fresh work instead of splicing the truncation from cache).
+    let before = ddx_obs::snapshot();
+    let atk = replicate_attack(AttackFamily::SigJam, 1_000_000, 0xBAD5).expect("attack replicates");
+    let base = ddx_obs::snapshot();
+    assert_eq!(
+        counter(&base.diff(&before), "grok.budget.exceeded"),
+        0,
+        "replication alone performed grok work"
+    );
+
+    let mut memo = ddx_dnsviz::GrokMemo::new();
+    let first = memo.probe_grok(&atk.sandbox.testbed, &atk.sandbox.testbed, &atk.probe);
+    let d1 = ddx_obs::snapshot().diff(&base);
+    assert!(
+        first.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+        "SigJam did not trip: {:?}",
+        first.codes()
+    );
+    assert!(counter(&d1, "grok.budget.sig_verifications") > 0);
+    assert!(counter(&d1, "grok.budget.exceeded") >= 1);
+    assert!(
+        counter(&d1, "grok.budget.exceeded") <= counter(&d1, "grok.memo.lookups"),
+        "more trips than zones accounted for"
+    );
+
+    let second = memo.probe_grok(&atk.sandbox.testbed, &atk.sandbox.testbed, &atk.probe);
+    let d2 = ddx_obs::snapshot().diff(&base);
+    assert_eq!(first.to_json(), second.to_json());
+    assert!(
+        counter(&d2, "grok.budget.sig_verifications")
+            > counter(&d1, "grok.budget.sig_verifications"),
+        "second pass over a tripped zone reused the truncated analysis"
+    );
+    assert!(counter(&d2, "grok.budget.exceeded") > counter(&d1, "grok.budget.exceeded"));
+    assert!(counter(&d2, "grok.budget.exceeded") <= counter(&d2, "grok.memo.lookups"));
 }
