@@ -1,0 +1,83 @@
+//! Deterministic seeding for campaign draws.
+//!
+//! Every zone's seed is a pure function of `(campaign_seed, shard_index,
+//! index_in_shard)` — no sequential stream state — so any shard (and any
+//! single zone) is reproducible in isolation, regardless of worker count
+//! or evaluation order. The mixer is SplitMix64 (Steele et al., *Fast
+//! Splittable Pseudorandom Number Generators*), the same finalizer the
+//! pipeline already uses for per-snapshot seed derivation.
+
+/// The SplitMix64 stream increment (odd, 2⁶⁴/φ).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A SplitMix64 generator: tiny, splittable, and trivially portable —
+/// ideal for deriving a handful of independent decisions per zone.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A bounded draw without modulo bias worth caring about at campaign
+    /// scale (bound ≪ 2⁶⁴).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// One SplitMix64 step from state `x` — a stateless 64-bit mixer.
+pub fn mix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// The seed for zone `index_in_shard` of shard `shard`: reproducible from
+/// `(campaign_seed, shard, index)` alone. Independent of the total zone
+/// count and the worker count, so resharding a campaign never silently
+/// changes the zones that shards it did not touch.
+pub fn zone_seed(campaign_seed: u64, shard: u32, index_in_shard: u64) -> u64 {
+    let shard_key = mix64(campaign_seed ^ mix64(u64::from(shard).wrapping_mul(GOLDEN_GAMMA)));
+    mix64(shard_key ^ index_in_shard.wrapping_mul(GOLDEN_GAMMA))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_known_answer() {
+        // Reference vector from the SplitMix64 public-domain implementation
+        // (Vigna): seed 0 → e220a8397b1dcdaf 6e789e6aa1b965f4 06c45d188009454f.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn zone_seed_is_pure_and_distinct() {
+        assert_eq!(zone_seed(42, 3, 7), zone_seed(42, 3, 7));
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in 0..8u32 {
+            for idx in 0..64u64 {
+                assert!(
+                    seen.insert(zone_seed(42, shard, idx)),
+                    "seed collision at shard {shard} index {idx}"
+                );
+            }
+        }
+        // Different campaign seeds diverge immediately.
+        assert_ne!(zone_seed(42, 0, 0), zone_seed(43, 0, 0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Campaign determinism: shard bytes are a pure function of
+//! `(seed, shard index, per-shard zone count, model knobs)` — across
+//! repeat runs, across worker counts, and across `--resume` completions
+//! of a killed run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ddx_campaign::{aggregate_dir, run_campaign, shard_path, CampaignConfig};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ddx-campaign-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(out_dir: PathBuf, workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: 0xCA4411,
+        zones: 48,
+        shards: 4,
+        workers,
+        out_dir,
+        ..CampaignConfig::default()
+    }
+}
+
+fn shard_bytes(dir: &Path, shards: u32) -> Vec<Vec<u8>> {
+    (0..shards)
+        .map(|s| fs::read(shard_path(dir, s)).expect("shard exists"))
+        .collect()
+}
+
+#[test]
+fn byte_identical_across_runs_and_worker_counts() {
+    let dirs = [test_dir("det-w1a"), test_dir("det-w8"), test_dir("det-w1b")];
+    for (dir, workers) in dirs.iter().zip([1usize, 8, 1]) {
+        let cfg = config(dir.clone(), workers);
+        let outcome = run_campaign(&cfg).expect("campaign runs");
+        assert_eq!(outcome.shards_written, 4);
+        assert_eq!(outcome.shards_resumed, 0);
+        assert_eq!(outcome.zones_evaluated, 48);
+    }
+    let reference = shard_bytes(&dirs[0], 4);
+    for dir in &dirs[1..] {
+        assert_eq!(
+            shard_bytes(dir, 4),
+            reference,
+            "shard bytes differ between worker counts / repeat runs"
+        );
+    }
+    // Aggregates are byte-stable too.
+    let summaries: Vec<String> = dirs
+        .iter()
+        .map(|d| aggregate_dir(d).expect("aggregates").to_json())
+        .collect();
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[0], summaries[2]);
+    for dir in &dirs {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn resume_completes_a_killed_run_byte_identically() {
+    let dir = test_dir("resume");
+    let cfg = config(dir.clone(), 4);
+    run_campaign(&cfg).expect("initial campaign runs");
+    let reference = shard_bytes(&dir, 4);
+    let reference_summary = aggregate_dir(&dir).expect("aggregates").to_json();
+
+    // Simulate a killed run: one shard missing entirely, one truncated
+    // mid-file (invalid footer → must be regenerated, not trusted).
+    fs::remove_file(shard_path(&dir, 2)).unwrap();
+    let shard1 = shard_path(&dir, 1);
+    let bytes = fs::read(&shard1).unwrap();
+    fs::write(&shard1, &bytes[..bytes.len() / 2]).unwrap();
+
+    let resumed_cfg = CampaignConfig {
+        resume: true,
+        ..config(dir.clone(), 2)
+    };
+    let outcome = run_campaign(&resumed_cfg).expect("resume runs");
+    assert_eq!(outcome.shards_resumed, 2, "two shards were intact");
+    assert_eq!(outcome.shards_written, 2, "two shards were regenerated");
+
+    assert_eq!(shard_bytes(&dir, 4), reference);
+    assert_eq!(
+        aggregate_dir(&dir).expect("aggregates").to_json(),
+        reference_summary,
+        "aggregate after resume differs from the uninterrupted run"
+    );
+
+    // Resuming a complete campaign evaluates nothing.
+    let outcome = run_campaign(&resumed_cfg).expect("no-op resume runs");
+    assert_eq!(outcome.shards_resumed, 4);
+    assert_eq!(outcome.zones_evaluated, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tables_regenerate_within_tolerance_at_smoke_scale() {
+    let dir = test_dir("tolerance");
+    let cfg = CampaignConfig {
+        seed: 0x7AB1E5,
+        zones: 600,
+        shards: 6,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        out_dir: dir.clone(),
+        ..CampaignConfig::default()
+    };
+    run_campaign(&cfg).expect("campaign runs");
+    let summary = aggregate_dir(&dir).expect("aggregates");
+    assert_eq!(summary.zones, 600);
+    assert_eq!(summary.campaign_seed, 0x7AB1E5);
+    assert_eq!(summary.shards, 6);
+
+    // The populations all materialized and the fixer actually fixed.
+    assert!(
+        summary.benign_zones > 500,
+        "hostile population swallowed the campaign"
+    );
+    let fixed = summary.outcomes.get("fixed").copied().unwrap_or(0);
+    assert!(fixed > 100, "only {fixed} zones fixed at smoke scale");
+
+    let violations = summary.check_tolerances();
+    assert!(
+        violations.is_empty(),
+        "campaign deviates from the paper's distributions:\n{}",
+        violations.join("\n")
+    );
+
+    // The rendered tables carry markdown rows for the CI step summary.
+    let markdown = summary.render_markdown();
+    assert!(markdown.contains("| s1 (NZIC-only) |"));
+    assert!(markdown.contains("| Subcategory (Table 3) |"));
+    assert!(markdown.contains("| Instruction (Table 7) |"));
+    let _ = fs::remove_dir_all(&dir);
+}

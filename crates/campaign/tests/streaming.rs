@@ -1,0 +1,110 @@
+//! Streaming invariant: campaign memory does not scale with campaign
+//! size. Peak RSS is read from `/proc/self/status` (`VmHWM`), so these
+//! tests self-skip off Linux.
+//!
+//! The method avoids sampling races: `VmHWM` is the kernel's own
+//! high-water mark. Run a small campaign, note the peak, run a campaign
+//! several times larger, and require the peak to have grown by at most a
+//! constant — if zones (sandboxes are ~MB-scale signed zone sets) were
+//! accumulated instead of streamed, the larger run would blow through
+//! the bound immediately.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ddx_campaign::{aggregate_dir, run_campaign, CampaignConfig};
+
+fn vm_hwm_kib() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ddx-campaign-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(zones: u64, shards: u32, dir: PathBuf) {
+    let cfg = CampaignConfig {
+        seed: 0x57EAA,
+        zones,
+        shards,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        out_dir: dir,
+        ..CampaignConfig::default()
+    };
+    run_campaign(&cfg).expect("campaign runs");
+}
+
+#[test]
+fn memory_stays_flat_as_the_campaign_grows() {
+    if vm_hwm_kib().is_none() {
+        eprintln!("skipping: /proc/self/status unavailable (non-Linux)");
+        return;
+    }
+    let small = test_dir("rss-small");
+    let large = test_dir("rss-large");
+    run(150, 3, small.clone());
+    let after_small = vm_hwm_kib().unwrap();
+    run(450, 9, large.clone());
+    let after_large = vm_hwm_kib().unwrap();
+    let growth_kib = after_large - after_small;
+    assert!(
+        growth_kib < 192 * 1024,
+        "peak RSS grew {growth_kib} KiB between a 150- and a 450-zone campaign — \
+         zones are being accumulated, not streamed"
+    );
+    let _ = fs::remove_dir_all(&small);
+    let _ = fs::remove_dir_all(&large);
+}
+
+#[test]
+#[ignore = "100k-zone campaign: minutes of CPU — run explicitly (CI campaign-smoke runs it with --ignored)"]
+fn hundred_k_zone_campaign_streams_with_flat_memory() {
+    if vm_hwm_kib().is_none() {
+        eprintln!("skipping: /proc/self/status unavailable (non-Linux)");
+        return;
+    }
+    let zones: u64 = std::env::var("CAMPAIGN_ZONES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let warmup = (zones / 10).max(1);
+
+    let warm_dir = test_dir("100k-warm");
+    run(warmup, 8, warm_dir.clone());
+    let after_warmup = vm_hwm_kib().unwrap();
+
+    let full_dir = test_dir("100k-full");
+    run(zones, 64, full_dir.clone());
+    let after_full = vm_hwm_kib().unwrap();
+
+    let growth_kib = after_full - after_warmup;
+    assert!(
+        growth_kib < 512 * 1024,
+        "peak RSS grew {growth_kib} KiB between a {warmup}- and a {zones}-zone campaign"
+    );
+
+    // At this scale the regenerated tables must sit inside the paper's
+    // tolerances.
+    let summary = aggregate_dir(&full_dir).expect("aggregates");
+    assert_eq!(summary.zones, zones);
+    let violations = summary.check_tolerances();
+    assert!(
+        violations.is_empty(),
+        "campaign deviates from the paper's distributions:\n{}",
+        violations.join("\n")
+    );
+    println!("{}", summary.render_markdown());
+    let _ = fs::remove_dir_all(&warm_dir);
+    let _ = fs::remove_dir_all(&full_dir);
+}

@@ -172,10 +172,9 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
     // walk warms it, so the fixer's first iteration (same state, same
     // clock) revalidates without a single query.
     let mut memo = GrokMemo::new();
-    // `probe_grok` is the deprecated combined stage label (kept one release
-    // for dashboards); the split `probe` / `grok` labels attribute walk
-    // time and analysis time separately.
-    let combined_timer = stage_timer("probe_grok").start_timer();
+    // The split `probe` / `grok` labels attribute walk time and analysis
+    // time separately (the combined `probe_grok` label was removed after
+    // its one-release deprecation window).
     let report = match &cfg.fault_plan {
         Some(plan) => {
             // A flapping fault network is order-dependent, so the GE walk
@@ -212,7 +211,6 @@ pub fn evaluate_snapshot(snapshot: &Snapshot, cfg: &EvalConfig, index: u64) -> S
             report
         }
     };
-    drop(combined_timer);
     let generated = report.codes();
     let replicated = !intended.is_empty() && intended.is_subset(&generated);
     if !replicated || generated.is_empty() {

@@ -31,8 +31,8 @@ pub use nsec3::{
     Nsec3Config, NSEC3_HASH_SHA1,
 };
 pub use sign::{sign_rrset, sign_rrset_cached, verify_rrset, SignOptions, VerifyError};
-pub use workload::{work_snapshot, WorkSnapshot};
 pub use signer::{
     remove_sigs_covering, resign_rrset, sign_zone, sign_zone_cached, sigs_covering, SignError,
     SignerConfig, DNSKEY_TTL,
 };
+pub use workload::{work_snapshot, WorkSnapshot};

@@ -724,7 +724,10 @@ mod tests {
         assert!(!Subcategory::ALL.contains(&c.subcategory()));
         assert_eq!(c.subcategory(), Subcategory::ExcessiveValidationWork);
         assert_eq!(c.category(), Category::Signature);
-        assert!(c.is_critical(), "a budget trip means validation cannot finish");
+        assert!(
+            c.is_critical(),
+            "a budget trip means validation cannot finish"
+        );
         assert!(c.replicable(), "the attack corpus replicates it locally");
         assert!(!c.evidence_is_absence());
         assert_eq!(c.subcategory().marker(), None);

@@ -193,6 +193,13 @@ pub struct GrokMemo {
     orphans: Vec<MemoEntry>,
     stats: MemoStats,
     obs: Option<MemoObs>,
+    /// Per-zone work caps applied to every analysis this memo runs
+    /// ([`ValidationBudget::default`] unless overridden via
+    /// [`GrokMemo::set_budget`]). The budget is not part of the epoch
+    /// fingerprint: a tripped analysis already force-dirties its entry, so
+    /// changing the budget mid-stream can only re-run analyses that were
+    /// never cached as truncated.
+    budget: ValidationBudget,
 }
 
 impl GrokMemo {
@@ -203,6 +210,20 @@ impl GrokMemo {
     /// Cumulative accounting since construction.
     pub fn stats(&self) -> MemoStats {
         self.stats
+    }
+
+    /// Overrides the per-zone [`ValidationBudget`] applied to every
+    /// analysis this memo runs (campaign pools thread explicit caps
+    /// through here). Takes effect on the next [`GrokMemo::grok_incremental`];
+    /// already-cached clean reports stay valid — only truncated analyses
+    /// are ever re-run, and those force-dirty themselves.
+    pub fn set_budget(&mut self, budget: ValidationBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget applied to analyses run through this memo.
+    pub fn budget(&self) -> &ValidationBudget {
+        &self.budget
     }
 
     /// Drops every cached entry (counted as invalidations).
@@ -272,14 +293,20 @@ impl GrokMemo {
             .chain
             .iter()
             .map(|e| {
-                e.gapped || e.budget_tripped || e.key.is_none() || entry_key(gens, &e.probe) != e.key
+                e.gapped
+                    || e.budget_tripped
+                    || e.key.is_none()
+                    || entry_key(gens, &e.probe) != e.key
             })
             .collect();
         let orphan_dirty: Vec<bool> = self
             .orphans
             .iter()
             .map(|e| {
-                e.gapped || e.budget_tripped || e.key.is_none() || entry_key(gens, &e.probe) != e.key
+                e.gapped
+                    || e.budget_tripped
+                    || e.key.is_none()
+                    || entry_key(gens, &e.probe) != e.key
             })
             .collect();
         let first_dirty = chain_dirty.iter().position(|d| *d);
@@ -429,6 +456,7 @@ impl GrokMemo {
         ddx_obs::counter("grok.runs", &[]).inc();
         let pass_timings = pass_histograms();
         let now = probe.time;
+        let budget = self.budget.clone();
 
         let aligned = probe.zones.len() == self.chain.len() + self.orphans.len()
             && self
@@ -444,7 +472,7 @@ impl GrokMemo {
                     // A cached report is only valid at the clock it was
                     // analyzed at — RRSIG windows read `now`.
                     Some(r) if e.report_time == now => r.clone(),
-                    _ => analyze_zone(zp, now, &pass_timings, &ValidationBudget::default()),
+                    _ => analyze_zone(zp, now, &pass_timings, &budget),
                 })
                 .collect();
             for (e, r) in self.entries_mut().zip(&reports) {
@@ -465,7 +493,7 @@ impl GrokMemo {
             probe
                 .zones
                 .iter()
-                .map(|zp| analyze_zone(zp, now, &pass_timings, &ValidationBudget::default()))
+                .map(|zp| analyze_zone(zp, now, &pass_timings, &budget))
                 .collect()
         };
 

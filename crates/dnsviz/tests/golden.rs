@@ -121,7 +121,11 @@ fn nsec3_report() -> GrokReport {
 /// `BudgetExceeded` payload.
 fn attack_report(family: AttackFamily) -> GrokReport {
     let rep = replicate_attack(family, NOW, SEED).expect("attack replicates");
-    assert!(rep.skipped.is_empty(), "{family}: skipped {:?}", rep.skipped);
+    assert!(
+        rep.skipped.is_empty(),
+        "{family}: skipped {:?}",
+        rep.skipped
+    );
     grok(&probe(&rep.sandbox.testbed, &rep.probe))
 }
 

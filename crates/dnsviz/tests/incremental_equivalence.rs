@@ -264,7 +264,9 @@ fn budget_trip_forces_reprobe_until_repaired() {
     inject_attack(&mut sb, AttackFamily::SigJam, NOW).expect("attack injects");
     let tripped = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
     assert!(
-        tripped.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+        tripped
+            .codes()
+            .contains(&ErrorCode::ValidationBudgetExceeded),
         "SigJam did not trip the budget: {:?}",
         tripped.codes()
     );
@@ -287,10 +289,13 @@ fn budget_trip_forces_reprobe_until_repaired() {
     // Repair: re-signing strips the signature flood; the next round must
     // see the fix (not the cached truncation) and converge on the clean
     // scratch report.
-    sb.resign_zone(&name(LEAF_APEX), NOW).expect("leaf re-signs");
+    sb.resign_zone(&name(LEAF_APEX), NOW)
+        .expect("leaf re-signs");
     let healed = memo.probe_grok(&sb.testbed, &sb.testbed, &cfg);
     assert!(
-        !healed.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+        !healed
+            .codes()
+            .contains(&ErrorCode::ValidationBudgetExceeded),
         "repaired zone still reports a budget trip"
     );
     assert_eq!(healed.to_json(), grok(&probe(&sb.testbed, &cfg)).to_json());

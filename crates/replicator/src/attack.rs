@@ -88,10 +88,7 @@ impl AttackFamily {
 
     /// Whether the family needs an NSEC3 leaf zone.
     pub fn wants_nsec3(&self) -> bool {
-        matches!(
-            self,
-            AttackFamily::LockCram | AttackFamily::Nsec3Iterations
-        )
+        matches!(self, AttackFamily::LockCram | AttackFamily::Nsec3Iterations)
     }
 
     /// The budget counter the family is built to exhaust.
@@ -310,7 +307,11 @@ mod tests {
     fn every_family_trips_the_default_budget() {
         for family in AttackFamily::ALL {
             let rep = replicate_attack(family, NOW, 0xA77C).expect("attack builds");
-            assert!(rep.skipped.is_empty(), "{family}: skipped {:?}", rep.skipped);
+            assert!(
+                rep.skipped.is_empty(),
+                "{family}: skipped {:?}",
+                rep.skipped
+            );
             let report = grok(&probe(&rep.sandbox.testbed, &rep.probe));
             let codes = report.codes();
             assert!(
@@ -344,7 +345,9 @@ mod tests {
             &ValidationBudget::unlimited(),
         );
         assert!(
-            !report.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+            !report
+                .codes()
+                .contains(&ErrorCode::ValidationBudgetExceeded),
             "unlimited budget must never trip: {:?}",
             report.codes()
         );

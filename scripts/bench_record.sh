@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Runs the recorded measurement protocol of every BENCH_pr*.json in the
+# repo root and writes the measured numbers back into the JSON files:
+#
+#   - each `protocol.commands[]` entry is executed (output logged under
+#     bench-logs/),
+#   - criterion `time: [low mid high]` lines are parsed into a
+#     `measured.criterion_medians_ns` map (median, nanoseconds),
+#   - null `*_ns` fields under `benches.*` are filled in when exactly one
+#     criterion id unambiguously matches the bench entry,
+#   - `status` flips from "not-measured" to "measured" (or
+#     "measured-partial" when a protocol command failed).
+#
+# The dev container cannot reach a cargo registry, so this normally runs
+# in CI (the manually-dispatched `bench-record` job) or on any networked
+# machine: `bash scripts/bench_record.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'PY'
+import datetime
+import json
+import os
+import pathlib
+import platform
+import re
+import subprocess
+
+LOGS = pathlib.Path("bench-logs")
+LOGS.mkdir(exist_ok=True)
+
+UNIT_NS = {"ps": 1e-3, "ns": 1.0, "us": 1e3, "µs": 1e3, "ms": 1e6, "s": 1e9}
+
+ID_TIME = re.compile(r"^(\S.*?)\s{2,}time:\s+\[(.*?)\]")
+BARE_TIME = re.compile(r"^\s+time:\s+\[(.*?)\]")
+
+
+def parse_criterion(text):
+    """criterion prints `<id>   time: [low mid high]`, or the id on its
+    own line when it is long — track the last bare line as the pending id."""
+    medians = {}
+    pending = None
+    for line in text.splitlines():
+        m = ID_TIME.match(line)
+        if m:
+            ident, triple = m.group(1).strip(), m.group(2)
+        else:
+            m = BARE_TIME.match(line)
+            if m and pending:
+                ident, triple = pending, m.group(1)
+            else:
+                stripped = line.strip()
+                if stripped and not stripped.startswith(
+                    ("Benchmarking", "Found", "Warning", "change:", "thrpt:", "Running", "Compiling", "Finished")
+                ):
+                    pending = stripped
+                continue
+        parts = triple.split()
+        if len(parts) == 6 and parts[3] in UNIT_NS:
+            medians[ident] = float(parts[2]) * UNIT_NS[parts[3]]
+    return medians
+
+
+for path in sorted(pathlib.Path(".").glob("BENCH_pr*.json")):
+    data = json.loads(path.read_text())
+    commands = (data.get("protocol") or {}).get("commands") or []
+    medians = {}
+    log, ok = [], True
+    for cmd in commands:
+        print(f"== {path.name}: {cmd}", flush=True)
+        proc = subprocess.run(["bash", "-c", cmd], capture_output=True, text=True)
+        log.append(f"$ {cmd}\n{proc.stdout}{proc.stderr}(exit {proc.returncode})\n\n")
+        medians.update(parse_criterion(proc.stdout))
+        if proc.returncode != 0:
+            ok = False
+    (LOGS / f"{path.stem}.log").write_text("".join(log))
+
+    filled = 0
+    for bench_name, entry in (data.get("benches") or {}).items():
+        if not isinstance(entry, dict):
+            continue
+        for field, value in list(entry.items()):
+            if value is not None or not field.endswith("_ns"):
+                continue
+            stem = field[: -len("_ns")]
+            candidates = sorted(
+                v
+                for k, v in medians.items()
+                if bench_name in k and (stem in k or stem in ("median", "time"))
+            )
+            if len(candidates) == 1:
+                entry[field] = round(candidates[0], 1)
+                filled += 1
+
+    data["measured"] = {
+        "recorded_utc": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "machine": platform.platform(),
+        "cpus": os.cpu_count(),
+        "commands_ok": ok,
+        "criterion_medians_ns": {k: round(v, 1) for k, v in sorted(medians.items())},
+    }
+    if medians:
+        data["status"] = "measured" if ok else "measured-partial"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    print(
+        f"{path.name}: {len(medians)} criterion measurements, "
+        f"{filled} bench fields filled, status={data.get('status')}"
+    )
+PY

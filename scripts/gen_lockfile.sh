@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Generates Cargo.lock and verifies it with `cargo build --locked`.
+#
+# Run this on any machine that can reach a cargo registry (the dev
+# container cannot — its crates-io source replacement points at an
+# unreachable mirror), then commit the result:
+#
+#   bash scripts/gen_lockfile.sh
+#   git add Cargo.lock && git commit
+#
+# CI's `locked` job builds with `--locked` unconditionally and fails on
+# lockfile drift once the file is committed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo generate-lockfile
+cargo build --locked
+echo
+echo "Cargo.lock generated and verified with 'cargo build --locked'."
+echo "Commit it: git add Cargo.lock"

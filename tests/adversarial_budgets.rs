@@ -92,10 +92,7 @@ fn measured<T>(f: impl FnOnce() -> T) -> (T, WorkDelta) {
 // integration corpus (crates/dnsviz/tests/common), rebuilt here because
 // per-crate test modules are not importable across crates.
 
-fn benign_sandbox(
-    tweak: impl FnOnce(&mut ZoneSpec),
-    mutate: impl FnOnce(&mut Sandbox),
-) -> Sandbox {
+fn benign_sandbox(tweak: impl FnOnce(&mut ZoneSpec), mutate: impl FnOnce(&mut Sandbox)) -> Sandbox {
     let mut leaf = ZoneSpec::conventional(name(LEAF_APEX));
     tweak(&mut leaf);
     let mut sb = build_sandbox(
@@ -114,7 +111,10 @@ fn benign_sandbox(
 fn benign_variants() -> Vec<(&'static str, Sandbox)> {
     vec![
         ("nsec", benign_sandbox(|_| {}, |_| {})),
-        ("nsec-wildcard", benign_sandbox(|s| s.wildcard = true, |_| {})),
+        (
+            "nsec-wildcard",
+            benign_sandbox(|s| s.wildcard = true, |_| {}),
+        ),
         (
             "nsec3",
             benign_sandbox(|s| s.nsec3 = Some(Nsec3Config::default()), |_| {}),
@@ -206,7 +206,9 @@ fn benign_median_work() -> u64 {
             work.sig, work.nsec3
         );
         assert!(
-            !report.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+            !report
+                .codes()
+                .contains(&ErrorCode::ValidationBudgetExceeded),
             "benign variant {label} reported a budget error without a trip"
         );
         works.push(work.total());
@@ -214,7 +216,10 @@ fn benign_median_work() -> u64 {
     works.sort_unstable();
     let mid = works.len() / 2;
     let median = (works[mid - 1] + works[mid]) / 2;
-    assert!(median > 0, "benign corpus performed no measurable grok work");
+    assert!(
+        median > 0,
+        "benign corpus performed no measurable grok work"
+    );
     median
 }
 
@@ -244,13 +249,8 @@ fn seed_sweep() {
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let rep = replicate_attack(family, NOW, seed).expect("attack replicates");
-                assert!(
-                    rep.skipped.is_empty(),
-                    "attack skipped: {:?}",
-                    rep.skipped
-                );
-                let (report, work) =
-                    measured(|| grok(&probe(&rep.sandbox.testbed, &rep.probe)));
+                assert!(rep.skipped.is_empty(), "attack skipped: {:?}", rep.skipped);
+                let (report, work) = measured(|| grok(&probe(&rep.sandbox.testbed, &rep.probe)));
                 // The default budget must trip, and the finding must be
                 // the typed extension code — not a panic, not an OOM, not
                 // an unbounded slow walk.
@@ -261,7 +261,9 @@ fn seed_sweep() {
                     work.nsec3
                 );
                 assert!(
-                    report.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+                    report
+                        .codes()
+                        .contains(&ErrorCode::ValidationBudgetExceeded),
                     "budget tripped but no typed finding; codes {:?}",
                     report.codes()
                 );
@@ -300,13 +302,18 @@ fn seed_sweep() {
     // again (the work bound holds without any budget trip).
     let opts = FixerOptions::default();
     for (i, family) in AttackFamily::ALL.into_iter().enumerate() {
-        let mut rep =
-            replicate_attack(family, NOW, 0xF1A7 + i as u64).expect("attack replicates");
-        assert!(rep.skipped.is_empty(), "{family}: skipped {:?}", rep.skipped);
+        let mut rep = replicate_attack(family, NOW, 0xF1A7 + i as u64).expect("attack replicates");
+        assert!(
+            rep.skipped.is_empty(),
+            "{family}: skipped {:?}",
+            rep.skipped
+        );
         let cfg = rep.probe.clone();
         let before = grok(&probe(&rep.sandbox.testbed, &cfg));
         assert!(
-            before.codes().contains(&ErrorCode::ValidationBudgetExceeded),
+            before
+                .codes()
+                .contains(&ErrorCode::ValidationBudgetExceeded),
             "{family}: zone not adversarial before fixing: {:?}",
             before.codes()
         );

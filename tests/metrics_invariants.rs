@@ -91,12 +91,29 @@ fn pipeline_metrics_balance_and_match_legacy_accessors() {
     assert!(injected > 0, "uniform 60‰ plan injected nothing");
     assert_eq!(counter(m, "server.fault.passed") + injected, draws);
 
-    // Stage timers cover every snapshot.
+    // Stage timers cover every snapshot, under the split labels only: the
+    // combined `probe_grok` label finished its one-release deprecation
+    // window and must no longer be emitted.
     let replicate_stage = m
         .histograms
         .get("pipeline.stage_us{stage=replicate}")
         .expect("replicate stage timed");
     assert_eq!(replicate_stage.count, summary.total().snapshots);
+    let probe_stage = m
+        .histograms
+        .get("pipeline.stage_us{stage=probe}")
+        .expect("probe stage timed");
+    assert_eq!(probe_stage.count, summary.total().snapshots);
+    let grok_stage = m
+        .histograms
+        .get("pipeline.stage_us{stage=grok}")
+        .expect("grok stage timed");
+    assert_eq!(grok_stage.count, summary.total().snapshots);
+    assert!(
+        !m.histograms
+            .contains_key("pipeline.stage_us{stage=probe_grok}"),
+        "deprecated combined probe_grok stage label is still emitted"
+    );
 
     // --- Passthrough run: an all-zero fault plan must draw on every query
     // yet inject nothing.
